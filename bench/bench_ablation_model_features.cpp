@@ -1,0 +1,121 @@
+// Ablation A: which modelling ingredients does the energy model need?
+//
+// The paper argues (Section 4.2) that an accurate BAN energy model must
+// account for collisions (hardware CRC), idle listening, overhearing and
+// control-packet overhead — the things plain PowerTOSSIM-style accounting
+// simplifies.  This bench runs the reference 5-node streaming scenario with
+// a PowerTOSSIM-style analytical estimator attached and reports its radio
+// estimation error with each ingredient toggled off, alongside the full
+// dual-run model's error.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/powertossim_estimator.hpp"
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+
+struct AblationRow {
+  const char* label;
+  baseline::EstimatorOptions options;
+};
+
+void print_reproduction() {
+  core::PaperSetup setup;
+  core::BanConfig cfg =
+      core::streaming_static_config(setup, Duration::milliseconds(30));
+  cfg.streaming.sample_rate_hz = 205;
+  core::MeasurementProtocol protocol;
+
+  const AblationRow rows[] = {
+      {"full analytical model", {true, true, true}},
+      {"- control packets", {false, true, true}},
+      {"- listen windows (idle listening + beacons)", {true, false, true}},
+      {"- MCU task accounting", {true, true, false}},
+  };
+
+  std::printf(
+      "Ablation A: analytical (PowerTOSSIM-style) radio/uC estimates vs the "
+      "reference platform,\n5-node ECG streaming, static TDMA 30 ms, 60 s "
+      "window\n\n");
+  std::printf("%-46s %12s %12s %10s %10s\n", "estimator variant",
+              "radio (mJ)", "uC (mJ)", "radio err", "uC err");
+
+  for (const AblationRow& row : rows) {
+    baseline::PowerTossimEstimator estimator{
+        cfg.board.mcu, cfg.board.radio, cfg.board.phy,
+        os::CycleCostModel::platform_defaults(), row.options};
+
+    core::BanNetwork network{cfg, &estimator};
+    // Measure from t=0 so the join phase (SSR control traffic, searching
+    // listen) is inside the window; steady state then dominates the tail.
+    estimator.begin_measurement(sim::TimePoint::zero());
+    network.start();
+    const bool joined = network.run_until_joined(
+        protocol.settle, sim::TimePoint::zero() + protocol.join_deadline);
+    if (!joined) continue;
+
+    network.run_until(network.simulator().now() + protocol.measure);
+    const sim::TimePoint t1 = network.simulator().now();
+    const auto after = network.node(0).board().breakdown(t1);
+
+    auto component = [](const std::vector<energy::ComponentEnergy>& rows_,
+                        const char* name) {
+      for (const auto& c : rows_) {
+        if (c.component == name) return c.joules;
+      }
+      return 0.0;
+    };
+    const double ref_radio = component(after, "radio") * 1e3;
+    const double ref_mcu = component(after, "mcu") * 1e3;
+
+    const auto estimates = estimator.finalize(t1);
+    const auto it = estimates.find("node1");
+    const double est_radio =
+        it != estimates.end() ? it->second.radio_joules * 1e3 : 0.0;
+    const double est_mcu =
+        it != estimates.end() ? it->second.mcu_joules * 1e3 : 0.0;
+
+    std::printf("%-46s %12.1f %12.1f %9.1f%% %9.1f%%\n", row.label, est_radio,
+                est_mcu, 100.0 * (est_radio - ref_radio) / ref_radio,
+                100.0 * (est_mcu - ref_mcu) / ref_mcu);
+  }
+  std::printf(
+      "\n(reference radio/uC come from the platform meters; a negative error "
+      "is underestimation.\n On the node side, control-frame TX (SSRs) is "
+      "sub-mJ — the control overhead the paper\n warns about is dominated by "
+      "the beacon *listen* windows, which the third row removes:\n dropping "
+      "them collapses the radio estimate, exactly why idle-listening/beacon "
+      "accounting\n is mandatory for BAN energy models.)\n\n");
+}
+
+void BM_AblationRun(benchmark::State& state) {
+  core::PaperSetup setup;
+  core::BanConfig cfg =
+      core::streaming_static_config(setup, Duration::milliseconds(30));
+  core::MeasurementProtocol protocol;
+  for (auto _ : state) {
+    baseline::PowerTossimEstimator estimator{
+        cfg.board.mcu, cfg.board.radio, cfg.board.phy,
+        os::CycleCostModel::platform_defaults(), {}};
+    core::BanNetwork network{cfg, &estimator};
+    network.start();
+    network.run_until(sim::TimePoint::zero() + Duration::seconds(5));
+    benchmark::DoNotOptimize(network.channel().frames_sent());
+  }
+}
+
+BENCHMARK(BM_AblationRun)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

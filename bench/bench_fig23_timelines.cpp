@@ -1,0 +1,70 @@
+// Reproduces Figures 2 and 3: the protocol timelines of the static and
+// dynamic TDMA MACs — SB beacons from the base station, SSR slot requests
+// from joining nodes, grants, and the data slots of the steady state.  The
+// dynamic timeline shows the cycle stretching as nodes are admitted.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+
+std::string capture_timeline(mac::TdmaVariant variant) {
+  core::BanConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.app = core::AppKind::kEcgStreaming;
+  if (variant == mac::TdmaVariant::kStatic) {
+    cfg.tdma = mac::TdmaConfig::static_plan(Duration::milliseconds(60), 5);
+    cfg.streaming.sample_rate_hz = 105;
+  } else {
+    cfg.tdma = mac::TdmaConfig::dynamic_plan();
+    cfg.streaming.sample_rate_hz = 100;
+  }
+  cfg.stagger = Duration::milliseconds(150);  // spread the joins out
+
+  core::BanNetwork network{cfg};
+  auto sink = std::make_shared<sim::MemorySink>();
+  network.tracer().attach(sink, {sim::TraceCategory::kMac});
+
+  network.start();
+  network.run_until(sim::TimePoint::zero() + Duration::milliseconds(700));
+
+  core::TimelineOptions options;
+  options.start = sim::TimePoint::zero() + Duration::milliseconds(0);
+  options.window = Duration::milliseconds(640);
+  options.bin = Duration::milliseconds(4);
+  return core::render_timeline(sink->records(), options);
+}
+
+void print_reproduction() {
+  std::printf("Figure 2 (static TDMA: fixed cycle, SSR in free slots):\n%s\n",
+              capture_timeline(mac::TdmaVariant::kStatic).c_str());
+  std::printf(
+      "Figure 3 (dynamic TDMA: cycle grows as nodes join; SSR in ES):\n%s\n",
+      capture_timeline(mac::TdmaVariant::kDynamic).c_str());
+}
+
+void BM_TimelineCapture(benchmark::State& state) {
+  const auto variant = state.range(0) == 0 ? mac::TdmaVariant::kStatic
+                                           : mac::TdmaVariant::kDynamic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capture_timeline(variant));
+  }
+}
+
+BENCHMARK(BM_TimelineCapture)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 4: total node energy of ECG streaming (30 ms static
+// TDMA cycle) vs the Rpeak application (120 ms cycle), Real and Sim bars,
+// plus the energy saving of on-node preprocessing (paper: 65 %).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+
+void print_reproduction() {
+  const core::Figure4Result fig = core::figure4();
+  std::printf("%s\n", fig.render().c_str());
+  std::printf(
+      "Paper Figure 4: streaming Real 540.6+170.2=710.8 mJ, Sim "
+      "502.9+161.2=664.1 mJ;\n"
+      "                Rpeak     Real 113.1+133.1=246.2 mJ, Sim "
+      "116.7+132.8=249.5 mJ; saving 65%%\n\n");
+
+  // ASCII bars (10 mJ per character) for terminal-side comparison.
+  auto bar = [](const char* label, double radio, double mcu) {
+    std::printf("  %-22s|", label);
+    const auto r = static_cast<int>(radio / 10.0);
+    const auto m = static_cast<int>(mcu / 10.0);
+    for (int i = 0; i < r; ++i) std::printf("R");
+    for (int i = 0; i < m; ++i) std::printf("u");
+    std::printf("  %.1f mJ\n", radio + mcu);
+  };
+  bar("ECG streaming Real", fig.streaming_real_radio_mj,
+      fig.streaming_real_mcu_mj);
+  bar("ECG streaming Sim", fig.streaming_sim_radio_mj,
+      fig.streaming_sim_mcu_mj);
+  bar("Rpeak Real", fig.rpeak_real_radio_mj, fig.rpeak_real_mcu_mj);
+  bar("Rpeak Sim", fig.rpeak_sim_radio_mj, fig.rpeak_sim_mcu_mj);
+  std::printf("\n");
+}
+
+void BM_Figure4(benchmark::State& state) {
+  for (auto _ : state) {
+    const core::Figure4Result fig = core::figure4();
+    benchmark::DoNotOptimize(fig.saving_fraction());
+  }
+}
+
+BENCHMARK(BM_Figure4)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

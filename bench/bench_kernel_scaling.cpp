@@ -1,0 +1,84 @@
+// Ablation B: simulator throughput and scaling.
+//
+// The paper's motivation for an OS-level (rather than instruction-level)
+// model is simulation speed at network scale (Section 2).  This bench
+// measures raw event-kernel throughput and how wall-clock cost of a full
+// BAN simulation scales with node count and with simulated time.
+#include <benchmark/benchmark.h>
+
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+
+/// Raw kernel: schedule/execute churn with a self-rescheduling event chain.
+void BM_KernelEventChurn(benchmark::State& state) {
+  const auto chain_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t fired = 0;
+    const std::uint64_t target = chain_count * 1000;
+    // Each executed event re-arms itself until the global budget drains;
+    // `tick` outlives run(), so capturing it by reference is safe.
+    std::function<void()> tick;
+    tick = [&simulator, &tick, &fired, target] {
+      ++fired;
+      if (fired < target) {
+        simulator.schedule_in(sim::Duration::microseconds(1), tick);
+      }
+    };
+    for (std::size_t i = 0; i < chain_count; ++i) {
+      simulator.schedule_in(sim::Duration::microseconds(1), tick);
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chain_count) * 1000);
+}
+
+BENCHMARK(BM_KernelEventChurn)->Arg(1)->Arg(8)->Arg(64);
+
+/// Full-stack scaling with network size (dynamic TDMA admits any count).
+void BM_BanScaling_Nodes(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::BanConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.tdma = mac::TdmaConfig::dynamic_plan();
+    cfg.app = core::AppKind::kRpeak;
+    cfg.stagger = Duration::milliseconds(40 * static_cast<std::int64_t>(nodes));
+    core::BanNetwork network{cfg};
+    network.start();
+    network.run_until(sim::TimePoint::zero() + Duration::seconds(10));
+    benchmark::DoNotOptimize(network.simulator().events_executed());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+BENCHMARK(BM_BanScaling_Nodes)->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+/// Full-stack scaling with simulated time (5-node paper network).
+void BM_BanScaling_SimTime(benchmark::State& state) {
+  const auto seconds = static_cast<std::int64_t>(state.range(0));
+  core::PaperSetup setup;
+  core::BanConfig cfg =
+      core::streaming_static_config(setup, Duration::milliseconds(30));
+  for (auto _ : state) {
+    core::BanNetwork network{cfg};
+    network.start();
+    network.run_until(sim::TimePoint::zero() + Duration::seconds(seconds));
+    benchmark::DoNotOptimize(network.simulator().events_executed());
+  }
+  state.counters["sim_seconds"] = static_cast<double>(seconds);
+}
+
+BENCHMARK(BM_BanScaling_SimTime)->Arg(1)->Arg(10)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

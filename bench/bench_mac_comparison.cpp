@@ -1,0 +1,155 @@
+// Baseline comparison: the paper's TDMA MAC vs a random-access (ALOHA)
+// MAC on identical hardware, swept over offered load.
+//
+// The artifact the sweep produces is the crossover the paper's design
+// implies but never plots: at sparse event traffic the contention MAC
+// wins on node energy (no beacon tracking), while as offered load grows
+// its delivery collapses under collisions and its retransmission energy
+// climbs — TDMA delivery stays at 100 % for a flat, predictable cost.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "core/aloha_network.hpp"
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+using sim::TimePoint;
+
+struct MacResult {
+  double radio_mj_per_min{0};
+  double delivery{0};  ///< unique payloads delivered / generated
+};
+
+MacResult run_aloha(int interval_ms, double seconds) {
+  core::AlohaNetworkConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.payload_interval = Duration::milliseconds(interval_ms);
+  cfg.seed = 5;
+  core::AlohaNetwork net{cfg};
+  net.start();
+  net.run_until(TimePoint::zero() + Duration::from_seconds(seconds));
+
+  std::uint64_t generated = 0, lost = 0, queued = 0;
+  for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+    generated += net.payloads_generated(i);
+    lost += net.node_mac(i).stats().retry_drops +
+            net.node_mac(i).stats().payloads_dropped;
+    queued += net.node_mac(i).queue_depth();
+  }
+  MacResult result;
+  const double joules = net.node_board(0).radio().meter().total_energy(
+      net.simulator().now());
+  result.radio_mj_per_min = joules * 1e3 * 60.0 / seconds;
+  result.delivery =
+      generated > 0 ? 1.0 - static_cast<double>(lost + queued) /
+                                static_cast<double>(generated)
+                    : 0.0;
+  return result;
+}
+
+MacResult run_tdma(int interval_ms, double seconds) {
+  // TDMA carries the same offered load from the same lightweight payload
+  // generator ALOHA uses (no sampling app — this is a MAC-layer contest).
+  // Its natural operating point couples the cycle to the interval; the
+  // cycle floor (one slot wide enough for a burst) caps its capacity.
+  core::BanConfig cfg;
+  cfg.num_nodes = 5;
+  // 30 ms is the shortest cycle whose guard window stays clear of the
+  // last data slot; beyond that offered load, TDMA saturates at one frame
+  // per cycle and sheds the excess from the queue.
+  const int cycle_ms = std::max(30, interval_ms);
+  cfg.tdma = mac::TdmaConfig::static_plan(Duration::milliseconds(cycle_ms), 5);
+  cfg.app = core::AppKind::kNone;
+  cfg.seed = 5;
+  core::BanNetwork net{cfg};
+  net.start();
+  if (!net.run_until_joined(Duration::seconds(1),
+                            TimePoint::zero() + Duration::seconds(30))) {
+    return {};
+  }
+  const TimePoint t0 = net.simulator().now();
+  const double radio_before =
+      net.node(0).board().radio().meter().total_energy(t0);
+
+  // Fixed-rate generator per node, on the simulator clock.
+  std::uint64_t generated0 = 0;
+  for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&net, i, tick, interval_ms, &generated0] {
+      if (i == 0) ++generated0;
+      net.node(i).mac().queue_payload(std::vector<std::uint8_t>(18, 0xEC));
+      net.simulator().schedule_in(Duration::milliseconds(interval_ms),
+                                  *tick);
+    };
+    net.simulator().schedule_in(Duration::milliseconds(interval_ms), *tick);
+  }
+  const auto sent_before = net.node(0).mac().stats().data_sent;
+  net.run_until(t0 + Duration::from_seconds(seconds));
+
+  MacResult result;
+  const double joules = net.node(0).board().radio().meter().total_energy(
+                            net.simulator().now()) -
+                        radio_before;
+  result.radio_mj_per_min = joules * 1e3 * 60.0 / seconds;
+  const auto sent = net.node(0).mac().stats().data_sent - sent_before;
+  result.delivery =
+      generated0 > 0 ? std::min(1.0, static_cast<double>(sent) /
+                                         static_cast<double>(generated0))
+                     : 1.0;
+  return result;
+}
+
+void print_reproduction() {
+  std::printf(
+      "MAC comparison: static TDMA (paper) vs random-access ALOHA baseline\n"
+      "5 nodes, 18-byte payloads, node radio energy normalized to mJ/min\n\n");
+  std::printf("%14s | %12s %9s | %12s %9s\n", "payload every",
+              "TDMA mJ/min", "delivery", "ALOHA mJ/min", "delivery");
+  std::printf("%s\n", std::string(66, '-').c_str());
+  for (const int interval_ms : {200, 100, 60, 30, 12, 6}) {
+    const MacResult tdma = run_tdma(interval_ms, 30.0);
+    const MacResult aloha = run_aloha(interval_ms, 30.0);
+    std::printf("%11d ms | %12.1f %8.1f%% | %12.1f %8.1f%%\n", interval_ms,
+                tdma.radio_mj_per_min, tdma.delivery * 100,
+                aloha.radio_mj_per_min, aloha.delivery * 100);
+  }
+  std::printf(
+      "\n(TDMA pays a flat beacon-tracking cost, keeps ~100%% delivery up to "
+      "its slot capacity\n (one frame per 30 ms cycle) and sheds excess load "
+      "deterministically; ALOHA is cheaper\n for sparse event traffic but "
+      "collapses chaotically under load, burning more energy\n per delivered "
+      "frame.  The BAN streaming workload sits on the TDMA side of the\n "
+      "crossover — the paper's design choice.)\n\n");
+}
+
+void BM_TdmaPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_tdma(static_cast<int>(state.range(0)), 10.0));
+  }
+}
+BENCHMARK(BM_TdmaPoint)->Arg(60)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_AlohaPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_aloha(static_cast<int>(state.range(0)), 10.0));
+  }
+}
+BENCHMARK(BM_AlohaPoint)->Arg(60)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

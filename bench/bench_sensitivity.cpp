@@ -1,0 +1,108 @@
+// Sensitivity analysis: which platform/protocol parameter actually owns
+// the node's energy budget?
+//
+// Perturbs one parameter at a time by ±20 % around the paper's headline
+// operating point (5-node streaming, 30 ms static TDMA) and reports the
+// elasticity of the validated node energy (radio + MCU):
+//   elasticity = (dE/E) / (dp/p)
+// An elasticity near 1 means the parameter linearly owns the budget; near
+// 0 means the model is insensitive to it — exactly the information a
+// designer needs before spending engineering effort on a knob, and the
+// reason the paper's measured-currents-plus-duty-cycle model works.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+
+double node_energy_mj(const core::BanConfig& cfg) {
+  core::MeasurementProtocol protocol;
+  protocol.measure = Duration::seconds(30);
+  const core::ScenarioResult r = core::run_scenario(cfg, protocol);
+  return r.joined ? r.total_mj : -1.0;
+}
+
+struct Knob {
+  const char* name;
+  std::function<void(core::BanConfig&, double factor)> apply;
+};
+
+void print_reproduction() {
+  core::PaperSetup setup;
+  const core::BanConfig baseline =
+      core::streaming_static_config(setup, Duration::milliseconds(30));
+  const double base_mj = node_energy_mj(baseline);
+
+  const Knob knobs[] = {
+      {"radio RX current",
+       [](core::BanConfig& c, double f) { c.board.radio.rx_current_amps *= f; }},
+      {"radio TX current",
+       [](core::BanConfig& c, double f) { c.board.radio.tx_current_amps *= f; }},
+      {"radio settle time",
+       [](core::BanConfig& c, double f) {
+         c.board.radio.settle_time = c.board.radio.settle_time.scaled(f);
+       }},
+      {"MCU active current",
+       [](core::BanConfig& c, double f) { c.board.mcu.active_current_amps *= f; }},
+      {"MCU sleep current",
+       [](core::BanConfig& c, double f) { c.board.mcu.lpm_current_amps *= f; }},
+      {"guard time (fixed)",
+       [](core::BanConfig& c, double f) {
+         c.tdma.guard_fixed = c.tdma.guard_fixed.scaled(f);
+       }},
+      {"SPI clock-in rate",
+       [](core::BanConfig& c, double f) { c.board.radio.spi_rate_bps *= f; }},
+      {"air data rate",
+       [](core::BanConfig& c, double f) { c.board.phy.air_rate_bps *= f; }},
+  };
+
+  std::printf(
+      "Parameter sensitivity of validated node energy (radio + uC)\n"
+      "5-node ECG streaming, 30 ms static TDMA; baseline %.1f mJ / 30 s\n\n",
+      base_mj);
+  std::printf("%-22s | %11s %11s | %10s\n", "parameter", "-20% -> mJ",
+              "+20% -> mJ", "elasticity");
+  std::printf("%s\n", std::string(64, '-').c_str());
+  for (const Knob& knob : knobs) {
+    core::BanConfig lo = baseline;
+    knob.apply(lo, 0.8);
+    core::BanConfig hi = baseline;
+    knob.apply(hi, 1.2);
+    const double lo_mj = node_energy_mj(lo);
+    const double hi_mj = node_energy_mj(hi);
+    const double elasticity = (hi_mj - lo_mj) / base_mj / 0.4;
+    std::printf("%-22s | %11.1f %11.1f | %+10.2f\n", knob.name, lo_mj, hi_mj,
+                elasticity);
+  }
+  std::printf(
+      "\n(RX current and the guard window dominate — they set the beacon "
+      "listen cost;\n faster air/SPI rates barely matter because the data "
+      "burst is already short.\n This is why the paper's model needs exact "
+      "RX-window timing but tolerates\n a coarse CPU-cycle mapping.)\n\n");
+}
+
+void BM_SensitivityPoint(benchmark::State& state) {
+  core::PaperSetup setup;
+  const core::BanConfig cfg =
+      core::streaming_static_config(setup, Duration::milliseconds(30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node_energy_mj(cfg));
+  }
+}
+
+BENCHMARK(BM_SensitivityPoint)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table 1: ECG streaming application over static TDMA, sampling
+// frequency swept over {205, 105, 70, 55} Hz (TDMA cycle {30,60,90,120} ms),
+// node energy over 60 s, reference ("Real") vs estimation model ("Sim").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+
+void print_reproduction() {
+  const energy::ValidationTable table = core::table1();
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", core::paper_table(1).render().c_str());
+  std::printf("reproduction CSV:\n%s\n", table.render_csv().c_str());
+}
+
+void BM_Table1Row(benchmark::State& state) {
+  const int cycle_ms = static_cast<int>(state.range(0));
+  core::PaperSetup setup;
+  core::BanConfig cfg = core::streaming_static_config(
+      setup, sim::Duration::milliseconds(cycle_ms));
+  core::MeasurementProtocol protocol;
+  for (auto _ : state) {
+    const core::ScenarioResult r = core::run_scenario(cfg, protocol);
+    benchmark::DoNotOptimize(r.radio_mj);
+  }
+  state.counters["cycle_ms"] = cycle_ms;
+}
+
+BENCHMARK(BM_Table1Row)->Arg(30)->Arg(60)->Arg(90)->Arg(120)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

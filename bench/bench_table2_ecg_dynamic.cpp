@@ -1,0 +1,43 @@
+// Reproduces Table 2: ECG streaming application over dynamic TDMA with
+// 10 ms slots, network size swept over 1..5 nodes (cycle 20..60 ms), node
+// energy over 60 s, reference ("Real") vs estimation model ("Sim").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+
+void print_reproduction() {
+  const energy::ValidationTable table = core::table2();
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", core::paper_table(2).render().c_str());
+  std::printf("reproduction CSV:\n%s\n", table.render_csv().c_str());
+}
+
+void BM_Table2Row(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  core::PaperSetup setup;
+  const core::BanConfig cfg = core::streaming_dynamic_config(setup, nodes);
+  core::MeasurementProtocol protocol;
+  for (auto _ : state) {
+    const core::ScenarioResult r = core::run_scenario(cfg, protocol);
+    benchmark::DoNotOptimize(r.radio_mj);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+BENCHMARK(BM_Table2Row)->DenseRange(1, 5)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Table 4: Rpeak application over dynamic TDMA, network size
+// swept over 1..5 nodes, node energy over 60 s, reference ("Real") vs
+// estimation model ("Sim").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+
+void print_reproduction() {
+  const energy::ValidationTable table = core::table4();
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", core::paper_table(4).render().c_str());
+  std::printf("reproduction CSV:\n%s\n", table.render_csv().c_str());
+}
+
+void BM_Table4Row(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  core::PaperSetup setup;
+  const core::BanConfig cfg = core::rpeak_dynamic_config(setup, nodes);
+  core::MeasurementProtocol protocol;
+  for (auto _ : state) {
+    const core::ScenarioResult r = core::run_scenario(cfg, protocol);
+    benchmark::DoNotOptimize(r.radio_mj);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+BENCHMARK(BM_Table4Row)->DenseRange(1, 5)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

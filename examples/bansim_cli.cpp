@@ -1,0 +1,228 @@
+// Command-line experiment driver.
+//
+// The tool a platform team would actually run: configure a scenario from
+// flags and/or an INI file, execute it at one or both fidelities, and emit
+// human-readable results or CSV.
+//
+// usage:
+//   bansim_cli [--config FILE] [--app ecg_streaming|rpeak|eeg_monitoring]
+//              [--variant static|dynamic] [--cycle-ms N] [--nodes N]
+//              [--seconds N] [--seed N] [--fidelity ref|model|both]
+//              [--analyze] [--csv] [--dump-config]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/bansim.hpp"
+#include "core/config_io.hpp"
+#include "core/mac_analyzer.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+
+struct CliOptions {
+  std::optional<std::string> config_file;
+  std::optional<std::string> app;
+  std::optional<std::string> variant;
+  std::optional<int> cycle_ms;
+  std::optional<int> nodes;
+  std::optional<std::uint64_t> seed;
+  int seconds{60};
+  std::string fidelity{"both"};
+  bool analyze{false};
+  bool csv{false};
+  bool dump_config{false};
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--config FILE] [--app NAME] [--variant "
+               "static|dynamic]\n"
+               "          [--cycle-ms N] [--nodes N] [--seconds N] [--seed N]\n"
+               "          [--fidelity ref|model|both] [--analyze] [--csv] "
+               "[--dump-config]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--config") {
+      const char* v = next();
+      if (!v) return false;
+      options.config_file = v;
+    } else if (arg == "--app") {
+      const char* v = next();
+      if (!v) return false;
+      options.app = v;
+    } else if (arg == "--variant") {
+      const char* v = next();
+      if (!v) return false;
+      options.variant = v;
+    } else if (arg == "--cycle-ms") {
+      const char* v = next();
+      if (!v) return false;
+      options.cycle_ms = std::atoi(v);
+    } else if (arg == "--nodes") {
+      const char* v = next();
+      if (!v) return false;
+      options.nodes = std::atoi(v);
+    } else if (arg == "--seconds") {
+      const char* v = next();
+      if (!v) return false;
+      options.seconds = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      options.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--fidelity") {
+      const char* v = next();
+      if (!v) return false;
+      options.fidelity = v;
+    } else if (arg == "--analyze") {
+      options.analyze = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--dump-config") {
+      options.dump_config = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::BanConfig build_config(const CliOptions& options) {
+  core::BanConfig config;
+  // Paper-flavoured defaults.
+  config.num_nodes = 5;
+  config.tdma = mac::TdmaConfig::static_plan(Duration::milliseconds(30), 5);
+  config.app = core::AppKind::kEcgStreaming;
+  config.streaming.sample_rate_hz = 205;
+
+  if (options.config_file) {
+    std::ifstream file{*options.config_file};
+    if (!file) {
+      throw core::ConfigError("cannot open " + *options.config_file);
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    config = core::parse_config(buffer.str());
+  }
+
+  if (options.nodes) config.num_nodes = static_cast<std::size_t>(*options.nodes);
+  if (options.seed) config.seed = *options.seed;
+  if (options.variant) {
+    config.tdma.variant = *options.variant == "dynamic"
+                              ? mac::TdmaVariant::kDynamic
+                              : mac::TdmaVariant::kStatic;
+  }
+  if (options.cycle_ms && config.tdma.variant == mac::TdmaVariant::kStatic) {
+    const auto slots = config.tdma.max_slots;
+    const auto keep = config.tdma;
+    config.tdma = mac::TdmaConfig::static_plan(
+        Duration::milliseconds(*options.cycle_ms), slots);
+    config.tdma.fast_grant = keep.fast_grant;
+    config.tdma.ack_data = keep.ack_data;
+    config.tdma.radio_power_down = keep.radio_power_down;
+  }
+  if (options.app) {
+    if (*options.app == "rpeak") {
+      config.app = core::AppKind::kRpeak;
+    } else if (*options.app == "eeg_monitoring") {
+      config.app = core::AppKind::kEegMonitoring;
+    } else if (*options.app == "ecg_streaming") {
+      config.app = core::AppKind::kEcgStreaming;
+    } else if (*options.app == "none") {
+      config.app = core::AppKind::kNone;
+    } else {
+      throw core::ConfigError("unknown app: " + *options.app);
+    }
+  }
+  return config;
+}
+
+void report(const char* fidelity, const core::ScenarioResult& r, bool csv) {
+  if (csv) {
+    std::printf("%s,%.3f,%.3f,%.3f,%.3f,%llu,%llu\n", fidelity, r.radio_mj,
+                r.mcu_mj, r.asic_mj, r.total_mj,
+                static_cast<unsigned long long>(r.data_packets),
+                static_cast<unsigned long long>(r.beacons_missed));
+    return;
+  }
+  std::printf(
+      "  [%s] radio %.1f mJ, uC %.1f mJ (validated total %.1f mJ), asic %.1f "
+      "mJ; %llu data packets, %llu missed beacons\n",
+      fidelity, r.radio_mj, r.mcu_mj, r.total_mj, r.asic_mj,
+      static_cast<unsigned long long>(r.data_packets),
+      static_cast<unsigned long long>(r.beacons_missed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_cli(argc, argv, options)) return usage(argv[0]);
+
+  try {
+    core::BanConfig config = build_config(options);
+    if (options.dump_config) {
+      std::printf("%s", core::serialize_config(config).c_str());
+      return 0;
+    }
+
+    core::MeasurementProtocol protocol;
+    protocol.measure = Duration::seconds(options.seconds);
+
+    if (!options.csv) {
+      std::printf("scenario: %s, %zu nodes, %s TDMA, %d s window, seed %llu\n",
+                  to_string(config.app), config.num_nodes,
+                  to_string(config.tdma.variant), options.seconds,
+                  static_cast<unsigned long long>(config.seed));
+    } else {
+      std::printf(
+          "fidelity,radio_mj,mcu_mj,asic_mj,total_mj,data_packets,"
+          "beacons_missed\n");
+    }
+
+    if (options.fidelity == "ref" || options.fidelity == "both") {
+      config.fidelity = core::Fidelity::kReference;
+      report("reference", core::run_scenario(config, protocol), options.csv);
+    }
+    if (options.fidelity == "model" || options.fidelity == "both") {
+      config.fidelity = core::Fidelity::kModel;
+      report("model", core::run_scenario(config, protocol), options.csv);
+    }
+
+    if (options.analyze) {
+      config.fidelity = core::Fidelity::kReference;
+      core::BanNetwork network{config};
+      auto sink = std::make_shared<sim::MemorySink>();
+      network.tracer().attach(sink, {sim::TraceCategory::kMac});
+      network.start();
+      if (network.run_until_joined(
+              Duration::seconds(1),
+              sim::TimePoint::zero() + Duration::seconds(30))) {
+        const sim::TimePoint t0 = network.simulator().now();
+        network.run_until(t0 + Duration::seconds(options.seconds));
+        std::printf("\n%s",
+                    core::analyze_mac(network, sink->records(), t0).render().c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Instruction-level playground: assemble and run real MSP430 firmware on
+// the ISS — the beat-detector firmware against synthetic ECG, with the
+// paper's 0.6 nJ/instruction energy accounting, plus a scratch program to
+// show the assembler.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/ecg_synthesizer.hpp"
+#include "isa/firmware.hpp"
+#include "isa/msp430_asm.hpp"
+#include "isa/msp430_core.hpp"
+#include "sim/rng.hpp"
+
+int main() {
+  using namespace bansim;
+
+  // --- 1. The beat detector firmware on 30 s of ECG ------------------------
+  apps::EcgConfig ecg_cfg;
+  ecg_cfg.heart_rate_bpm = 75.0;
+  apps::EcgSynthesizer ecg{ecg_cfg, sim::Rng::stream(3, "playground/ecg")};
+  std::vector<std::uint16_t> codes;
+  const double fs = 200.0;
+  for (int n = 0; n < static_cast<int>(30.0 * fs); ++n) {
+    const double v = ecg.sample(sim::TimePoint::zero() +
+                                sim::Duration::from_seconds(n / fs));
+    codes.push_back(static_cast<std::uint16_t>(
+        std::lround(std::clamp(v / 2.5, 0.0, 1.0) * 4095.0)));
+  }
+
+  const isa::firmware::RpeakRun run = isa::firmware::run_rpeak(codes);
+  std::printf(
+      "beat-detector firmware on the MSP430 ISS (30 s of 75 bpm ECG):\n"
+      "  %zu beats detected; first few at ",
+      run.beat_indices.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, run.beat_indices.size());
+       ++i) {
+    std::printf("%.2fs ", run.beat_indices[i] / fs);
+  }
+  std::printf(
+      "\n  %llu instructions, %llu cycles (%.1f cycles/sample)\n"
+      "  energy: %.1f uJ at 0.6 nJ/instruction — ~%.2f uJ per processed "
+      "second\n\n",
+      static_cast<unsigned long long>(run.instructions),
+      static_cast<unsigned long long>(run.cycles),
+      static_cast<double>(run.cycles) / static_cast<double>(codes.size()),
+      run.energy_joules * 1e6, run.energy_joules * 1e6 / 30.0);
+
+  // --- 2. Scratch assembly: 16-bit multiply by shift-add -------------------
+  isa::Msp430Assembler assembler;
+  isa::Msp430Core core;
+  const auto program = assembler.assemble(R"(
+    ; r4 = 123 * 321 by shift-add (the MSP430F149 way, no HW multiplier)
+    mov #123, r5
+    mov #321, r6
+    clr r4
+  mul:
+    tst r6
+    jz done
+    bit #1, r6
+    jz shift
+    add r5, r4
+  shift:
+    add r5, r5
+    rra r6
+    jmp mul
+  done:
+    bis #0x10, sr
+  )");
+  core.load(0x4000, program);
+  core.set_reg(isa::kSp, 0x3FFE);
+  core.run(100000);
+  std::printf(
+      "scratch program: 123 * 321 = %u (expected %u), %llu instructions, "
+      "%llu cycles\n",
+      core.reg(4), 123u * 321u,
+      static_cast<unsigned long long>(core.instructions()),
+      static_cast<unsigned long long>(core.cycles()));
+
+  // --- 3. Interrupt round trip ---------------------------------------------
+  isa::Msp430Core irq_core;
+  isa::Msp430Assembler irq_asm;
+  const auto irq_program = irq_asm.assemble(R"(
+    clr r4
+    bis #8, sr        ; GIE
+  spin:
+    inc r5
+    jmp spin
+  isr:
+    mov #0xBEEF, r4
+    reti
+  )");
+  irq_core.load(0x4000, irq_program);
+  irq_core.set_reg(isa::kSp, 0x3FFE);
+  irq_core.write16(0xFFF0, irq_asm.label("isr"));
+  for (int i = 0; i < 10; ++i) irq_core.step();
+  irq_core.request_interrupt(0xFFF0);
+  for (int i = 0; i < 4; ++i) irq_core.step();
+  std::printf("interrupt demo: r4 = 0x%04X after ISR (GIE restored: %s)\n",
+              irq_core.reg(4),
+              irq_core.flag(isa::kSrGie) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Architectural tuning through simulation — the use case the paper's
+// abstract promises ("tune the node architecture and communication layer
+// for different working conditions, applications and topologies").
+//
+// Sweeps the TDMA cycle for both applications, reports node energy and the
+// projected battery life on a 160 mAh Li-polymer cell (a typical body-worn
+// patch battery), and prints the operating point a designer would pick for
+// a given latency bound.
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "core/bansim.hpp"
+
+int main() {
+  using namespace bansim;
+  using sim::Duration;
+
+  core::PaperSetup setup;
+  setup.measure = Duration::seconds(30);
+  core::MeasurementProtocol protocol;
+  protocol.measure = setup.measure;
+
+  // 160 mAh at 2.8 V nominal; the constant 10.5 mW ASIC is included here
+  // because a designer sizes the battery for the whole node.
+  const double battery_joules = 0.160 * 3600.0 * 2.8;
+
+  struct Row {
+    const char* app;
+    int cycle_ms;
+    double radio_mj;
+    double mcu_mj;
+    double asic_mj;
+    double life_hours;
+  };
+  std::vector<Row> rows;
+
+  for (const bool rpeak : {false, true}) {
+    for (const int cycle_ms : {30, 60, 90, 120, 180, 240}) {
+      core::BanConfig cfg =
+          rpeak ? core::rpeak_static_config(setup,
+                                            Duration::milliseconds(cycle_ms))
+                : core::streaming_static_config(
+                      setup, Duration::milliseconds(cycle_ms));
+      const core::ScenarioResult r = core::run_scenario(cfg, protocol);
+      if (!r.joined) continue;
+      const double seconds = r.measured.to_seconds();
+      const double watts =
+          (r.radio_mj + r.mcu_mj + r.asic_mj) * 1e-3 / seconds;
+      rows.push_back({rpeak ? "rpeak" : "streaming", cycle_ms,
+                      r.radio_mj * 60.0 / seconds, r.mcu_mj * 60.0 / seconds,
+                      r.asic_mj * 60.0 / seconds,
+                      battery_joules / watts / 3600.0});
+    }
+  }
+
+  std::printf("design-space sweep: 5-node BAN, static TDMA, 160 mAh cell\n");
+  std::printf("(energies normalized to 60 s; latency bound = one TDMA cycle)\n\n");
+  std::printf("%-11s %9s | %11s %11s %11s | %12s\n", "app", "cycle(ms)",
+              "radio mJ/min", "uC mJ/min", "asic mJ/min", "battery life");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (const Row& r : rows) {
+    std::printf("%-11s %9d | %11.1f %11.1f %11.1f | %9.1f h\n", r.app,
+                r.cycle_ms, r.radio_mj, r.mcu_mj, r.asic_mj, r.life_hours);
+  }
+
+  // The designer's question: longest battery life subject to keeping full
+  // 200 Hz diagnostic sensing.  Streaming couples the sampling rate to the
+  // cycle (18 B payload per cycle): only the 30 ms row samples at ~200 Hz;
+  // longer streaming cycles throw away signal bandwidth.  Rpeak keeps
+  // 200 Hz sensing at every cycle because only events leave the node.
+  const Row* best_streaming = nullptr;
+  const Row* best_rpeak = nullptr;
+  for (const Row& r : rows) {
+    if (std::string_view{r.app} == "streaming") {
+      if (r.cycle_ms == 30) best_streaming = &r;  // the 200 Hz-capable row
+    } else if (best_rpeak == nullptr || r.life_hours > best_rpeak->life_hours) {
+      best_rpeak = &r;
+    }
+  }
+  if (best_streaming != nullptr && best_rpeak != nullptr) {
+    std::printf(
+        "\nkeeping full ~200 Hz sensing:\n"
+        "  streaming requires the 30 ms cycle  -> %.1f h\n"
+        "  rpeak works at the %d ms cycle      -> %.1f h  (+%.0f%% battery "
+        "life)\n",
+        best_streaming->life_hours, best_rpeak->cycle_ms,
+        best_rpeak->life_hours,
+        100.0 * (best_rpeak->life_hours / best_streaming->life_hours - 1.0));
+  }
+  std::printf(
+      "\n(The paper's Figure 4 argument: on-node preprocessing decouples the "
+      "sensing rate\n from the radio duty cycle, which is where the energy "
+      "saving comes from.)\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "apps/base_station_app.hpp"
+
+#include <cstdio>
+
+namespace bansim::apps {
+
+void BaseStationApp::on_data(net::NodeId source,
+                             std::span<const std::uint8_t> payload,
+                             sim::TimePoint when) {
+  NodeTraffic& t = traffic_[source];
+  if (t.packets == 0) t.first_arrival = when;
+  if (t.packets > 0) {
+    t.inter_arrival_ms.add((when - t.last_arrival).to_seconds() * 1e3);
+  }
+  ++t.packets;
+  t.bytes += payload.size();
+  t.last_arrival = when;
+  ++total_packets_;
+  total_bytes_ += payload.size();
+
+  if (decode_beats_ && payload.size() == 5) {
+    const BeatEvent event = BeatEvent::deserialize(
+        std::vector<std::uint8_t>(payload.begin(), payload.end()));
+    // 200 Hz sampling: each "sample ago" is 5 ms (paper's example: 74
+    // samples ago -> 370 ms ago).
+    const sim::TimePoint beat_at =
+        when - sim::Duration::from_milliseconds(5.0 * event.samples_ago);
+    beats_.emplace_back(source, beat_at);
+  }
+}
+
+std::string BaseStationApp::render_summary() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-8s %10s %10s %14s %14s\n", "node",
+                "packets", "bytes", "mean gap(ms)", "max gap(ms)");
+  out += line;
+  for (const auto& [node, t] : traffic_) {
+    std::snprintf(line, sizeof line, "%-8u %10llu %10llu %14.2f %14.2f\n",
+                  node, static_cast<unsigned long long>(t.packets),
+                  static_cast<unsigned long long>(t.bytes),
+                  t.inter_arrival_ms.mean(), t.inter_arrival_ms.max());
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "total: %llu packets, %llu bytes\n",
+                static_cast<unsigned long long>(total_packets_),
+                static_cast<unsigned long long>(total_bytes_));
+  out += line;
+  return out;
+}
+
+}  // namespace bansim::apps

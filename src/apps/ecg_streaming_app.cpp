@@ -1,0 +1,102 @@
+#include "apps/ecg_streaming_app.hpp"
+
+namespace bansim::apps {
+
+std::vector<std::uint8_t> pack12(const std::vector<std::uint16_t>& codes) {
+  std::vector<std::uint8_t> out;
+  out.reserve(codes.size() * 3 / 2 + 2);
+  for (std::size_t i = 0; i + 1 < codes.size(); i += 2) {
+    const std::uint16_t a = codes[i] & 0x0FFF;
+    const std::uint16_t b = codes[i + 1] & 0x0FFF;
+    out.push_back(static_cast<std::uint8_t>(a >> 4));
+    out.push_back(static_cast<std::uint8_t>(((a & 0x0F) << 4) | (b >> 8)));
+    out.push_back(static_cast<std::uint8_t>(b & 0xFF));
+  }
+  if (codes.size() % 2 != 0) {
+    const std::uint16_t a = codes.back() & 0x0FFF;
+    out.push_back(static_cast<std::uint8_t>(a >> 4));
+    out.push_back(static_cast<std::uint8_t>((a & 0x0F) << 4));
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> unpack12(const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint16_t> out;
+  out.reserve(bytes.size() * 2 / 3 + 1);
+  std::size_t i = 0;
+  while (i + 2 < bytes.size() + 1) {
+    if (i + 1 >= bytes.size()) break;
+    const std::uint16_t a = static_cast<std::uint16_t>(
+        (bytes[i] << 4) | (bytes[i + 1] >> 4));
+    out.push_back(a);
+    if (i + 2 < bytes.size()) {
+      const std::uint16_t b = static_cast<std::uint16_t>(
+          ((bytes[i + 1] & 0x0F) << 8) | bytes[i + 2]);
+      out.push_back(b);
+    }
+    i += 3;
+  }
+  return out;
+}
+
+EcgStreamingApp::EcgStreamingApp(sim::Simulator& simulator, os::NodeOs& node_os,
+                                 mac::NodeMac& mac,
+                                 const StreamingConfig& config)
+    : simulator_{simulator}, os_{node_os}, mac_{mac}, config_{config} {}
+
+void EcgStreamingApp::start() {
+  const auto period =
+      sim::Duration::from_seconds(1.0 / config_.sample_rate_hz);
+  timer_ = os_.timers().start_periodic("app.sample", period,
+                                       [this] { on_sample_tick(); });
+}
+
+void EcgStreamingApp::stop() {
+  if (timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(timer_);
+    timer_ = os::TimerService::kInvalidTimer;
+  }
+}
+
+void EcgStreamingApp::on_sample_tick() {
+  // Read the ASIC frame now (interrupt context defines the sampling
+  // instant), then charge the acquisition cost as a posted task whose
+  // cycle count depends on the data, as the real readout loop does.
+  auto& board = os_.board();
+  std::uint64_t cycles = kFrameReadCycles;
+  std::vector<std::uint16_t> codes(config_.channels);
+  for (std::uint32_t ch = 0; ch < config_.channels; ++ch) {
+    codes[ch] = board.adc().quantize(board.asic().read_channel(ch));
+    cycles += kKeepChannelCycles + (codes[ch] & 0x3F);
+  }
+  ++samples_;
+
+  os_.scheduler().post("app.acq_frame", cycles,
+                       [this, codes = std::move(codes)] {
+    pending_codes_.insert(pending_codes_.end(), codes.begin(), codes.end());
+    if (pending_codes_.size() >= 2) {
+      // Pack in pairs as they become available.
+      std::vector<std::uint16_t> pair(pending_codes_.begin(),
+                                      pending_codes_.begin() + 2);
+      pending_codes_.erase(pending_codes_.begin(), pending_codes_.begin() + 2);
+      auto packed = pack12(pair);
+      buffer_.insert(buffer_.end(), packed.begin(), packed.end());
+    }
+    if (buffer_.size() >= config_.payload_bytes) {
+      std::vector<std::uint8_t> payload(
+          buffer_.begin(),
+          buffer_.begin() + static_cast<std::ptrdiff_t>(config_.payload_bytes));
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(config_.payload_bytes));
+      const std::uint64_t pack_cycles = 200 + 4 * payload.size();
+      os_.scheduler().post("app.pack_payload", pack_cycles,
+                           [this, payload = std::move(payload)] {
+                             mac_.queue_payload(payload);
+                             ++payloads_;
+                           });
+    }
+  });
+}
+
+}  // namespace bansim::apps

@@ -1,0 +1,72 @@
+#include "apps/rpeak_app.hpp"
+
+#include "apps/ecg_streaming_app.hpp"  // kFrameReadCycles / kKeepChannelCycles
+
+namespace bansim::apps {
+
+std::vector<std::uint8_t> BeatEvent::serialize() const {
+  return {channel,
+          static_cast<std::uint8_t>(samples_ago >> 8),
+          static_cast<std::uint8_t>(samples_ago & 0xFF),
+          static_cast<std::uint8_t>(beat_number >> 8),
+          static_cast<std::uint8_t>(beat_number & 0xFF)};
+}
+
+BeatEvent BeatEvent::deserialize(const std::vector<std::uint8_t>& bytes) {
+  BeatEvent e;
+  if (bytes.size() < 5) return e;
+  e.channel = bytes[0];
+  e.samples_ago = static_cast<std::uint16_t>((bytes[1] << 8) | bytes[2]);
+  e.beat_number = static_cast<std::uint16_t>((bytes[3] << 8) | bytes[4]);
+  return e;
+}
+
+RpeakApp::RpeakApp(sim::Simulator& simulator, os::NodeOs& node_os,
+                   mac::NodeMac& mac, const RpeakConfig& config)
+    : simulator_{simulator}, os_{node_os}, mac_{mac}, config_{config},
+      detectors_(config.channels, RpeakDetector{config.sample_rate_hz}) {}
+
+void RpeakApp::start() {
+  const auto period =
+      sim::Duration::from_seconds(1.0 / config_.sample_rate_hz);
+  timer_ = os_.timers().start_periodic("app.sample", period,
+                                       [this] { on_sample_tick(); });
+}
+
+void RpeakApp::stop() {
+  if (timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(timer_);
+    timer_ = os::TimerService::kInvalidTimer;
+  }
+}
+
+void RpeakApp::on_sample_tick() {
+  auto& board = os_.board();
+  std::uint64_t acq_cycles = EcgStreamingApp::kFrameReadCycles;
+  std::vector<std::uint16_t> codes(config_.channels);
+  for (std::uint32_t ch = 0; ch < config_.channels; ++ch) {
+    codes[ch] = board.adc().quantize(board.asic().read_channel(ch));
+    acq_cycles += EcgStreamingApp::kKeepChannelCycles + (codes[ch] & 0x3F);
+  }
+  ++samples_;
+
+  os_.scheduler().post("app.acq_frame", acq_cycles,
+                       [this, codes = std::move(codes)] {
+    for (std::uint32_t ch = 0; ch < config_.channels; ++ch) {
+      const RpeakResult r = detectors_[ch].step(codes[ch]);
+      os_.scheduler().post(
+          "app.rpeak_step", r.work_cycles,
+          r.beat_samples_ago == 0
+              ? std::function<void()>{}
+              : std::function<void()>{[this, ch, ago = r.beat_samples_ago] {
+                  BeatEvent event;
+                  event.channel = static_cast<std::uint8_t>(ch);
+                  event.samples_ago = static_cast<std::uint16_t>(ago);
+                  event.beat_number = static_cast<std::uint16_t>(++beats_);
+                  mac_.queue_payload(event.serialize());
+                }});
+    }
+  });
+}
+
+}  // namespace bansim::apps

@@ -1,0 +1,91 @@
+#include "apps/rpeak_detector.hpp"
+
+#include <cmath>
+
+namespace bansim::apps {
+
+RpeakDetector::RpeakDetector(double sample_rate_hz)
+    : fs_{sample_rate_hz},
+      integration_window_{static_cast<std::size_t>(0.15 * sample_rate_hz)},
+      refractory_samples_{static_cast<std::size_t>(0.25 * sample_rate_hz)},
+      confirm_lag_{static_cast<std::size_t>(0.08 * sample_rate_hz)} {}
+
+RpeakResult RpeakDetector::step(std::uint16_t adc_code) {
+  RpeakResult result;
+  // Baseline bookkeeping every sample: scaling, derivative, squaring, MWI
+  // update.  These correspond to the always-executed basic blocks.
+  std::uint32_t cycles = 380;
+  ++index_;
+
+  const double x = static_cast<double>(adc_code);
+  if (!have_prev_) {
+    prev_sample_ = x;
+    have_prev_ = true;
+    result.work_cycles = cycles;
+    return result;
+  }
+
+  const double derivative = x - prev_sample_;
+  prev_sample_ = x;
+  const double squared = derivative * derivative;
+
+  window_.push_back(squared);
+  integral_ += squared;
+  if (window_.size() > integration_window_) {
+    integral_ -= window_.front();
+    window_.pop_front();
+  }
+  const double mwi = integral_ / static_cast<double>(integration_window_);
+
+  // Adaptive threshold tracking (Pan-Tompkins style running estimates).
+  threshold_ = noise_level_ + 0.35 * (signal_level_ - noise_level_);
+
+  const bool beyond_refractory =
+      index_ - last_beat_index_ > refractory_samples_ || last_beat_index_ == 0;
+
+  if (mwi > threshold_ && threshold_ > 0.0 && beyond_refractory) {
+    cycles += 220;  // candidate path: compare, track maximum
+    if (!in_peak_) {
+      in_peak_ = true;
+      peak_value_ = mwi;
+      peak_index_ = index_;
+    } else if (mwi > peak_value_) {
+      peak_value_ = mwi;
+      peak_index_ = index_;
+    } else if (index_ - peak_index_ >= confirm_lag_) {
+      // The integrated energy has fallen for confirm_lag_ samples: the
+      // tracked maximum was the R peak.
+      cycles += 450;  // confirmation path: update levels, emit event
+      in_peak_ = false;
+      last_beat_index_ = peak_index_;
+      signal_level_ = 0.125 * peak_value_ + 0.875 * signal_level_;
+      ++beats_;
+      // The MWI peak lags the R wave by about half the integration window.
+      const auto lag = static_cast<std::uint64_t>(integration_window_ / 2);
+      const std::uint64_t r_index = peak_index_ > lag ? peak_index_ - lag : 0;
+      result.beat_samples_ago = static_cast<std::uint32_t>(index_ - r_index);
+    }
+  } else {
+    if (in_peak_ && beyond_refractory &&
+        index_ - peak_index_ >= confirm_lag_) {
+      // Fell below threshold before confirmation: same confirmation logic.
+      cycles += 450;
+      in_peak_ = false;
+      last_beat_index_ = peak_index_;
+      signal_level_ = 0.125 * peak_value_ + 0.875 * signal_level_;
+      ++beats_;
+      const auto lag = static_cast<std::uint64_t>(integration_window_ / 2);
+      const std::uint64_t r_index = peak_index_ > lag ? peak_index_ - lag : 0;
+      result.beat_samples_ago = static_cast<std::uint32_t>(index_ - r_index);
+    }
+    noise_level_ = 0.125 * mwi + 0.875 * noise_level_;
+    // Warm-up: grow the signal estimate so the threshold can rise above
+    // the noise floor once real QRS energy appears.
+    if (mwi > signal_level_) signal_level_ = 0.5 * mwi + 0.5 * signal_level_;
+  }
+
+  result.work_cycles = cycles;
+  return result;
+}
+
+}  // namespace bansim::apps

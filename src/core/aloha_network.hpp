@@ -1,0 +1,71 @@
+// Assembly of a random-access (ALOHA) BAN for the MAC-comparison baseline:
+// the same boards, OS and channel as the TDMA network, with AlohaNodeMac /
+// AlohaBaseStation on top and a fixed-rate payload generator per node.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/fidelity.hpp"
+#include "hw/board.hpp"
+#include "mac/aloha_mac.hpp"
+#include "os/node_os.hpp"
+#include "phy/channel.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace bansim::core {
+
+struct AlohaNetworkConfig {
+  std::size_t num_nodes{5};
+  mac::AlohaConfig aloha{};
+  /// Each node queues one payload of `payload_bytes` every `interval`.
+  sim::Duration payload_interval{sim::Duration::milliseconds(30)};
+  std::size_t payload_bytes{18};
+  hw::BoardParams board{};
+  std::uint64_t seed{1};
+};
+
+class AlohaNetwork {
+ public:
+  explicit AlohaNetwork(const AlohaNetworkConfig& config);
+
+  void start();
+  void run_until(sim::TimePoint until);
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] phy::Channel& channel() { return channel_; }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] hw::Board& node_board(std::size_t i) { return *nodes_[i]->board; }
+  [[nodiscard]] mac::AlohaNodeMac& node_mac(std::size_t i) {
+    return *nodes_[i]->mac;
+  }
+  [[nodiscard]] mac::AlohaBaseStation& base_station() { return *bs_mac_; }
+
+  /// Payloads generated per node so far.
+  [[nodiscard]] std::uint64_t payloads_generated(std::size_t i) const {
+    return nodes_[i]->generated;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<hw::Board> board;
+    std::unique_ptr<os::NodeOs> node_os;
+    std::unique_ptr<mac::AlohaNodeMac> mac;
+    std::uint64_t generated{0};
+    os::TimerService::TimerId timer{os::TimerService::kInvalidTimer};
+  };
+
+  AlohaNetworkConfig config_;
+  sim::Simulator simulator_;
+  sim::Tracer tracer_;
+  phy::Channel channel_;
+  os::NullProbe probe_;
+  std::unique_ptr<hw::Board> bs_board_;
+  std::unique_ptr<os::NodeOs> bs_os_;
+  std::unique_ptr<mac::AlohaBaseStation> bs_mac_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace bansim::core

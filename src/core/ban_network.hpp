@@ -1,0 +1,167 @@
+// BAN construction: a base station plus N biopotential sensor nodes on a
+// shared wireless channel — the paper's 5-node validation network in one
+// object.  This is the primary entry point of the library's public API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/base_station_app.hpp"
+#include "apps/ecg_streaming_app.hpp"
+#include "apps/ecg_synthesizer.hpp"
+#include "apps/eeg_app.hpp"
+#include "apps/eeg_synthesizer.hpp"
+#include "apps/rpeak_app.hpp"
+#include "core/fidelity.hpp"
+#include "energy/energy_report.hpp"
+#include "hw/board.hpp"
+#include "mac/base_station_mac.hpp"
+#include "mac/node_mac.hpp"
+#include "os/node_os.hpp"
+#include "phy/channel.hpp"
+#include "phy/link_model.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace bansim::core {
+
+/// Which application runs on the sensor nodes.
+enum class AppKind { kNone, kEcgStreaming, kRpeak, kEegMonitoring };
+
+[[nodiscard]] constexpr const char* to_string(AppKind k) {
+  switch (k) {
+    case AppKind::kNone: return "none";
+    case AppKind::kEcgStreaming: return "ecg_streaming";
+    case AppKind::kRpeak: return "rpeak";
+    case AppKind::kEegMonitoring: return "eeg_monitoring";
+  }
+  return "?";
+}
+
+struct BanConfig {
+  std::size_t num_nodes{5};
+  mac::TdmaConfig tdma{};
+  AppKind app{AppKind::kEcgStreaming};
+  apps::StreamingConfig streaming{};
+  apps::RpeakConfig rpeak{};
+  apps::EcgConfig ecg{};
+  apps::EegAppConfig eeg{};
+  apps::EegConfig eeg_signal{};
+  hw::BoardParams board{};
+  Fidelity fidelity{Fidelity::kReference};
+  std::uint64_t seed{1};
+  /// Nodes boot staggered inside [0, stagger) to decorrelate join attempts.
+  sim::Duration stagger{sim::Duration::milliseconds(40)};
+
+  /// Node addresses are offset+1 .. offset+num_nodes.  Give co-located
+  /// BANs disjoint ranges (and distinct tdma.pan_id values); avoid
+  /// multiples of 0x100, which are base-station addresses.
+  net::NodeId address_offset{0};
+
+  /// Body-area link model: when enabled, every frame is subject to a
+  /// per-link frame error probability from the path-loss/BER budget below
+  /// (on top of collision corruption).  Off by default — the paper's
+  /// validation channel loses frames to collisions only.
+  bool use_link_model{false};
+  phy::LinkBudget link_budget{};
+  /// Device positions (index 0 = base station); empty selects
+  /// phy::standard_ban_layout(num_nodes), which supports up to 6 nodes.
+  std::vector<phy::BodyPosition> body_positions{};
+};
+
+/// One sensor node: hardware board, OS instance, MAC, signal source and
+/// the selected application.
+class SensorNode {
+ public:
+  SensorNode(sim::Simulator& simulator, sim::Tracer& tracer,
+             phy::Channel& channel, const BanConfig& config,
+             net::NodeId address, double clock_skew, sim::Rng mac_rng,
+             sim::Rng ecg_rng, os::ModelProbe& probe,
+             const os::CycleCostModel* nominal_costs);
+
+  void start();
+
+  [[nodiscard]] const std::string& name() const { return board_.name(); }
+  [[nodiscard]] net::NodeId address() const { return address_; }
+  [[nodiscard]] hw::Board& board() { return board_; }
+  [[nodiscard]] const hw::Board& board() const { return board_; }
+  [[nodiscard]] os::NodeOs& node_os() { return os_; }
+  [[nodiscard]] mac::NodeMac& mac() { return mac_; }
+  [[nodiscard]] apps::EcgSynthesizer& ecg() { return ecg_; }
+  [[nodiscard]] apps::EegSynthesizer& eeg() { return eeg_; }
+  [[nodiscard]] apps::EcgStreamingApp* streaming_app() { return streaming_.get(); }
+  [[nodiscard]] apps::RpeakApp* rpeak_app() { return rpeak_.get(); }
+  [[nodiscard]] apps::EegApp* eeg_app() { return eeg_app_.get(); }
+
+ private:
+  net::NodeId address_;
+  apps::EcgSynthesizer ecg_;
+  apps::EegSynthesizer eeg_;
+  hw::Board board_;
+  os::NodeOs os_;
+  mac::NodeMac mac_;
+  std::unique_ptr<apps::EcgStreamingApp> streaming_;
+  std::unique_ptr<apps::RpeakApp> rpeak_;
+  std::unique_ptr<apps::EegApp> eeg_app_;
+};
+
+class BanNetwork {
+ public:
+  /// `probe` may be null (no estimator attached).
+  explicit BanNetwork(const BanConfig& config, os::ModelProbe* probe = nullptr);
+
+  /// Boots the base station and all nodes (staggered).
+  void start();
+
+  /// Advances the simulation to absolute time `until`.
+  void run_until(sim::TimePoint until);
+
+  /// True when every node holds a TDMA slot.
+  [[nodiscard]] bool all_joined() const;
+
+  /// Runs until all_joined() plus `settle`, polling every poll interval;
+  /// returns false if `deadline` passes first.
+  bool run_until_joined(sim::Duration settle, sim::TimePoint deadline);
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] phy::Channel& channel() { return channel_; }
+  [[nodiscard]] const BanConfig& config() const { return config_; }
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] SensorNode& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] const SensorNode& node(std::size_t i) const { return *nodes_[i]; }
+  [[nodiscard]] mac::BaseStationMac& base_station_mac() { return *bs_mac_; }
+  [[nodiscard]] apps::BaseStationApp& base_station_app() { return bs_app_; }
+  /// Per-node EEG reassembly/decoding (kEegMonitoring runs only).
+  [[nodiscard]] apps::EegCollector* eeg_collector(net::NodeId node);
+  [[nodiscard]] hw::Board& base_station_board() { return *bs_board_; }
+  /// Non-null when the config enabled the body-area link model.
+  [[nodiscard]] const phy::LinkModel* link_model() const {
+    return link_model_.get();
+  }
+
+  /// Per-node component energy snapshot at the current instant.
+  [[nodiscard]] std::vector<energy::NodeEnergy> energy_snapshot() const;
+
+ private:
+  BanConfig config_;
+  sim::Simulator simulator_;
+  sim::Tracer tracer_;
+  phy::Channel channel_;
+  os::NullProbe null_probe_;
+  os::ModelProbe* probe_;
+  os::CycleCostModel nominal_costs_;
+  std::unique_ptr<phy::LinkModel> link_model_;
+  std::unique_ptr<hw::Board> bs_board_;
+  std::unique_ptr<os::NodeOs> bs_os_;
+  std::unique_ptr<mac::BaseStationMac> bs_mac_;
+  apps::BaseStationApp bs_app_;
+  std::map<net::NodeId, apps::EegCollector> eeg_collectors_;
+  std::vector<std::unique_ptr<SensorNode>> nodes_;
+};
+
+}  // namespace bansim::core

@@ -1,0 +1,233 @@
+#include "core/config_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace bansim::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+double to_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw ConfigError("");
+    return v;
+  } catch (...) {
+    throw ConfigError("bad numeric value for " + key + ": " + value);
+  }
+}
+
+std::int64_t to_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(value, &used, 0);
+    if (used != value.size()) throw ConfigError("");
+    return v;
+  } catch (...) {
+    throw ConfigError("bad integer value for " + key + ": " + value);
+  }
+}
+
+bool to_bool(const std::string& key, const std::string& value) {
+  const std::string v = lower(value);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ConfigError("bad boolean value for " + key + ": " + value);
+}
+
+}  // namespace
+
+BanConfig parse_config(const std::string& text) {
+  BanConfig config;
+  // The static cycle is expressed directly in the file; remember it to
+  // derive the slot width once max_slots is known.
+  double static_cycle_ms = -1.0;
+  bool saw_variant_static = true;
+
+  std::istringstream stream{text};
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw ConfigError("line " + std::to_string(line_no) +
+                          ": malformed section header");
+      }
+      section = lower(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": expected key = value");
+    }
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    const std::string scoped = section + "." + key;
+
+    if (scoped == "network.nodes") {
+      config.num_nodes = static_cast<std::size_t>(to_int(scoped, value));
+    } else if (scoped == "network.seed") {
+      config.seed = static_cast<std::uint64_t>(to_int(scoped, value));
+    } else if (scoped == "network.stagger_ms") {
+      config.stagger = sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "network.app") {
+      const std::string app = lower(value);
+      if (app == "none") {
+        config.app = AppKind::kNone;
+      } else if (app == "ecg_streaming") {
+        config.app = AppKind::kEcgStreaming;
+      } else if (app == "rpeak") {
+        config.app = AppKind::kRpeak;
+      } else if (app == "eeg_monitoring") {
+        config.app = AppKind::kEegMonitoring;
+      } else {
+        throw ConfigError("unknown app: " + value);
+      }
+    } else if (scoped == "tdma.variant") {
+      saw_variant_static = lower(value) == "static";
+      if (!saw_variant_static && lower(value) != "dynamic") {
+        throw ConfigError("unknown tdma variant: " + value);
+      }
+      config.tdma.variant = saw_variant_static ? mac::TdmaVariant::kStatic
+                                               : mac::TdmaVariant::kDynamic;
+    } else if (scoped == "tdma.cycle_ms") {
+      static_cycle_ms = to_double(scoped, value);
+    } else if (scoped == "tdma.slot_ms") {
+      config.tdma.slot = sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "tdma.max_slots") {
+      config.tdma.max_slots = static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "tdma.guard_fixed_ms") {
+      config.tdma.guard_fixed =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "tdma.guard_fraction") {
+      config.tdma.guard_fraction = to_double(scoped, value);
+    } else if (scoped == "tdma.fast_grant") {
+      config.tdma.fast_grant = to_bool(scoped, value);
+    } else if (scoped == "tdma.ack_data") {
+      config.tdma.ack_data = to_bool(scoped, value);
+    } else if (scoped == "tdma.max_retries") {
+      config.tdma.max_retries = static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "tdma.radio_power_down") {
+      config.tdma.radio_power_down = to_bool(scoped, value);
+    } else if (scoped == "tdma.reclaim_after_cycles") {
+      config.tdma.reclaim_after_cycles =
+          static_cast<std::uint32_t>(to_int(scoped, value));
+    } else if (scoped == "streaming.sample_rate_hz") {
+      config.streaming.sample_rate_hz = to_double(scoped, value);
+    } else if (scoped == "streaming.payload_bytes") {
+      config.streaming.payload_bytes =
+          static_cast<std::size_t>(to_int(scoped, value));
+    } else if (scoped == "rpeak.sample_rate_hz") {
+      config.rpeak.sample_rate_hz = to_double(scoped, value);
+    } else if (scoped == "ecg.heart_rate_bpm") {
+      config.ecg.heart_rate_bpm = to_double(scoped, value);
+    } else if (scoped == "eeg.channels") {
+      config.eeg.channels = static_cast<std::uint32_t>(to_int(scoped, value));
+      config.eeg_signal.channels = config.eeg.channels;
+    } else if (scoped == "eeg.sample_rate_hz") {
+      config.eeg.sample_rate_hz = to_double(scoped, value);
+    } else if (scoped == "eeg.block_samples") {
+      config.eeg.block_samples =
+          static_cast<std::uint32_t>(to_int(scoped, value));
+    } else if (scoped == "link.enabled") {
+      config.use_link_model = to_bool(scoped, value);
+    } else if (scoped == "link.tx_power_dbm") {
+      config.link_budget.tx_power_dbm = to_double(scoped, value);
+    } else if (scoped == "link.path_loss_exponent") {
+      config.link_budget.path_loss_exponent = to_double(scoped, value);
+    } else if (scoped == "link.shadowing_sigma_db") {
+      config.link_budget.shadowing_sigma_db = to_double(scoped, value);
+    } else {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": unknown key '" + scoped + "'");
+    }
+  }
+
+  if (static_cycle_ms > 0 && config.tdma.variant == mac::TdmaVariant::kStatic) {
+    config.tdma = [&] {
+      mac::TdmaConfig derived = config.tdma;
+      const auto plan = mac::TdmaConfig::static_plan(
+          sim::Duration::from_milliseconds(static_cycle_ms),
+          config.tdma.max_slots);
+      derived.slot = plan.slot;
+      return derived;
+    }();
+  }
+  return config;
+}
+
+std::string serialize_config(const BanConfig& config) {
+  std::ostringstream out;
+  out << "[network]\n";
+  out << "nodes = " << config.num_nodes << "\n";
+  out << "seed = " << config.seed << "\n";
+  out << "stagger_ms = " << config.stagger.to_milliseconds() << "\n";
+  out << "app = " << to_string(config.app) << "\n\n";
+
+  out << "[tdma]\n";
+  out << "variant = " << to_string(config.tdma.variant) << "\n";
+  if (config.tdma.variant == mac::TdmaVariant::kStatic) {
+    out << "cycle_ms = " << config.tdma.static_cycle().to_milliseconds()
+        << "\n";
+  }
+  out << "slot_ms = " << config.tdma.slot.to_milliseconds() << "\n";
+  out << "max_slots = " << static_cast<int>(config.tdma.max_slots) << "\n";
+  out << "guard_fixed_ms = " << config.tdma.guard_fixed.to_milliseconds()
+      << "\n";
+  out << "guard_fraction = " << config.tdma.guard_fraction << "\n";
+  out << "fast_grant = " << (config.tdma.fast_grant ? "true" : "false") << "\n";
+  out << "ack_data = " << (config.tdma.ack_data ? "true" : "false") << "\n";
+  out << "max_retries = " << static_cast<int>(config.tdma.max_retries) << "\n";
+  out << "radio_power_down = "
+      << (config.tdma.radio_power_down ? "true" : "false") << "\n";
+  out << "reclaim_after_cycles = " << config.tdma.reclaim_after_cycles
+      << "\n\n";
+
+  out << "[streaming]\n";
+  out << "sample_rate_hz = " << config.streaming.sample_rate_hz << "\n";
+  out << "payload_bytes = " << config.streaming.payload_bytes << "\n\n";
+
+  out << "[rpeak]\n";
+  out << "sample_rate_hz = " << config.rpeak.sample_rate_hz << "\n\n";
+
+  out << "[ecg]\n";
+  out << "heart_rate_bpm = " << config.ecg.heart_rate_bpm << "\n\n";
+
+  out << "[eeg]\n";
+  out << "channels = " << config.eeg.channels << "\n";
+  out << "sample_rate_hz = " << config.eeg.sample_rate_hz << "\n";
+  out << "block_samples = " << config.eeg.block_samples << "\n\n";
+
+  out << "[link]\n";
+  out << "enabled = " << (config.use_link_model ? "true" : "false") << "\n";
+  out << "tx_power_dbm = " << config.link_budget.tx_power_dbm << "\n";
+  out << "path_loss_exponent = " << config.link_budget.path_loss_exponent
+      << "\n";
+  out << "shadowing_sigma_db = " << config.link_budget.shadowing_sigma_db
+      << "\n";
+  return out.str();
+}
+
+}  // namespace bansim::core

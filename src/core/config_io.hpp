@@ -1,0 +1,48 @@
+// Experiment-configuration serialization (INI-style).
+//
+// Lets scenarios live in version-controlled text files instead of C++:
+//
+//   [network]
+//   nodes = 5
+//   seed = 42
+//   app = ecg_streaming        ; none | ecg_streaming | rpeak | eeg_monitoring
+//
+//   [tdma]
+//   variant = static           ; static | dynamic
+//   cycle_ms = 30              ; static: full cycle (slot derived)
+//   slot_ms = 10               ; dynamic: slot width
+//   ack_data = false
+//   fast_grant = true
+//   radio_power_down = false
+//
+//   [streaming]
+//   sample_rate_hz = 205
+//
+//   [link]
+//   enabled = false
+//   tx_power_dbm = -5
+//
+// Unknown keys are reported as errors so typos do not silently become
+// defaults.  parse/serialize round-trip.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/ban_network.hpp"
+
+namespace bansim::core {
+
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Parses INI text into a BanConfig (starting from defaults).
+[[nodiscard]] BanConfig parse_config(const std::string& text);
+
+/// Serializes the fields parse_config understands.
+[[nodiscard]] std::string serialize_config(const BanConfig& config);
+
+}  // namespace bansim::core

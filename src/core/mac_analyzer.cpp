@@ -1,0 +1,124 @@
+#include "core/mac_analyzer.hpp"
+
+#include <cstdio>
+
+#include "hw/radio_nrf2401.hpp"
+
+namespace bansim::core {
+
+namespace {
+
+double duty(const energy::EnergyMeter& meter, std::initializer_list<int> states,
+            sim::TimePoint now, double window_s) {
+  double seconds = 0;
+  for (int s : states) seconds += meter.time_in(s, now).to_seconds();
+  return window_s > 0 ? seconds / window_s : 0.0;
+}
+
+}  // namespace
+
+MacAnalysis analyze_mac(BanNetwork& network,
+                        const std::vector<sim::TraceRecord>& records,
+                        sim::TimePoint t0) {
+  MacAnalysis analysis;
+  const sim::TimePoint now = network.simulator().now();
+  analysis.window = now - t0;
+  const double window_s = analysis.window.to_seconds();
+
+  using hw::RadioState;
+  const auto rx_states = {static_cast<int>(RadioState::kRxSettle),
+                          static_cast<int>(RadioState::kRxListen),
+                          static_cast<int>(RadioState::kRxClockOut)};
+  const auto tx_states = {static_cast<int>(RadioState::kTxClockIn),
+                          static_cast<int>(RadioState::kTxSettle),
+                          static_cast<int>(RadioState::kTxAir)};
+
+  for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+    auto& node = network.node(i);
+    const auto& radio = node.board().radio().meter();
+    const auto& mcu = node.board().mcu().meter();
+
+    NodeMacReport report;
+    report.node = node.name();
+    // NOTE: residencies are since t=0; for steady-state runs where t0 is a
+    // small prefix this is a close approximation of the window duty.
+    const double total_s = now.to_seconds();
+    report.radio_rx_duty = duty(radio, rx_states, now, total_s);
+    report.radio_tx_duty = duty(radio, tx_states, now, total_s);
+    report.radio_duty = report.radio_rx_duty + report.radio_tx_duty;
+    report.mcu_active_duty =
+        duty(mcu, {static_cast<int>(hw::McuMode::kActive)}, now, total_s);
+
+    const auto listens =
+        radio.entries(static_cast<int>(RadioState::kRxSettle));
+    report.listen_windows_per_s =
+        total_s > 0 ? static_cast<double>(listens) / total_s : 0;
+    const double listen_s =
+        radio.time_in(static_cast<int>(RadioState::kRxSettle), now).to_seconds() +
+        radio.time_in(static_cast<int>(RadioState::kRxListen), now).to_seconds() +
+        radio.time_in(static_cast<int>(RadioState::kRxClockOut), now).to_seconds();
+    report.avg_listen_window_ms =
+        listens > 0 ? listen_s * 1e3 / static_cast<double>(listens) : 0;
+    report.mcu_wakeups_per_s =
+        total_s > 0
+            ? static_cast<double>(node.board().mcu().wakeups()) / total_s
+            : 0;
+
+    const auto& stats = node.mac().stats();
+    report.beacons_received = stats.beacons_received;
+    report.beacons_missed = stats.beacons_missed;
+    report.data_sent = stats.data_sent;
+    analysis.nodes.push_back(report);
+  }
+
+  // Beacon cadence from the base station's trace lines.
+  sim::TimePoint last_beacon;
+  bool have_last = false;
+  for (const auto& record : records) {
+    if (record.category != sim::TraceCategory::kMac) continue;
+    if (record.node != "bs") continue;
+    if (record.message.rfind("SB beacon", 0) != 0) continue;
+    if (record.when < t0) continue;
+    if (have_last) {
+      analysis.beacon_interval_ms.add((record.when - last_beacon).to_seconds() *
+                                      1e3);
+    }
+    last_beacon = record.when;
+    have_last = true;
+  }
+  (void)window_s;
+  return analysis;
+}
+
+std::string MacAnalysis::render() const {
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof line,
+                "MAC analysis over %s (beacon cadence %.3f ms mean, %.3f ms "
+                "stddev, n=%llu)\n",
+                window.to_string().c_str(), beacon_interval_ms.mean(),
+                beacon_interval_ms.stddev(),
+                static_cast<unsigned long long>(beacon_interval_ms.count()));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "%-8s %9s %8s %8s %9s %11s %10s %8s %7s %6s\n", "node",
+                "radioduty", "rx", "tx", "mcu duty", "listens/s",
+                "listen ms", "wake/s", "beacons", "miss");
+  out += line;
+  out += std::string(96, '-') + "\n";
+  for (const NodeMacReport& r : nodes) {
+    std::snprintf(line, sizeof line,
+                  "%-8s %8.2f%% %7.2f%% %7.2f%% %8.2f%% %11.2f %10.3f %8.1f "
+                  "%7llu %6llu\n",
+                  r.node.c_str(), r.radio_duty * 100, r.radio_rx_duty * 100,
+                  r.radio_tx_duty * 100, r.mcu_active_duty * 100,
+                  r.listen_windows_per_s, r.avg_listen_window_ms,
+                  r.mcu_wakeups_per_s,
+                  static_cast<unsigned long long>(r.beacons_received),
+                  static_cast<unsigned long long>(r.beacons_missed));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bansim::core

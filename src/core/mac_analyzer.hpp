@@ -1,0 +1,47 @@
+// Post-run MAC/radio behaviour analysis.
+//
+// Turns the raw artifacts of a run — per-state energy-meter residencies and
+// the MAC trace stream — into the quantities a protocol engineer tunes
+// against: radio duty cycle, average listen window, wake-up rate, beacon
+// cadence jitter, delivery counts.  This is the "accurate performance
+// figures" half of the paper's claim (energy being the other half).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ban_network.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace bansim::core {
+
+struct NodeMacReport {
+  std::string node;
+  double radio_duty{0};            ///< fraction of wall time in RX/TX states
+  double radio_rx_duty{0};
+  double radio_tx_duty{0};
+  double mcu_active_duty{0};
+  double listen_windows_per_s{0};
+  double avg_listen_window_ms{0};
+  double mcu_wakeups_per_s{0};
+  std::uint64_t beacons_received{0};
+  std::uint64_t beacons_missed{0};
+  std::uint64_t data_sent{0};
+};
+
+struct MacAnalysis {
+  sim::Duration window{};
+  std::vector<NodeMacReport> nodes;
+  sim::Summary beacon_interval_ms;  ///< BS cadence over the trace window
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// Analyzes `network` over [t0, now]; `records` should carry kMac traces
+/// captured since before t0 (beacon cadence uses only records >= t0).
+[[nodiscard]] MacAnalysis analyze_mac(BanNetwork& network,
+                                      const std::vector<sim::TraceRecord>& records,
+                                      sim::TimePoint t0);
+
+}  // namespace bansim::core

@@ -1,0 +1,25 @@
+// Node power-profile capture.
+//
+// Samples a node's instantaneous power draw (finite difference of the
+// component meters' energy over a fixed grid) while advancing the
+// simulation — the waveform an engineer sees on a bench supply current
+// probe: the sleep floor, the beacon-listen plateau, the TX burst.
+#pragma once
+
+#include "core/ban_network.hpp"
+#include "energy/power_trace.hpp"
+
+namespace bansim::core {
+
+struct PowerProfileOptions {
+  sim::Duration window{sim::Duration::milliseconds(200)};
+  sim::Duration step{sim::Duration::microseconds(100)};
+  bool include_asic{false};  ///< add the constant 10.5 mW front-end
+};
+
+/// Advances `network` by options.window, sampling node `index`'s power on
+/// the step grid.  Returns a step-wise trace (watts).
+[[nodiscard]] energy::PowerTrace capture_power_profile(
+    BanNetwork& network, std::size_t index, const PowerProfileOptions& options);
+
+}  // namespace bansim::core

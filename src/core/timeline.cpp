@@ -1,0 +1,59 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace bansim::core {
+
+namespace {
+
+char event_symbol(const std::string& message) {
+  if (message.rfind("SB beacon", 0) == 0) return 'B';
+  if (message.rfind("SSR", 0) == 0) return 'R';
+  if (message.rfind("Si data tx", 0) == 0) return 'D';
+  if (message.rfind("grant slot", 0) == 0 || message.rfind("new slot", 0) == 0) {
+    return 'G';
+  }
+  return '\0';
+}
+
+}  // namespace
+
+std::string render_timeline(const std::vector<sim::TraceRecord>& records,
+                            const TimelineOptions& options) {
+  const auto bins = static_cast<std::size_t>(
+      options.window.divided_by(options.bin));
+  std::map<std::string, std::string> rows;
+
+  for (const auto& record : records) {
+    if (record.category != sim::TraceCategory::kMac) continue;
+    const char symbol = event_symbol(record.message);
+    if (symbol == '\0') continue;
+    if (record.when < options.start) continue;
+    const sim::Duration offset = record.when - options.start;
+    if (offset >= options.window) continue;
+    const auto bin = static_cast<std::size_t>(offset.divided_by(options.bin));
+    auto [it, inserted] = rows.try_emplace(record.node, std::string(bins, '.'));
+    if (bin < it->second.size()) it->second[bin] = symbol;
+  }
+
+  std::string out;
+  char head[96];
+  std::snprintf(head, sizeof head,
+                "timeline from %.1f ms, %c = %.1f ms/char  "
+                "(B beacon, R slot request, G grant, D data)\n",
+                options.start.to_milliseconds(), '.',
+                options.bin.to_milliseconds());
+  out += head;
+  for (const auto& [node, raster] : rows) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%-8s |", node.c_str());
+    out += label;
+    out += raster;
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace bansim::core

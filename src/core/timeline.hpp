@@ -1,0 +1,29 @@
+// ASCII rendering of TDMA timelines (Figures 2 and 3).
+//
+// Feeds on the MAC trace stream: beacon transmissions (B), slot requests
+// (R), slot grants (G) and data transmissions (D) are laid out on a per-node
+// character raster so the protocol's time structure — SB beacons, SSR/grant
+// handshakes, the dynamic cycle growing as nodes join — is visible in a
+// terminal, mirroring the figures in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace bansim::core {
+
+struct TimelineOptions {
+  sim::TimePoint start;                                ///< left edge
+  sim::Duration window{sim::Duration::milliseconds(300)};
+  sim::Duration bin{sim::Duration::milliseconds(1)};   ///< one character
+};
+
+/// Renders MAC trace records into a per-node timeline raster.
+[[nodiscard]] std::string render_timeline(
+    const std::vector<sim::TraceRecord>& records,
+    const TimelineOptions& options);
+
+}  // namespace bansim::core

@@ -1,0 +1,58 @@
+#include "energy/power_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bansim::energy {
+
+void PowerTrace::step(sim::TimePoint when, double watts) {
+  assert(points_.empty() || when >= points_.back().when);
+  if (!points_.empty() && points_.back().when == when) {
+    points_.back().watts = watts;  // coalesce same-instant steps
+    return;
+  }
+  points_.push_back({when, watts});
+}
+
+double PowerTrace::sample(sim::TimePoint t) const {
+  if (points_.empty() || t < points_.front().when) return 0.0;
+  // Last step with when <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::TimePoint lhs, const Point& p) { return lhs < p.when; });
+  return std::prev(it)->watts;
+}
+
+double PowerTrace::energy(sim::TimePoint t0, sim::TimePoint t1) const {
+  if (points_.empty() || t1 <= t0) return 0.0;
+  double joules = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const sim::TimePoint seg_start = points_[i].when;
+    const sim::TimePoint seg_end =
+        (i + 1 < points_.size()) ? points_[i + 1].when : t1;
+    const sim::TimePoint lo = std::max(seg_start, t0);
+    const sim::TimePoint hi = std::min(seg_end, t1);
+    if (hi > lo) joules += points_[i].watts * (hi - lo).to_seconds();
+  }
+  return joules;
+}
+
+double PowerTrace::peak() const {
+  double p = 0.0;
+  for (const auto& pt : points_) p = std::max(p, pt.watts);
+  return p;
+}
+
+std::string PowerTrace::render_csv() const {
+  std::string out = "time_ms,power_mw\n";
+  char line[64];
+  for (const auto& pt : points_) {
+    std::snprintf(line, sizeof line, "%.6f,%.6f\n", pt.when.to_milliseconds(),
+                  pt.watts * 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bansim::energy

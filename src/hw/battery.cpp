@@ -1,0 +1,58 @@
+#include "hw/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bansim::hw {
+
+Battery::Battery(const BatteryParams& params)
+    : params_{params},
+      capacity_joules_{params.capacity_mah * 1e-3 * 3600.0 *
+                       params.nominal_volts},
+      remaining_joules_{capacity_joules_} {}
+
+void Battery::draw(double joules) {
+  remaining_joules_ = std::max(0.0, remaining_joules_ - joules);
+}
+
+void Battery::charge(double joules) {
+  remaining_joules_ = std::min(capacity_joules_, remaining_joules_ + joules);
+}
+
+double Battery::open_circuit_volts() const {
+  return params_.empty_volts +
+         (params_.full_volts - params_.empty_volts) * state_of_charge();
+}
+
+double Battery::hours_at(double watts) const {
+  if (watts <= 0.0) return std::numeric_limits<double>::infinity();
+  // Discharge rate in C (fraction of capacity per hour).
+  const double c_rate = watts * 3600.0 / capacity_joules_;
+  // Peukert: effective capacity = nominal / rate^(k-1), mild at BAN rates.
+  const double derate = std::pow(std::max(c_rate, 1e-6),
+                                 params_.peukert_exponent - 1.0);
+  const double effective = remaining_joules_ / std::max(derate, 1e-9);
+  return effective / watts / 3600.0;
+}
+
+double Harvester::accumulate(sim::TimePoint t0, sim::TimePoint t1, int steps) {
+  if (t1 <= t0 || steps < 1) return 0.0;
+  const double span = (t1 - t0).to_seconds();
+  const double dt = span / steps;
+  double joules = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const sim::TimePoint a = t0 + sim::Duration::from_seconds(dt * i);
+    const sim::TimePoint b = t0 + sim::Duration::from_seconds(dt * (i + 1));
+    joules += 0.5 * (profile_(a) + profile_(b)) * dt;
+  }
+  battery_.charge(joules);
+  return joules;
+}
+
+double projected_lifetime_hours(const Battery& battery, double node_watts,
+                                double harvest_watts) {
+  return battery.hours_at(node_watts - harvest_watts);
+}
+
+}  // namespace bansim::hw

@@ -1,0 +1,87 @@
+// Battery and energy-scavenging models.
+//
+// BAN nodes "operate on very limited resources, such as batteries or
+// energy scavengers" (Section 1).  The Battery integrates charge drawn by
+// the node with a simple open-circuit-voltage sag and a low-rate Peukert
+// correction; the Harvester replays a (possibly time-varying) scavenged
+// power profile into it.  Together they turn the energy figures of the
+// validation tables into deployment lifetimes (see the network_tuning
+// example and lifetime utilities below).
+#pragma once
+
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace bansim::hw {
+
+struct BatteryParams {
+  double capacity_mah{160.0};     ///< typical body-worn patch cell
+  double nominal_volts{3.0};
+  double full_volts{4.2};         ///< Li-polymer open-circuit, full
+  double empty_volts{3.0};        ///< cutoff
+  /// Peukert-like derating exponent: effective capacity shrinks as the
+  /// average discharge rate (in C) rises; 1.0 disables the effect.
+  double peukert_exponent{1.05};
+};
+
+class Battery {
+ public:
+  explicit Battery(const BatteryParams& params);
+
+  /// Removes `joules` from the store (clamped at empty).
+  void draw(double joules);
+
+  /// Adds `joules` of harvested charge (clamped at full).
+  void charge(double joules);
+
+  [[nodiscard]] double capacity_joules() const { return capacity_joules_; }
+  [[nodiscard]] double remaining_joules() const { return remaining_joules_; }
+  [[nodiscard]] double state_of_charge() const {
+    return remaining_joules_ / capacity_joules_;
+  }
+  [[nodiscard]] bool depleted() const { return remaining_joules_ <= 0.0; }
+
+  /// Open-circuit voltage at the current state of charge (linear sag).
+  [[nodiscard]] double open_circuit_volts() const;
+
+  /// Hours until empty at a constant `watts` net load (after harvesting),
+  /// including the Peukert derating at that rate.  Infinite when the net
+  /// load is non-positive.
+  [[nodiscard]] double hours_at(double watts) const;
+
+  [[nodiscard]] const BatteryParams& params() const { return params_; }
+
+ private:
+  BatteryParams params_;
+  double capacity_joules_;
+  double remaining_joules_;
+};
+
+/// Scavenged power source: thermoelectric / solar profile feeding a battery.
+class Harvester {
+ public:
+  /// `profile` maps simulated time to harvested watts (>= 0).
+  using Profile = std::function<double(sim::TimePoint)>;
+
+  Harvester(Profile profile, Battery& battery)
+      : profile_{std::move(profile)}, battery_{battery} {}
+
+  /// Integrates the profile over [t0, t1] (trapezoid, `steps` segments)
+  /// into the battery; returns the harvested joules.
+  double accumulate(sim::TimePoint t0, sim::TimePoint t1, int steps = 32);
+
+  [[nodiscard]] double power_at(sim::TimePoint t) const { return profile_(t); }
+
+ private:
+  Profile profile_;
+  Battery& battery_;
+};
+
+/// Deployment-lifetime projection: average node power (from the validation
+/// runs) against a battery and an optional constant harvest.
+[[nodiscard]] double projected_lifetime_hours(const Battery& battery,
+                                              double node_watts,
+                                              double harvest_watts = 0.0);
+
+}  // namespace bansim::hw

@@ -1,0 +1,20 @@
+#include "hw/sensor_asic.hpp"
+
+#include <cassert>
+
+namespace bansim::hw {
+
+SensorAsic::SensorAsic(sim::Simulator& simulator, const AsicParams& params)
+    : simulator_{simulator}, params_{params}, signals_(params.channels) {}
+
+void SensorAsic::set_channel_signal(std::uint32_t channel, ChannelSignal signal) {
+  assert(channel < signals_.size());
+  signals_[channel] = std::move(signal);
+}
+
+double SensorAsic::read_channel(std::uint32_t channel) const {
+  if (channel >= signals_.size() || !signals_[channel]) return 0.0;
+  return signals_[channel](simulator_.now());
+}
+
+}  // namespace bansim::hw

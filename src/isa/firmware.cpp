@@ -1,0 +1,116 @@
+#include "isa/firmware.hpp"
+
+#include "isa/msp430_asm.hpp"
+#include "isa/msp430_core.hpp"
+
+namespace bansim::isa::firmware {
+
+std::string rpeak_source(std::span<const std::uint16_t> codes) {
+  std::string data;
+  for (const std::uint16_t c : codes) {
+    data += "  .word " + std::to_string(c) + "\n";
+  }
+  std::string beats = "beats:\n";
+  for (int i = 0; i < 64; ++i) beats += "  .word 0\n";
+
+  // Register map:
+  //   r8  noise floor (IIR)     r9  samples since last beat
+  //   r10 sample pointer        r11 remaining samples
+  //   r12 previous sample       r13 beat count
+  //   r14 output pointer        r15 sample index
+  return R"(
+  start:
+    mov #data, r10
+    mov #)" + std::to_string(codes.size()) + R"(, r11
+    mov @r10, r12      ; prime "previous" with the first sample
+    clr r13
+    mov #beats, r14
+    mov #1000, r9     ; no refractory lockout at stream start
+    clr r8
+    clr r15
+  loop:
+    mov @r10+, r4
+    mov r4, r5
+    sub r12, r5        ; derivative
+    mov r4, r12
+    tst r5
+    jge pos
+    clr r6
+    sub r5, r6
+    mov r6, r5         ; |derivative|
+  pos:
+    rra r5
+    rra r5
+    rra r5
+    rra r5             ; scale >>4: QRS slopes land at ~16, square <= 64k
+    clr r6
+    mov r5, r7
+    mov r5, r4
+  mul:                 ; r6 = r5^2 (shift-add)
+    tst r4
+    jz mdone
+    bit #1, r4
+    jz nadd
+    add r7, r6
+  nadd:
+    add r7, r7
+    rra r4
+    jmp mul
+  mdone:
+    mov r8, r7         ; threshold = 8*nf + 64
+    add r7, r7
+    add r7, r7
+    add r7, r7
+    add #64, r7
+    inc r9
+    cmp r7, r6         ; energy under threshold?
+    jlo no_beat
+    cmp #50, r9        ; 250 ms refractory at 200 Hz
+    jlo no_beat
+    cmp #64, r13       ; output capacity
+    jhs no_beat
+    mov r15, 0(r14)
+    add #2, r14
+    inc r13
+    clr r9
+  no_beat:
+    mov r8, r7         ; nf += (e - nf)/8
+    rra r7
+    rra r7
+    rra r7
+    sub r7, r8
+    mov r6, r7
+    rra r7
+    rra r7
+    rra r7
+    add r7, r8
+    inc r15
+    dec r11
+    jnz loop
+    bis #0x10, sr      ; frame processed: LPM0
+  data:
+)" + data + beats;
+}
+
+RpeakRun run_rpeak(std::span<const std::uint16_t> codes) {
+  Msp430Assembler assembler;
+  Msp430Core core;
+  const auto words = assembler.assemble(rpeak_source(codes));
+  core.load(0x4000, words);
+  core.set_reg(kSp, 0x3FFE);
+  core.run(200'000'000);
+
+  RpeakRun run;
+  run.instructions = core.instructions();
+  run.cycles = core.cycles();
+  run.energy_joules = core.energy_joules();
+  const std::uint16_t count = core.reg(13);
+  const std::uint16_t base = assembler.label("beats");
+  for (std::uint16_t i = 0; i < count && i < 64; ++i) {
+    run.beat_indices.push_back(
+        core.read16(static_cast<std::uint16_t>(base + 2 * i)));
+  }
+  return run;
+}
+
+}  // namespace bansim::isa::firmware

@@ -1,0 +1,35 @@
+// Firmware library for the MSP430 ISS.
+//
+// Real node firmware, in assembly, runnable on the instruction-level core:
+// currently the beat detector (a fixed-point, IIR-thresholded version of
+// the Rpeak algorithm sized for the MSP430's 16-bit ALU — derivative,
+// scaled squaring by shift-add, adaptive noise floor, refractory lockout).
+// The test suite cross-validates its detections against the C++
+// RpeakDetector on identical ADC streams: the same algorithmic contract
+// the paper's platform firmware had to meet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bansim::isa::firmware {
+
+/// Source of the beat-detector firmware with the sample table inlined.
+/// Detected beat sample-indices land in the "beats" array (up to 64), the
+/// count in r13.
+[[nodiscard]] std::string rpeak_source(std::span<const std::uint16_t> codes);
+
+struct RpeakRun {
+  std::vector<std::uint16_t> beat_indices;
+  std::uint64_t instructions{0};
+  std::uint64_t cycles{0};
+  double energy_joules{0};  ///< 0.6 nJ/instruction (the paper's figure)
+};
+
+/// Assembles and executes the detector over `codes` (12-bit ADC samples at
+/// 200 Hz); returns detections and the execution cost.
+[[nodiscard]] RpeakRun run_rpeak(std::span<const std::uint16_t> codes);
+
+}  // namespace bansim::isa::firmware

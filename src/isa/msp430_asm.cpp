@@ -1,0 +1,401 @@
+#include "isa/msp430_asm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace bansim::isa {
+
+namespace {
+
+struct Statement {
+  std::string mnemonic;  ///< lower case, ".b" stripped into byte_op
+  bool byte_op{false};
+  std::vector<std::string> operands;
+  std::uint16_t address{0};  ///< assigned in pass 1
+  int line{0};
+};
+
+const std::map<std::string, int, std::less<>> kFormat1 = {
+    {"mov", 0x4}, {"add", 0x5}, {"addc", 0x6}, {"subc", 0x7},
+    {"sub", 0x8}, {"cmp", 0x9}, {"dadd", 0xA}, {"bit", 0xB},
+    {"bic", 0xC}, {"bis", 0xD}, {"xor", 0xE}, {"and", 0xF},
+};
+
+const std::map<std::string, int, std::less<>> kFormat2 = {
+    {"rrc", 0}, {"swpb", 1}, {"rra", 2}, {"sxt", 3}, {"push", 4}, {"call", 5},
+};
+
+const std::map<std::string, int, std::less<>> kJumps = {
+    {"jne", 0}, {"jnz", 0}, {"jeq", 1}, {"jz", 1}, {"jnc", 2}, {"jlo", 2},
+    {"jc", 3},  {"jhs", 3}, {"jn", 4},  {"jge", 5}, {"jl", 6},  {"jmp", 7},
+};
+
+int parse_register(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "pc") return 0;
+  if (lower == "sp") return 1;
+  if (lower == "sr") return 2;
+  if (lower == "cg") return 3;
+  if (lower.size() >= 2 && lower.size() <= 3 && lower[0] == 'r' &&
+      std::all_of(lower.begin() + 1, lower.end(),
+                  [](unsigned char c) { return std::isdigit(c); })) {
+    const int r = std::stoi(lower.substr(1));
+    if (r >= 0 && r <= 15) return r;
+  }
+  return -1;
+}
+
+bool parse_number(const std::string& text, std::int32_t& out) {
+  if (text.empty()) return false;
+  try {
+    std::size_t used = 0;
+    out = std::stoi(text, &used, 0);  // handles 0x..., decimal, negatives
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string Msp430Assembler::trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+Msp430Assembler::Operand Msp430Assembler::parse_operand(
+    const std::string& raw, bool is_destination) {
+  const std::string text = trim(raw);
+  if (text.empty()) throw AsmError("empty operand");
+  Operand op;
+
+  if (text[0] == '#') {
+    if (is_destination) throw AsmError("immediate destination: " + text);
+    const std::string value = text.substr(1);
+    std::int32_t number = 0;
+    if (parse_number(value, number)) {
+      const std::uint16_t v = static_cast<std::uint16_t>(number);
+      // Constant generators, as TI's assembler emits them.
+      switch (v) {
+        case 0: op.reg = 3; op.mode = 0; return op;
+        case 1: op.reg = 3; op.mode = 1; return op;
+        case 2: op.reg = 3; op.mode = 2; return op;
+        case 0xFFFF: op.reg = 3; op.mode = 3; return op;
+        case 4: op.reg = 2; op.mode = 2; return op;
+        case 8: op.reg = 2; op.mode = 3; return op;
+        default:
+          op.reg = 0;
+          op.mode = 3;
+          op.has_extension = true;
+          op.extension = v;
+          return op;
+      }
+    }
+    // #label: the label's absolute address as an immediate.
+    op.reg = 0;
+    op.mode = 3;
+    op.has_extension = true;
+    op.pending_label = value;
+    return op;
+  }
+
+  if (text[0] == '&') {
+    op.reg = 2;
+    op.mode = 1;
+    op.has_extension = true;
+    std::int32_t number = 0;
+    if (parse_number(text.substr(1), number)) {
+      op.extension = static_cast<std::uint16_t>(number);
+    } else {
+      op.pending_label = text.substr(1);
+    }
+    return op;
+  }
+
+  if (text[0] == '@') {
+    if (is_destination) throw AsmError("indirect destination: " + text);
+    const bool autoinc = text.back() == '+';
+    const std::string reg_name =
+        autoinc ? text.substr(1, text.size() - 2) : text.substr(1);
+    const int r = parse_register(reg_name);
+    if (r < 0) throw AsmError("bad register: " + text);
+    op.reg = r;
+    op.mode = autoinc ? 3 : 2;
+    return op;
+  }
+
+  const auto paren = text.find('(');
+  if (paren != std::string::npos && text.back() == ')') {
+    const int r = parse_register(
+        text.substr(paren + 1, text.size() - paren - 2));
+    if (r < 0) throw AsmError("bad register: " + text);
+    std::int32_t offset = 0;
+    if (!parse_number(text.substr(0, paren), offset)) {
+      throw AsmError("bad index: " + text);
+    }
+    op.reg = r;
+    op.mode = 1;
+    op.has_extension = true;
+    op.extension = static_cast<std::uint16_t>(offset);
+    return op;
+  }
+
+  const int r = parse_register(text);
+  if (r >= 0) {
+    op.reg = r;
+    op.mode = 0;
+    return op;
+  }
+
+  // Bare symbol: PC-relative (symbolic) addressing.
+  op.reg = 0;
+  op.mode = 1;
+  op.has_extension = true;
+  op.pending_label = text;
+  op.pc_relative = true;
+  return op;
+}
+
+std::vector<std::uint16_t> Msp430Assembler::assemble(const std::string& source,
+                                                     std::uint16_t origin) {
+  labels_.clear();
+  std::vector<Statement> statements;
+
+  // --- Parse ---------------------------------------------------------------
+  std::istringstream stream{source};
+  std::string line;
+  int line_no = 0;
+  std::vector<std::pair<std::string, int>> pending_labels;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto comment = line.find(';');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    while (!line.empty()) {
+      const auto colon = line.find(':');
+      const auto space = line.find_first_of(" \t");
+      if (colon != std::string::npos && (space == std::string::npos || colon < space)) {
+        pending_labels.emplace_back(trim(line.substr(0, colon)), line_no);
+        line = trim(line.substr(colon + 1));
+        continue;
+      }
+      break;
+    }
+    if (line.empty()) continue;
+
+    Statement st;
+    st.line = line_no;
+    const auto space = line.find_first_of(" \t");
+    std::string mnemonic =
+        space == std::string::npos ? line : line.substr(0, space);
+    std::transform(mnemonic.begin(), mnemonic.end(), mnemonic.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (mnemonic.size() > 2 && mnemonic.ends_with(".b")) {
+      st.byte_op = true;
+      mnemonic = mnemonic.substr(0, mnemonic.size() - 2);
+    }
+    st.mnemonic = mnemonic;
+    if (space != std::string::npos) {
+      std::string rest = line.substr(space + 1);
+      std::size_t start = 0;
+      int depth = 0;
+      for (std::size_t i = 0; i <= rest.size(); ++i) {
+        if (i == rest.size() || (rest[i] == ',' && depth == 0)) {
+          st.operands.push_back(trim(rest.substr(start, i - start)));
+          start = i + 1;
+        } else if (rest[i] == '(') {
+          ++depth;
+        } else if (rest[i] == ')') {
+          --depth;
+        }
+      }
+    }
+
+    statements.push_back(std::move(st));
+    // Labels bind to this statement; mark them for pass 1, where the
+    // statement's address becomes known.
+    for (auto& [name, at_line] : pending_labels) {
+      statements.back().operands.push_back("__label__" + name);
+    }
+    pending_labels.clear();
+  }
+
+  // --- Pass 1: sizes and label addresses -----------------------------------
+  auto operand_words = [this](const std::string& text, bool dest) {
+    return parse_operand(text, dest).has_extension ? 1 : 0;
+  };
+
+  std::uint16_t address = origin;
+  for (Statement& st : statements) {
+    // Pop label markers off the operand tail.
+    while (!st.operands.empty() && st.operands.back().rfind("__label__", 0) == 0) {
+      labels_[st.operands.back().substr(9)] = address;
+      st.operands.pop_back();
+    }
+    st.address = address;
+    int words = 1;
+    try {
+      if (st.mnemonic == ".word") {
+        words = static_cast<int>(st.operands.size());
+      } else if (kFormat1.count(st.mnemonic) || st.mnemonic == "br" ||
+                 st.mnemonic == "clr" || st.mnemonic == "inc" ||
+                 st.mnemonic == "dec" || st.mnemonic == "tst") {
+        if (st.mnemonic == "clr" || st.mnemonic == "inc" ||
+            st.mnemonic == "dec" || st.mnemonic == "tst") {
+          if (st.operands.size() != 1) throw AsmError("needs 1 operand");
+          words = 1 + operand_words(st.operands[0], true);
+        } else if (st.mnemonic == "br") {
+          if (st.operands.size() != 1) throw AsmError("needs 1 operand");
+          words = 1 + operand_words(st.operands[0], false);
+        } else {
+          if (st.operands.size() != 2) throw AsmError("needs 2 operands");
+          words = 1 + operand_words(st.operands[0], false) +
+                  operand_words(st.operands[1], true);
+        }
+      } else if (kFormat2.count(st.mnemonic)) {
+        if (st.operands.size() != 1) throw AsmError("needs 1 operand");
+        words = 1 + operand_words(st.operands[0], false);
+      } else if (kJumps.count(st.mnemonic) || st.mnemonic == "reti" ||
+                 st.mnemonic == "ret" || st.mnemonic == "nop") {
+        words = 1;
+      } else {
+        throw AsmError("unknown mnemonic: " + st.mnemonic);
+      }
+    } catch (const AsmError& e) {
+      throw AsmError("line " + std::to_string(st.line) + ": " + e.what());
+    }
+    address = static_cast<std::uint16_t>(address + 2 * words);
+  }
+
+  // --- Pass 2: emit ---------------------------------------------------------
+  std::vector<std::uint16_t> out;
+  auto resolve = [this](Operand& op, std::uint16_t ext_word_addr) {
+    if (!op.pending_label.empty()) {
+      const auto it = labels_.find(op.pending_label);
+      if (it == labels_.end()) throw AsmError("unknown label: " + op.pending_label);
+      op.extension = op.pc_relative
+                         ? static_cast<std::uint16_t>(it->second -
+                                                      (ext_word_addr + 2))
+                         : it->second;
+    }
+  };
+
+  for (Statement& st : statements) {
+    try {
+      if (st.mnemonic == ".word") {
+        for (const std::string& operand : st.operands) {
+          std::int32_t v = 0;
+          if (parse_number(operand, v)) {
+            out.push_back(static_cast<std::uint16_t>(v));
+          } else {
+            const auto it = labels_.find(operand);
+            if (it == labels_.end()) throw AsmError("unknown label: " + operand);
+            out.push_back(it->second);
+          }
+        }
+        continue;
+      }
+      if (st.mnemonic == "nop") {
+        out.push_back(0x4303);  // MOV R3, R3
+        continue;
+      }
+      if (st.mnemonic == "ret") {
+        out.push_back(0x4130);  // MOV @SP+, PC
+        continue;
+      }
+      if (st.mnemonic == "reti") {
+        out.push_back(0x1300);
+        continue;
+      }
+      if (const auto jump = kJumps.find(st.mnemonic); jump != kJumps.end()) {
+        if (st.operands.size() != 1) throw AsmError("jump needs a target");
+        std::int32_t target = 0;
+        if (!parse_number(st.operands[0], target)) {
+          const auto it = labels_.find(st.operands[0]);
+          if (it == labels_.end()) {
+            throw AsmError("unknown label: " + st.operands[0]);
+          }
+          target = it->second;
+        }
+        const std::int32_t delta = (target - (st.address + 2)) / 2;
+        if (delta < -512 || delta > 511) throw AsmError("jump out of range");
+        out.push_back(static_cast<std::uint16_t>(
+            0x2000 | (jump->second << 10) | (delta & 0x3FF)));
+        continue;
+      }
+
+      // Pseudo-ops mapping onto format I.
+      std::string mnemonic = st.mnemonic;
+      std::vector<std::string> operands = st.operands;
+      if (mnemonic == "br") {
+        mnemonic = "mov";
+        operands = {st.operands[0], "pc"};
+      } else if (mnemonic == "clr") {
+        mnemonic = "mov";
+        operands = {"#0", st.operands[0]};
+      } else if (mnemonic == "inc") {
+        mnemonic = "add";
+        operands = {"#1", st.operands[0]};
+      } else if (mnemonic == "dec") {
+        mnemonic = "sub";
+        operands = {"#1", st.operands[0]};
+      } else if (mnemonic == "tst") {
+        mnemonic = "cmp";
+        operands = {"#0", st.operands[0]};
+      }
+
+      if (const auto f1 = kFormat1.find(mnemonic); f1 != kFormat1.end()) {
+        Operand src = parse_operand(operands[0], false);
+        Operand dst = parse_operand(operands[1], true);
+        if (dst.mode != 0 && dst.mode != 1) {
+          throw AsmError("illegal destination mode: " + operands[1]);
+        }
+        const std::uint16_t word = static_cast<std::uint16_t>(
+            (f1->second << 12) | (src.reg << 8) | ((dst.mode & 1) << 7) |
+            ((st.byte_op ? 1 : 0) << 6) | (src.mode << 4) | dst.reg);
+        out.push_back(word);
+        if (src.has_extension) {
+          resolve(src, static_cast<std::uint16_t>(st.address + 2));
+          out.push_back(src.extension);
+        }
+        if (dst.has_extension) {
+          const std::uint16_t at = static_cast<std::uint16_t>(
+              st.address + 2 + (src.has_extension ? 2 : 0));
+          resolve(dst, at);
+          out.push_back(dst.extension);
+        }
+        continue;
+      }
+
+      if (const auto f2 = kFormat2.find(mnemonic); f2 != kFormat2.end()) {
+        Operand op = parse_operand(operands.at(0), false);
+        const std::uint16_t word = static_cast<std::uint16_t>(
+            0x1000 | (f2->second << 7) | ((st.byte_op ? 1 : 0) << 6) |
+            (op.mode << 4) | op.reg);
+        out.push_back(word);
+        if (op.has_extension) {
+          resolve(op, static_cast<std::uint16_t>(st.address + 2));
+          out.push_back(op.extension);
+        }
+        continue;
+      }
+      throw AsmError("unknown mnemonic: " + mnemonic);
+    } catch (const AsmError& e) {
+      throw AsmError("line " + std::to_string(st.line) + ": " + e.what());
+    }
+  }
+  return out;
+}
+
+std::uint16_t Msp430Assembler::label(const std::string& name) const {
+  const auto it = labels_.find(name);
+  if (it == labels_.end()) throw AsmError("unknown label: " + name);
+  return it->second;
+}
+
+}  // namespace bansim::isa

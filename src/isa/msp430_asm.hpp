@@ -1,0 +1,58 @@
+// Two-pass MSP430 assembler.
+//
+// Lets the test suite and the ISS benches write firmware in readable
+// mnemonics instead of hand-packed words.  Supports the full core
+// instruction set, all addressing modes, labels, byte suffixes, the
+// constant generators (immediates 0/1/2/4/8/-1 assemble to zero-word
+// operands, exactly like TI's assembler), and `.word` data.
+//
+// Syntax, one statement per line ('；' comments):
+//   start:  mov   #0x1234, r4
+//           add.b @r5+, 3(r6)
+//           cmp   #8, r4        ; constant generator, no extension word
+//           jne   start
+//           call  #subroutine
+//           bis   #0x10, sr     ; LPM0 (CPUOFF)
+//   table:  .word 0xBEEF
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bansim::isa {
+
+/// Thrown on syntax errors, unknown mnemonics or out-of-range jumps.
+class AsmError : public std::runtime_error {
+ public:
+  explicit AsmError(const std::string& message) : std::runtime_error(message) {}
+};
+
+class Msp430Assembler {
+ public:
+  /// Assembles `source` as if loaded at `origin`; returns the word image.
+  [[nodiscard]] std::vector<std::uint16_t> assemble(const std::string& source,
+                                                    std::uint16_t origin = 0x4000);
+
+  /// Address of a label from the last assemble() call.
+  [[nodiscard]] std::uint16_t label(const std::string& name) const;
+
+ private:
+  struct Operand {
+    int reg{0};
+    int mode{0};          ///< As encoding
+    bool has_extension{false};
+    std::uint16_t extension{0};
+    std::string pending_label;  ///< extension resolved in pass 2
+    bool pc_relative{false};    ///< symbolic: extension = label - word_addr
+  };
+
+  Operand parse_operand(const std::string& text, bool is_destination);
+  [[nodiscard]] static std::string trim(const std::string& s);
+
+  std::map<std::string, std::uint16_t> labels_;
+};
+
+}  // namespace bansim::isa

@@ -1,0 +1,464 @@
+#include "isa/msp430_core.hpp"
+
+namespace bansim::isa {
+
+namespace {
+
+/// Source addressing classes for the cycle table.
+enum class SrcClass { kRegister, kIndexed, kIndirect, kAutoInc };
+
+int format1_cycles(SrcClass src, bool dst_is_register, bool dst_is_pc) {
+  if (dst_is_register) {
+    if (dst_is_pc) {
+      switch (src) {
+        case SrcClass::kRegister: return 2;
+        case SrcClass::kIndirect: return 2;
+        case SrcClass::kAutoInc: return 3;
+        case SrcClass::kIndexed: return 3;
+      }
+    }
+    switch (src) {
+      case SrcClass::kRegister: return 1;
+      case SrcClass::kIndirect: return 2;
+      case SrcClass::kAutoInc: return 2;
+      case SrcClass::kIndexed: return 3;
+    }
+  }
+  switch (src) {  // indexed/symbolic/absolute destination
+    case SrcClass::kRegister: return 4;
+    case SrcClass::kIndirect: return 5;
+    case SrcClass::kAutoInc: return 5;
+    case SrcClass::kIndexed: return 6;
+  }
+  return 1;
+}
+
+std::uint16_t mask_for(bool byte_op) { return byte_op ? 0x00FF : 0xFFFF; }
+std::uint16_t sign_bit(bool byte_op) { return byte_op ? 0x0080 : 0x8000; }
+
+}  // namespace
+
+Msp430Core::Msp430Core() : memory_(kMemoryBytes, 0) {}
+
+void Msp430Core::reset() {
+  registers_.fill(0);
+  std::fill(memory_.begin(), memory_.end(), 0);
+  instructions_ = 0;
+  cycles_ = 0;
+  irq_pending_ = false;
+  illegal_ = false;
+}
+
+std::uint16_t Msp430Core::read16(std::uint16_t addr) const {
+  // Word accesses are even-aligned on silicon; emulate the alignment by
+  // clearing bit 0, as the CPU does.
+  const std::uint16_t a = addr & 0xFFFE;
+  return static_cast<std::uint16_t>(memory_[a] |
+                                    (memory_[static_cast<std::uint16_t>(a + 1)]
+                                     << 8));
+}
+
+void Msp430Core::write16(std::uint16_t addr, std::uint16_t value) {
+  const std::uint16_t a = addr & 0xFFFE;
+  memory_[a] = static_cast<std::uint8_t>(value & 0xFF);
+  memory_[static_cast<std::uint16_t>(a + 1)] =
+      static_cast<std::uint8_t>(value >> 8);
+}
+
+void Msp430Core::load(std::uint16_t addr, const std::vector<std::uint16_t>& words) {
+  std::uint16_t at = addr;
+  for (std::uint16_t w : words) {
+    write16(at, w);
+    at = static_cast<std::uint16_t>(at + 2);
+  }
+  set_reg(kPc, addr);
+}
+
+std::uint16_t Msp430Core::fetch() {
+  const std::uint16_t word = read16(pc());
+  set_reg(kPc, static_cast<std::uint16_t>(pc() + 2));
+  return word;
+}
+
+void Msp430Core::set_flag(std::uint16_t bit, bool on) {
+  std::uint16_t s = sr();
+  if (on) {
+    s |= bit;
+  } else {
+    s = static_cast<std::uint16_t>(s & ~bit);
+  }
+  set_reg(kSr, s);
+}
+
+void Msp430Core::set_flags_logic(std::uint16_t result, bool byte_op) {
+  const std::uint16_t r = result & mask_for(byte_op);
+  set_flag(kSrZ, r == 0);
+  set_flag(kSrN, (r & sign_bit(byte_op)) != 0);
+  set_flag(kSrC, r != 0);
+  set_flag(kSrV, false);
+}
+
+Msp430Core::Operand Msp430Core::decode_source(int r, int mode, bool byte_op) {
+  Operand op;
+
+  // Constant generators: R3 always, R2 for modes 2 and 3.
+  if (r == kCg2) {
+    static constexpr std::uint16_t kCg2Values[] = {0, 1, 2, 0xFFFF};
+    op.is_register = true;  // no memory access, register-class timing
+    op.reg = r;
+    op.value = kCg2Values[mode] & mask_for(byte_op);
+    return op;
+  }
+  if (r == kSr && mode >= 2) {
+    op.is_register = true;
+    op.reg = r;
+    op.value = (mode == 2 ? 4 : 8) & mask_for(byte_op);
+    return op;
+  }
+
+  switch (mode) {
+    case 0:  // register
+      op.is_register = true;
+      op.reg = r;
+      op.value = reg(r) & mask_for(byte_op);
+      op.cycles = 0;
+      return op;
+    case 1: {  // indexed x(Rn); symbolic via PC; absolute via SR
+      const std::uint16_t x = fetch();
+      const std::uint16_t base = (r == kSr) ? 0 : reg(r);
+      op.address = static_cast<std::uint16_t>(base + x);
+      op.value = byte_op ? read8(op.address) : read16(op.address);
+      op.cycles = 2;
+      return op;
+    }
+    case 2:  // indirect @Rn
+      op.address = reg(r);
+      op.value = byte_op ? read8(op.address) : read16(op.address);
+      op.cycles = 1;
+      return op;
+    case 3: {  // indirect autoincrement @Rn+ (immediate via PC)
+      if (r == kPc) {
+        op.value = fetch() & mask_for(byte_op);
+        op.is_register = true;  // no further access; immediate
+        op.reg = -1;
+        op.cycles = 1;
+        return op;
+      }
+      op.address = reg(r);
+      op.value = byte_op ? read8(op.address) : read16(op.address);
+      set_reg(r, static_cast<std::uint16_t>(reg(r) + (byte_op ? 1 : 2)));
+      op.cycles = 1;
+      return op;
+    }
+    default:
+      return op;
+  }
+}
+
+Msp430Core::Operand Msp430Core::decode_destination(int r, int ad, bool byte_op) {
+  Operand op;
+  if (ad == 0) {
+    op.is_register = true;
+    op.reg = r;
+    op.value = reg(r) & mask_for(byte_op);
+    return op;
+  }
+  const std::uint16_t x = fetch();
+  const std::uint16_t base = (r == kSr) ? 0 : reg(r);
+  op.address = static_cast<std::uint16_t>(base + x);
+  op.value = byte_op ? read8(op.address) : read16(op.address);
+  return op;
+}
+
+void Msp430Core::write_operand(const Operand& op, std::uint16_t value,
+                               bool byte_op) {
+  if (op.is_register) {
+    if (op.reg < 0) return;  // immediate pseudo-operand
+    // Byte writes clear the upper register byte (MSP430 behaviour).
+    set_reg(op.reg, value & mask_for(byte_op));
+    return;
+  }
+  if (byte_op) {
+    write8(op.address, static_cast<std::uint8_t>(value & 0xFF));
+  } else {
+    write16(op.address, value);
+  }
+}
+
+StepResult Msp430Core::step() {
+  if (illegal_) return StepResult::kIllegal;
+  if (irq_pending_ && flag(kSrGie)) {
+    service_interrupt();
+  }
+  if (flag(kSrCpuOff)) return StepResult::kCpuOff;
+
+  const std::uint16_t word = fetch();
+  const std::uint16_t top = word >> 12;
+
+  if (top >= 0x4) {
+    execute_format1(word);
+  } else if ((word & 0xE000) == 0x2000) {
+    execute_jump(word);
+  } else if ((word & 0xFC00) == 0x1000) {
+    execute_format2(word);
+  } else {
+    illegal_ = true;
+    set_reg(kPc, static_cast<std::uint16_t>(pc() - 2));  // point at offender
+    return StepResult::kIllegal;
+  }
+  ++instructions_;
+  return StepResult::kOk;
+}
+
+StepResult Msp430Core::run(std::uint64_t max_instructions) {
+  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+    const StepResult result = step();
+    if (result != StepResult::kOk) return result;
+  }
+  return StepResult::kOk;
+}
+
+void Msp430Core::request_interrupt(std::uint16_t vector_addr) {
+  irq_pending_ = true;
+  irq_vector_ = vector_addr;
+}
+
+void Msp430Core::service_interrupt() {
+  irq_pending_ = false;
+  // Hardware sequence: push PC, push SR, clear GIE (CPUOFF stays in the
+  // *saved* SR; the live SR clears it so the ISR can run).
+  set_reg(kSp, static_cast<std::uint16_t>(sp() - 2));
+  write16(sp(), pc());
+  set_reg(kSp, static_cast<std::uint16_t>(sp() - 2));
+  write16(sp(), sr());
+  set_reg(kSr, static_cast<std::uint16_t>(
+                   sr() & ~(kSrGie | kSrCpuOff)));
+  set_reg(kPc, read16(irq_vector_));
+  cycles_ += 6;
+}
+
+void Msp430Core::execute_format1(std::uint16_t word) {
+  const int opcode = word >> 12;
+  const int src_reg = (word >> 8) & 0xF;
+  const int ad = (word >> 7) & 0x1;
+  const bool byte_op = ((word >> 6) & 0x1) != 0;
+  const int as = (word >> 4) & 0x3;
+  const int dst_reg = word & 0xF;
+
+  SrcClass src_class = SrcClass::kRegister;
+  if (!(src_reg == kCg2 || (src_reg == kSr && as >= 2))) {
+    switch (as) {
+      case 0: src_class = SrcClass::kRegister; break;
+      case 1: src_class = SrcClass::kIndexed; break;
+      case 2: src_class = SrcClass::kIndirect; break;
+      case 3: src_class = SrcClass::kAutoInc; break;
+      default: break;
+    }
+  }
+
+  const Operand src = decode_source(src_reg, as, byte_op);
+  Operand dst = decode_destination(dst_reg, ad, byte_op);
+  cycles_ += static_cast<std::uint64_t>(
+      format1_cycles(src_class, dst.is_register, dst.is_register && dst_reg == kPc));
+
+  const std::uint16_t mask = mask_for(byte_op);
+  const std::uint16_t sbit = sign_bit(byte_op);
+  const std::uint16_t s = src.value & mask;
+  const std::uint16_t d = dst.value & mask;
+
+  auto add_common = [&](std::uint32_t operand, std::uint32_t carry_in) {
+    const std::uint32_t sum =
+        static_cast<std::uint32_t>(d) + operand + carry_in;
+    const std::uint16_t result = static_cast<std::uint16_t>(sum & mask);
+    set_flag(kSrC, sum > mask);
+    set_flag(kSrZ, result == 0);
+    set_flag(kSrN, (result & sbit) != 0);
+    const bool src_neg = (operand & sbit) != 0;
+    const bool dst_neg = (d & sbit) != 0;
+    const bool res_neg = (result & sbit) != 0;
+    set_flag(kSrV, (src_neg == dst_neg) && (res_neg != dst_neg));
+    return result;
+  };
+
+  switch (opcode) {
+    case 0x4:  // MOV
+      write_operand(dst, s, byte_op);
+      break;
+    case 0x5:  // ADD
+      write_operand(dst, add_common(s, 0), byte_op);
+      break;
+    case 0x6:  // ADDC
+      write_operand(dst, add_common(s, flag(kSrC) ? 1 : 0), byte_op);
+      break;
+    case 0x7:  // SUBC: dst + ~src + C
+      write_operand(dst, add_common(static_cast<std::uint16_t>(~s) & mask,
+                                    flag(kSrC) ? 1 : 0),
+                    byte_op);
+      break;
+    case 0x8:  // SUB: dst + ~src + 1
+      write_operand(dst, add_common(static_cast<std::uint16_t>(~s) & mask, 1),
+                    byte_op);
+      break;
+    case 0x9:  // CMP: SUB without store
+      add_common(static_cast<std::uint16_t>(~s) & mask, 1);
+      break;
+    case 0xA: {  // DADD: BCD add with carry
+      std::uint32_t carry = flag(kSrC) ? 1 : 0;
+      std::uint16_t result = 0;
+      const int nibbles = byte_op ? 2 : 4;
+      for (int n = 0; n < nibbles; ++n) {
+        std::uint32_t digit = ((s >> (4 * n)) & 0xF) + ((d >> (4 * n)) & 0xF) +
+                              carry;
+        carry = digit >= 10 ? 1 : 0;
+        if (digit >= 10) digit -= 10;
+        result = static_cast<std::uint16_t>(result | (digit << (4 * n)));
+      }
+      set_flag(kSrC, carry != 0);
+      set_flag(kSrZ, result == 0);
+      set_flag(kSrN, (result & sbit) != 0);
+      write_operand(dst, result, byte_op);
+      break;
+    }
+    case 0xB: {  // BIT: AND without store
+      set_flags_logic(s & d, byte_op);
+      break;
+    }
+    case 0xC:  // BIC: dst &= ~src, flags unaffected
+      write_operand(dst, static_cast<std::uint16_t>(d & ~s), byte_op);
+      break;
+    case 0xD:  // BIS: dst |= src, flags unaffected
+      write_operand(dst, static_cast<std::uint16_t>(d | s), byte_op);
+      break;
+    case 0xE: {  // XOR
+      const std::uint16_t result = static_cast<std::uint16_t>((d ^ s) & mask);
+      set_flag(kSrZ, result == 0);
+      set_flag(kSrN, (result & sbit) != 0);
+      set_flag(kSrC, result != 0);
+      set_flag(kSrV, ((s & sbit) != 0) && ((d & sbit) != 0));
+      write_operand(dst, result, byte_op);
+      break;
+    }
+    case 0xF: {  // AND
+      const std::uint16_t result = static_cast<std::uint16_t>(d & s & mask);
+      set_flags_logic(result, byte_op);
+      write_operand(dst, result, byte_op);
+      break;
+    }
+    default:
+      illegal_ = true;
+      break;
+  }
+}
+
+void Msp430Core::execute_format2(std::uint16_t word) {
+  const int opcode = (word >> 7) & 0x7;
+  const bool byte_op = ((word >> 6) & 0x1) != 0;
+  const int as = (word >> 4) & 0x3;
+  const int r = word & 0xF;
+
+  if (opcode == 6) {  // RETI
+    const std::uint16_t restored_sr = read16(sp());
+    set_reg(kSr, restored_sr);
+    set_reg(kSp, static_cast<std::uint16_t>(sp() + 2));
+    set_reg(kPc, read16(sp()));
+    set_reg(kSp, static_cast<std::uint16_t>(sp() + 2));
+    cycles_ += 5;
+    return;
+  }
+
+  Operand op = decode_source(r, as, byte_op);
+  const std::uint16_t mask = mask_for(byte_op);
+  const std::uint16_t sbit = sign_bit(byte_op);
+  const std::uint16_t v = op.value & mask;
+
+  // Cycle table for single-operand instructions.
+  const bool is_push = opcode == 4;
+  const bool is_call = opcode == 5;
+  int cost;
+  switch (as) {
+    case 0: cost = is_push ? 3 : (is_call ? 4 : 1); break;
+    case 1: cost = is_push || is_call ? 5 : 4; break;
+    case 2: cost = is_push || is_call ? 4 : 3; break;
+    default: cost = is_push ? 4 : (is_call ? 5 : 3); break;
+  }
+  cycles_ += static_cast<std::uint64_t>(cost);
+
+  switch (opcode) {
+    case 0: {  // RRC: rotate right through carry
+      const bool new_c = (v & 1) != 0;
+      std::uint16_t result = static_cast<std::uint16_t>(v >> 1);
+      if (flag(kSrC)) result = static_cast<std::uint16_t>(result | sbit);
+      set_flag(kSrC, new_c);
+      set_flag(kSrZ, result == 0);
+      set_flag(kSrN, (result & sbit) != 0);
+      set_flag(kSrV, false);
+      write_operand(op, result, byte_op);
+      break;
+    }
+    case 1: {  // SWPB: swap bytes (word only); flags unaffected
+      const std::uint16_t result =
+          static_cast<std::uint16_t>((op.value << 8) | (op.value >> 8));
+      write_operand(op, result, false);
+      break;
+    }
+    case 2: {  // RRA: arithmetic shift right
+      const bool new_c = (v & 1) != 0;
+      std::uint16_t result =
+          static_cast<std::uint16_t>((v >> 1) | (v & sbit));
+      set_flag(kSrC, new_c);
+      set_flag(kSrZ, result == 0);
+      set_flag(kSrN, (result & sbit) != 0);
+      set_flag(kSrV, false);
+      write_operand(op, result, byte_op);
+      break;
+    }
+    case 3: {  // SXT: sign-extend low byte (word only)
+      const std::uint16_t result =
+          (op.value & 0x80) ? static_cast<std::uint16_t>(op.value | 0xFF00)
+                            : static_cast<std::uint16_t>(op.value & 0x00FF);
+      set_flag(kSrZ, result == 0);
+      set_flag(kSrN, (result & 0x8000) != 0);
+      set_flag(kSrC, result != 0);
+      set_flag(kSrV, false);
+      write_operand(op, result, false);
+      break;
+    }
+    case 4:  // PUSH
+      set_reg(kSp, static_cast<std::uint16_t>(sp() - 2));
+      write16(sp(), v);
+      break;
+    case 5:  // CALL (word only)
+      set_reg(kSp, static_cast<std::uint16_t>(sp() - 2));
+      write16(sp(), pc());
+      set_reg(kPc, op.is_register && op.reg >= 0 ? reg(op.reg) : v);
+      break;
+    default:
+      illegal_ = true;
+      break;
+  }
+}
+
+void Msp430Core::execute_jump(std::uint16_t word) {
+  const int condition = (word >> 10) & 0x7;
+  std::int16_t offset = static_cast<std::int16_t>(word & 0x3FF);
+  if (offset & 0x200) offset = static_cast<std::int16_t>(offset | ~0x3FF);
+
+  bool taken = false;
+  switch (condition) {
+    case 0: taken = !flag(kSrZ); break;                       // JNE/JNZ
+    case 1: taken = flag(kSrZ); break;                        // JEQ/JZ
+    case 2: taken = !flag(kSrC); break;                       // JNC
+    case 3: taken = flag(kSrC); break;                        // JC
+    case 4: taken = flag(kSrN); break;                        // JN
+    case 5: taken = flag(kSrN) == flag(kSrV); break;          // JGE
+    case 6: taken = flag(kSrN) != flag(kSrV); break;          // JL
+    default: taken = true; break;                             // JMP
+  }
+  if (taken) {
+    set_reg(kPc, static_cast<std::uint16_t>(
+                     pc() + static_cast<std::uint16_t>(offset * 2)));
+  }
+  cycles_ += 2;  // jumps always cost 2, taken or not
+}
+
+}  // namespace bansim::isa

@@ -1,0 +1,155 @@
+#include "mac/aloha_mac.hpp"
+
+namespace bansim::mac {
+
+AlohaNodeMac::AlohaNodeMac(sim::Simulator& simulator, sim::Tracer& tracer,
+                           os::NodeOs& node_os, const AlohaConfig& config,
+                           net::NodeId self, sim::Rng rng)
+    : simulator_{simulator}, tracer_{tracer}, os_{node_os}, config_{config},
+      self_{self}, rng_{rng} {
+  os_.radio().radio().set_local_address(self_);
+  os_.radio().set_receive_handler(
+      [this](const net::Packet& p) { on_packet(p); });
+}
+
+void AlohaNodeMac::start() {
+  os_.radio().init([this] {
+    ready_ = true;
+    kick();
+  });
+}
+
+void AlohaNodeMac::queue_payload(std::vector<std::uint8_t> payload) {
+  if (tx_queue_.size() >= kMaxQueue) {
+    tx_queue_.pop_front();
+    ++stats_.payloads_dropped;
+  }
+  tx_queue_.push_back(std::move(payload));
+  kick();
+}
+
+void AlohaNodeMac::kick() {
+  if (!ready_ || attempt_pending_ || awaiting_ack_ || tx_queue_.empty()) {
+    return;
+  }
+  attempt_pending_ = true;
+  const double dither_s =
+      rng_.uniform(0.0, config_.initial_dither.to_seconds());
+  os_.timers().start_oneshot("aloha.dither",
+                             sim::Duration::from_seconds(dither_s),
+                             [this] { attempt(); });
+}
+
+void AlohaNodeMac::attempt() {
+  attempt_pending_ = false;
+  if (tx_queue_.empty()) return;
+  if (os_.radio().sending() || os_.radio().listening()) {
+    // Radio mid-transaction (shouldn't happen in this MAC): retry shortly.
+    kick();
+    return;
+  }
+  const std::vector<std::uint8_t> payload = tx_queue_.front();
+  if (!config_.ack_data) tx_queue_.pop_front();
+
+  const std::uint64_t cycles = 240 + 6 * payload.size();
+  os_.scheduler().post("mac.prepare_tx", cycles, [this, payload] {
+    if (os_.radio().sending() || os_.radio().listening()) return;
+    net::Packet data;
+    data.header.dest = net::kBaseStationId;
+    data.header.src = self_;
+    data.header.type = net::PacketType::kData;
+    data.header.seq = seq_++;
+    data.payload = payload;
+    ++stats_.data_sent;
+    if (retries_ > 0) ++stats_.retransmissions;
+    os_.radio().send(data, [this] {
+      if (!config_.ack_data) {
+        kick();
+        return;
+      }
+      awaiting_ack_ = true;
+      os_.radio().start_listen();
+      ack_timer_ = os_.timers().start_oneshot(
+          "aloha.ack_timeout", config_.ack_wait, [this] { on_ack_timeout(); });
+    });
+  });
+}
+
+void AlohaNodeMac::on_packet(const net::Packet& packet) {
+  if (packet.header.type != net::PacketType::kAck || !awaiting_ack_) return;
+  awaiting_ack_ = false;
+  ++stats_.acks_received;
+  if (ack_timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(ack_timer_);
+    ack_timer_ = os::TimerService::kInvalidTimer;
+  }
+  if (os_.radio().listening()) os_.radio().stop_listen();
+  if (!tx_queue_.empty()) tx_queue_.pop_front();
+  retries_ = 0;
+  kick();
+}
+
+void AlohaNodeMac::on_ack_timeout() {
+  ack_timer_ = os::TimerService::kInvalidTimer;
+  if (!awaiting_ack_) return;
+  awaiting_ack_ = false;
+  if (os_.radio().listening() &&
+      os_.radio().radio().state() != hw::RadioState::kRxClockOut) {
+    os_.radio().stop_listen();
+  }
+  if (++retries_ > config_.max_retries) {
+    if (!tx_queue_.empty()) tx_queue_.pop_front();
+    ++stats_.retry_drops;
+    retries_ = 0;
+    kick();
+    return;
+  }
+  // Exponential backoff: window doubles with every retry.
+  const double window_s = config_.backoff_base.to_seconds() *
+                          static_cast<double>(1u << (retries_ - 1));
+  attempt_pending_ = true;
+  os_.timers().start_oneshot(
+      "aloha.backoff",
+      sim::Duration::from_seconds(rng_.uniform(0.0, window_s)),
+      [this] { attempt(); });
+}
+
+AlohaBaseStation::AlohaBaseStation(sim::Simulator& simulator,
+                                   sim::Tracer& tracer, os::NodeOs& node_os,
+                                   const AlohaConfig& config)
+    : simulator_{simulator}, tracer_{tracer}, os_{node_os}, config_{config} {
+  os_.radio().radio().set_local_address(net::kBaseStationId);
+  os_.radio().set_receive_handler(
+      [this](const net::Packet& p) { on_packet(p); });
+}
+
+void AlohaBaseStation::start() {
+  os_.radio().init([this] { os_.radio().start_listen(); });
+}
+
+void AlohaBaseStation::on_packet(const net::Packet& packet) {
+  if (packet.header.type != net::PacketType::kData) return;
+  ++data_received_;
+  if (config_.ack_data) {
+    net::Packet ack;
+    ack.header.dest = packet.header.src;
+    ack.header.src = net::kBaseStationId;
+    ack.header.type = net::PacketType::kAck;
+    ack.header.seq = packet.header.seq;
+    os_.scheduler().post("bs.send_ack", 120, [this, ack] {
+      if (os_.radio().sending()) return;
+      if (os_.radio().listening()) os_.radio().stop_listen();
+      ++acks_sent_;
+      os_.radio().send(ack, [this] { os_.radio().start_listen(); });
+    });
+  }
+  os_.scheduler().post("bs.handle_rx", 260 + 8 * packet.payload.size(),
+                       [this, packet] {
+                         if (handler_) {
+                           handler_(packet.header.src, packet.payload,
+                                    simulator_.now());
+                         }
+                       });
+}
+
+}  // namespace bansim::mac

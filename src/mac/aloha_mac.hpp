@@ -1,0 +1,114 @@
+// Unslotted random-access MAC (pure-ALOHA class) — the baseline TDMA is
+// judged against.
+//
+// The nRF2401 has no clear-channel assessment, so the only contention MAC
+// it can run is transmit-and-hope: a node sends a queued payload after a
+// random dither, optionally waits for the base station's ACK, and backs
+// off exponentially on silence.  No beacons, no synchronization, no listen
+// windows — transmit-only radio duty on the nodes.
+//
+// The comparison bench shows the trade the paper's TDMA design makes: the
+// random-access node spends *less* radio energy at low load (no beacon
+// tracking) but collapses in delivery as offered load grows, while TDMA
+// delivery stays at 100 % for a constant, predictable energy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mac/tdma_config.hpp"
+#include "net/packet.hpp"
+#include "os/node_os.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace bansim::mac {
+
+struct AlohaConfig {
+  /// Uniform dither before every first transmission attempt.
+  sim::Duration initial_dither{sim::Duration::milliseconds(2)};
+  /// ACK-based retransmission (without it, fire and forget).
+  bool ack_data{true};
+  sim::Duration ack_wait{sim::Duration::from_milliseconds(1.5)};
+  std::uint8_t max_retries{5};
+  /// Backoff window doubles per retry, starting here.
+  sim::Duration backoff_base{sim::Duration::milliseconds(4)};
+};
+
+struct AlohaNodeStats {
+  std::uint64_t data_sent{0};
+  std::uint64_t acks_received{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t retry_drops{0};
+  std::uint64_t payloads_dropped{0};
+};
+
+/// Sensor-node side.
+class AlohaNodeMac {
+ public:
+  AlohaNodeMac(sim::Simulator& simulator, sim::Tracer& tracer,
+               os::NodeOs& node_os, const AlohaConfig& config,
+               net::NodeId self, sim::Rng rng);
+
+  void start();
+  void queue_payload(std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::size_t queue_depth() const { return tx_queue_.size(); }
+  [[nodiscard]] const AlohaNodeStats& stats() const { return stats_; }
+
+  static constexpr std::size_t kMaxQueue = 16;
+
+ private:
+  void kick();            ///< schedules the next attempt if idle
+  void attempt();         ///< transmits the head-of-queue payload
+  void on_packet(const net::Packet& packet);
+  void on_ack_timeout();
+
+  sim::Simulator& simulator_;
+  sim::Tracer& tracer_;
+  os::NodeOs& os_;
+  AlohaConfig config_;
+  net::NodeId self_;
+  sim::Rng rng_;
+  std::deque<std::vector<std::uint8_t>> tx_queue_;
+  bool attempt_pending_{false};
+  bool awaiting_ack_{false};
+  std::uint8_t retries_{0};
+  std::uint8_t seq_{0};
+  bool ready_{false};
+  os::TimerService::TimerId ack_timer_{os::TimerService::kInvalidTimer};
+  AlohaNodeStats stats_;
+};
+
+/// Base-station side: always listening, ACKs every data frame.
+class AlohaBaseStation {
+ public:
+  using DataHandler = std::function<void(
+      net::NodeId, std::span<const std::uint8_t>, sim::TimePoint)>;
+
+  AlohaBaseStation(sim::Simulator& simulator, sim::Tracer& tracer,
+                   os::NodeOs& node_os, const AlohaConfig& config);
+
+  void set_data_handler(DataHandler handler) { handler_ = std::move(handler); }
+  void start();
+
+  [[nodiscard]] std::uint64_t data_received() const { return data_received_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  void on_packet(const net::Packet& packet);
+
+  sim::Simulator& simulator_;
+  sim::Tracer& tracer_;
+  os::NodeOs& os_;
+  AlohaConfig config_;
+  DataHandler handler_;
+  std::uint64_t data_received_{0};
+  std::uint64_t acks_sent_{0};
+};
+
+}  // namespace bansim::mac

@@ -1,0 +1,406 @@
+#include "mac/node_mac.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "phy/air_frame.hpp"
+
+namespace bansim::mac {
+
+const char* to_string(NodeMacState s) {
+  switch (s) {
+    case NodeMacState::kBooting: return "booting";
+    case NodeMacState::kSearching: return "searching";
+    case NodeMacState::kJoining: return "joining";
+    case NodeMacState::kJoined: return "joined";
+  }
+  return "?";
+}
+
+NodeMac::NodeMac(sim::Simulator& simulator, sim::Tracer& tracer,
+                 os::NodeOs& node_os, const TdmaConfig& config,
+                 net::NodeId self, sim::Rng rng)
+    : simulator_{simulator}, tracer_{tracer}, os_{node_os}, config_{config},
+      self_{self}, rng_{rng},
+      bs_address_{TdmaConfig::bs_address(config.pan_id)} {
+  assert(self_ != bs_address_ && self_ != net::kBroadcastId &&
+         self_ != kFreeSlot);
+  os_.radio().radio().set_local_address(self_);
+  os_.radio().set_receive_handler(
+      [this](const net::Packet& p) { on_packet(p); });
+}
+
+void NodeMac::start() {
+  os_.radio().init([this] { enter_search(); });
+}
+
+void NodeMac::enter_search() {
+  state_ = NodeMacState::kSearching;
+  ++stats_.resyncs;
+  missed_ = 0;
+  my_slot_ = -1;
+  if (timeout_timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(timeout_timer_);
+    timeout_timer_ = os::TimerService::kInvalidTimer;
+  }
+  if (!os_.radio().listening()) os_.radio().start_listen();
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+               "searching for beacon");
+}
+
+void NodeMac::queue_payload(std::vector<std::uint8_t> payload) {
+  assert(payload.size() <= net::kMaxPayloadBytes);
+  if (tx_queue_.size() >= kMaxQueue) {
+    tx_queue_.pop_front();
+    ++stats_.payloads_dropped;
+  }
+  tx_queue_.push_back(std::move(payload));
+}
+
+sim::Duration NodeMac::beacon_air_estimate() const {
+  const std::size_t bytes = last_beacon_wire_bytes_ != 0
+                                ? last_beacon_wire_bytes_
+                                : net::kHeaderBytes + 12 + net::kCrcBytes;
+  return phy::air_time(os_.radio().radio().phy_config(), bytes);
+}
+
+void NodeMac::on_packet(const net::Packet& packet) {
+  switch (packet.header.type) {
+    case net::PacketType::kSlotGrant:
+      // Directed frames from a foreign base station (a co-located BAN with
+      // a node sharing our short address) must not be honoured.
+      if (packet.header.src == bs_address_) process_grant(packet);
+      return;
+    case net::PacketType::kAck:
+      if (packet.header.src == bs_address_) process_ack(packet);
+      return;
+    case net::PacketType::kBeacon:
+      if (packet.header.src != bs_address_) {
+        ++stats_.foreign_beacons;
+        return;  // another PAN's beacon: keep listening for ours
+      }
+      break;
+    default:
+      return;
+  }
+  const sim::TimePoint rx_time = simulator_.now();
+
+  // The beacon is in hand: the receiver's job this cycle is done.
+  if (timeout_timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(timeout_timer_);
+    timeout_timer_ = os::TimerService::kInvalidTimer;
+  }
+  if (os_.radio().listening()) os_.radio().stop_listen();
+
+  const std::uint64_t cycles =
+      350 + 14 * (packet.payload.size() > 11
+                      ? (packet.payload.size() - 11) / 2
+                      : 0);
+  os_.scheduler().post("mac.beacon_proc", cycles, [this, packet, rx_time] {
+    process_beacon(packet, rx_time);
+  });
+}
+
+void NodeMac::process_beacon(const net::Packet& packet,
+                             sim::TimePoint rx_time) {
+  auto payload = net::BeaconPayload::deserialize(packet.payload);
+  if (!payload) return;
+
+  ++stats_.beacons_received;
+  missed_ = 0;
+  cycle_ = sim::Duration::microseconds(payload->cycle_us);
+  slot_width_ = sim::Duration::microseconds(payload->slot_us);
+  owners_ = payload->slot_owners;
+  last_beacon_wire_bytes_ = packet.wire_size();
+
+  const auto mine = std::find(owners_.begin(), owners_.end(), self_);
+  my_slot_ = mine == owners_.end()
+                 ? -1
+                 : static_cast<int>(mine - owners_.begin());
+
+  const NodeMacState before = state_;
+  state_ = my_slot_ >= 0 ? NodeMacState::kJoined
+                         : (state_ == NodeMacState::kJoined
+                                ? NodeMacState::kSearching
+                                : state_);
+  if (state_ != before) {
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+                 std::string("state ") + to_string(before) + " -> " +
+                     to_string(state_));
+  }
+
+  // Anchor the cycle at the instant the beacon's first bit hit the air.
+  last_cycle_start_ = rx_time - beacon_air_estimate();
+  schedule_cycle(last_cycle_start_);
+}
+
+void NodeMac::schedule_cycle(sim::TimePoint cycle_start) {
+  const sim::TimePoint now = simulator_.now();
+  sim::TimePoint earliest_radio_use = sim::TimePoint::max();
+
+  // 1. Our data slot, if we own one and have something to say.  Data slot i
+  //    occupies [cycle_start + (1+i)*slot, +slot).
+  if (my_slot_ >= 0 && !tx_queue_.empty()) {
+    const sim::TimePoint slot_start =
+        cycle_start + slot_width_ * (1 + my_slot_);
+    if (slot_start > now) {
+      os_.timers().start_oneshot("mac.slot_tx", slot_start - now,
+                                 [this] { transmit_queued(); });
+      earliest_radio_use = std::min(earliest_radio_use, slot_start);
+    }
+  }
+
+  // 2. Slot request when we are not (yet) in the table.
+  if (my_slot_ < 0 && (state_ == NodeMacState::kSearching ||
+                       state_ == NodeMacState::kJoining)) {
+    send_slot_request(cycle_start);
+    earliest_radio_use = now;  // SSR timing is internal; skip power-down
+  }
+
+  // 3. Next beacon wake-up, guard time ahead of the expectation.
+  const sim::TimePoint expected_next = cycle_start + cycle_;
+  const sim::Duration guard = config_.guard(cycle_);
+  const sim::TimePoint wake = expected_next - guard;
+  if (wake > now) {
+    os_.timers().start_oneshot("mac.beacon_wake", wake - now,
+                               [this] { wake_for_beacon(); });
+    earliest_radio_use = std::min(earliest_radio_use, wake);
+  } else {
+    // Degenerate guard (cycle shorter than guard): stay listening.
+    wake_for_beacon();
+    earliest_radio_use = now;
+  }
+
+  if (earliest_radio_use > now) plan_power_down(earliest_radio_use);
+}
+
+void NodeMac::plan_power_down(sim::TimePoint next_use) {
+  if (!config_.radio_power_down) return;
+  auto& radio = os_.radio().radio();
+  if (os_.radio().listening() || os_.radio().sending()) return;
+  if (radio.state() != hw::RadioState::kStandby) return;
+
+  const sim::TimePoint now = simulator_.now();
+  const sim::Duration lead =
+      radio.params().powerup_time + config_.power_up_margin;
+  // Not worth the crystal restart when the idle stretch is too short.
+  if (next_use - now <= lead + config_.power_up_margin) return;
+
+  radio.power_down();
+  os_.timers().start_oneshot("mac.radio_powerup", (next_use - now) - lead,
+                             [this] {
+                               auto& r = os_.radio().radio();
+                               if (r.state() == hw::RadioState::kPowerDown) {
+                                 r.power_up();
+                               }
+                             });
+}
+
+void NodeMac::send_slot_request(sim::TimePoint cycle_start) {
+  const sim::TimePoint now = simulator_.now();
+  // ~1 ms after TX kickoff covers FIFO clock-in + settling + the burst.
+  const sim::Duration tx_window = sim::Duration::milliseconds(1);
+
+  std::uint8_t wanted = 0xFF;
+  sim::TimePoint ssr_at;
+
+  if (config_.variant == TdmaVariant::kStatic) {
+    // Pick a random free slot and a random jitter inside it.
+    std::vector<std::uint8_t> free_slots;
+    for (std::size_t i = 0; i < owners_.size(); ++i) {
+      if (owners_[i] == kFreeSlot) {
+        free_slots.push_back(static_cast<std::uint8_t>(i));
+      }
+    }
+    if (free_slots.empty()) return;  // network full: stay searching
+    wanted = free_slots[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(free_slots.size()) - 1))];
+    const sim::TimePoint slot_start =
+        cycle_start + slot_width_ * (1 + wanted);
+    const double span =
+        (slot_width_ - tx_window).to_seconds();
+    ssr_at = slot_start +
+             sim::Duration::from_seconds(rng_.uniform(0.0, std::max(0.0, span)));
+  } else {
+    // Dynamic: random instant inside the ES window (tail of slot 0).
+    const sim::TimePoint es_start =
+        cycle_start + beacon_air_estimate() +
+        sim::Duration::from_microseconds(200);
+    const sim::TimePoint es_end = cycle_start + slot_width_;
+    const double span = (es_end - es_start - tx_window).to_seconds();
+    if (span <= 0) return;
+    ssr_at = es_start + sim::Duration::from_seconds(rng_.uniform(0.0, span));
+  }
+
+  if (ssr_at <= now) return;  // window already passed this cycle
+
+  state_ = NodeMacState::kJoining;
+  os_.timers().start_oneshot("mac.ssr", ssr_at - now, [this, wanted] {
+    os_.scheduler().post("mac.join", 500, [this, wanted] {
+      if (os_.radio().sending() || os_.radio().listening()) return;
+      net::Packet req;
+      req.header.dest = bs_address_;
+      req.header.src = self_;
+      req.header.type = net::PacketType::kSlotRequest;
+      req.header.seq = data_seq_++;
+      req.payload = {wanted};
+      ++stats_.slot_requests_sent;
+      tracer_.emit(simulator_.now(), sim::TraceCategory::kMac,
+                   os_.node_name(),
+                   "SSR (slot " + std::to_string(wanted) + ")");
+      os_.radio().send(req, [this] {
+        if (!config_.fast_grant) return;
+        // Keep the receiver open briefly: the base station answers an
+        // accepted request with a directed SlotGrant right away.
+        os_.radio().start_listen();
+        grant_timer_ = os_.timers().start_oneshot(
+            "mac.grant_timeout", config_.grant_wait, [this] {
+              grant_timer_ = os::TimerService::kInvalidTimer;
+              if (os_.radio().listening() &&
+                  os_.radio().radio().state() != hw::RadioState::kRxClockOut) {
+                os_.radio().stop_listen();
+              }
+            });
+      });
+    });
+  });
+}
+
+void NodeMac::process_grant(const net::Packet& packet) {
+  const auto grant = net::SlotGrantPayload::deserialize(packet.payload);
+  if (!grant) return;
+  ++stats_.grants_received;
+  if (grant_timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(grant_timer_);
+    grant_timer_ = os::TimerService::kInvalidTimer;
+  }
+  if (os_.radio().listening()) os_.radio().stop_listen();
+
+  my_slot_ = grant->slot_index;
+  state_ = NodeMacState::kJoined;
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+               "fast grant: slot " + std::to_string(my_slot_));
+
+  // In the static variant the granted slot may still lie ahead inside the
+  // current cycle; use it.  (Dynamic grants extend the cycle beyond the
+  // in-flight one, so the first transmission waits for the next beacon.)
+  if (config_.variant == TdmaVariant::kStatic && !tx_queue_.empty() &&
+      !cycle_.is_zero()) {
+    const sim::TimePoint slot_start =
+        last_cycle_start_ + slot_width_ * (1 + my_slot_);
+    const sim::TimePoint now = simulator_.now();
+    if (slot_start > now) {
+      os_.timers().start_oneshot("mac.slot_tx", slot_start - now,
+                                 [this] { transmit_queued(); });
+    }
+  }
+}
+
+void NodeMac::process_ack(const net::Packet&) {
+  if (!awaiting_ack_) return;
+  awaiting_ack_ = false;
+  ++stats_.acks_received;
+  if (ack_timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(ack_timer_);
+    ack_timer_ = os::TimerService::kInvalidTimer;
+  }
+  if (os_.radio().listening()) os_.radio().stop_listen();
+  // Delivery confirmed: retire the frame at the head of the queue.
+  if (!tx_queue_.empty()) tx_queue_.pop_front();
+  retries_ = 0;
+}
+
+void NodeMac::on_ack_timeout() {
+  ack_timer_ = os::TimerService::kInvalidTimer;
+  if (!awaiting_ack_) return;
+  awaiting_ack_ = false;
+  if (os_.radio().listening() &&
+      os_.radio().radio().state() != hw::RadioState::kRxClockOut) {
+    os_.radio().stop_listen();
+  }
+  if (++retries_ > config_.max_retries) {
+    // Give up on this payload; the next one gets a fresh attempt budget.
+    if (!tx_queue_.empty()) tx_queue_.pop_front();
+    ++stats_.retry_drops;
+    retries_ = 0;
+  }
+}
+
+void NodeMac::transmit_queued() {
+  if (tx_queue_.empty() || my_slot_ < 0) return;
+  // In ACK mode the payload stays at the head until it is acknowledged
+  // (or abandoned); otherwise transmission is fire-and-forget.
+  std::vector<std::uint8_t> payload = tx_queue_.front();
+  if (!config_.ack_data) tx_queue_.pop_front();
+
+  const std::uint64_t cycles = 260 + 6 * payload.size();
+  os_.scheduler().post(
+      "mac.prepare_tx", cycles, [this, payload = std::move(payload)] {
+        if (os_.radio().sending() || os_.radio().listening()) return;
+        net::Packet data;
+        data.header.dest = bs_address_;
+        data.header.src = self_;
+        data.header.type = net::PacketType::kData;
+        data.header.seq = data_seq_++;
+        data.payload = payload;
+        ++stats_.data_sent;
+        if (config_.ack_data && retries_ > 0) ++stats_.retransmissions;
+        tracer_.emit(simulator_.now(), sim::TraceCategory::kMac,
+                     os_.node_name(),
+                     "Si data tx slot=" + std::to_string(my_slot_) + " len=" +
+                         std::to_string(data.payload.size()));
+        os_.radio().send(data, [this] {
+          if (!config_.ack_data) return;
+          // Hold the receiver open for the in-slot acknowledgement.
+          awaiting_ack_ = true;
+          os_.radio().start_listen();
+          ack_timer_ = os_.timers().start_oneshot(
+              "mac.ack_timeout", config_.ack_wait, [this] { on_ack_timeout(); });
+        });
+      });
+}
+
+void NodeMac::wake_for_beacon() {
+  if (state_ == NodeMacState::kBooting) return;
+  if (!os_.radio().listening() && !os_.radio().sending()) {
+    os_.radio().start_listen();
+  }
+  // Declare the beacon missed if it has not arrived by
+  // guard (to the expectation) + guard (symmetric late bound) + air + margin.
+  const sim::Duration guard = config_.guard(cycle_);
+  const sim::Duration timeout =
+      guard + guard + beacon_air_estimate() + config_.beacon_timeout_margin;
+  timeout_timer_ = os_.timers().start_oneshot(
+      "mac.beacon_timeout", timeout, [this] { on_beacon_timeout(); });
+}
+
+void NodeMac::on_beacon_timeout() {
+  timeout_timer_ = os::TimerService::kInvalidTimer;
+  if (os_.radio().radio().state() == hw::RadioState::kRxClockOut) {
+    // The beacon is being clocked out of the FIFO right now; give it the
+    // benefit of the doubt.
+    timeout_timer_ = os_.timers().start_oneshot(
+        "mac.beacon_timeout", sim::Duration::from_microseconds(500),
+        [this] { on_beacon_timeout(); });
+    return;
+  }
+
+  ++stats_.beacons_missed;
+  ++missed_;
+  if (os_.radio().listening()) os_.radio().stop_listen();
+
+  if (missed_ > config_.missed_beacon_limit || cycle_.is_zero()) {
+    enter_search();
+    return;
+  }
+
+  // Dead reckoning: assume the beacon fired exactly on schedule and plan
+  // the cycle from the expectation.
+  last_cycle_start_ = last_cycle_start_ + cycle_;
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+               "beacon missed (" + std::to_string(missed_) +
+                   "), dead reckoning");
+  schedule_cycle(last_cycle_start_);
+}
+
+}  // namespace bansim::mac

@@ -1,0 +1,132 @@
+// Sensor-node side of the TDMA MAC.
+//
+// A node's life cycle (Figures 2 and 3):
+//   searching -> it listens continuously until a beacon arrives;
+//   joining   -> it transmits a slot request (SSR): in the static variant
+//                inside a randomly chosen *free* data slot, in the dynamic
+//                variant at a random instant inside the ES window;
+//   joined    -> every cycle it wakes shortly before the expected beacon
+//                (guard time covering mutual clock drift), receives the
+//                beacon (RB), resynchronizes, transmits at most one queued
+//                payload in its own slot, and sleeps the rest of the cycle.
+// Missed beacons are tolerated by dead reckoning up to a limit, after which
+// the node falls back to a full resynchronization listen.
+//
+// All waiting is done through the OS timer service, so every wake-up goes
+// through the real interrupt path and the node's DCO skew stretches every
+// interval — the physical mechanism behind the guard-time requirement.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mac/tdma_config.hpp"
+#include "net/packet.hpp"
+#include "os/node_os.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace bansim::mac {
+
+enum class NodeMacState : std::uint8_t {
+  kBooting,
+  kSearching,
+  kJoining,
+  kJoined,
+};
+
+[[nodiscard]] const char* to_string(NodeMacState s);
+
+struct NodeMacStats {
+  std::uint64_t beacons_received{0};
+  std::uint64_t beacons_missed{0};
+  std::uint64_t foreign_beacons{0};  ///< other-PAN beacons heard and ignored
+  std::uint64_t resyncs{0};          ///< fell back to continuous listen
+  std::uint64_t slot_requests_sent{0};
+  std::uint64_t data_sent{0};
+  std::uint64_t payloads_dropped{0}; ///< queue overflow (producer too fast)
+  std::uint64_t grants_received{0};  ///< fast grants caught after an SSR
+  std::uint64_t acks_received{0};    ///< link-layer ACKs (ack_data mode)
+  std::uint64_t retransmissions{0};  ///< data frames retried after ACK loss
+  std::uint64_t retry_drops{0};      ///< payloads dropped after max_retries
+};
+
+class NodeMac {
+ public:
+  NodeMac(sim::Simulator& simulator, sim::Tracer& tracer, os::NodeOs& node_os,
+          const TdmaConfig& config, net::NodeId self, sim::Rng rng);
+
+  /// Powers the radio and begins searching for the network.
+  void start();
+
+  // --- Application interface -----------------------------------------------
+
+  /// Queues a payload for transmission in this node's next owned slot (one
+  /// frame per cycle).  Oldest entries are dropped beyond the queue bound.
+  void queue_payload(std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] bool joined() const { return state_ == NodeMacState::kJoined; }
+  [[nodiscard]] NodeMacState state() const { return state_; }
+  [[nodiscard]] int slot_index() const { return my_slot_; }
+  [[nodiscard]] sim::Duration known_cycle() const { return cycle_; }
+  [[nodiscard]] std::size_t queue_depth() const { return tx_queue_.size(); }
+  [[nodiscard]] const NodeMacStats& stats() const { return stats_; }
+
+  /// Bound on the transmit queue.
+  static constexpr std::size_t kMaxQueue = 8;
+
+ private:
+  void on_packet(const net::Packet& packet);
+  void process_beacon(const net::Packet& packet, sim::TimePoint rx_time);
+  void process_grant(const net::Packet& packet);
+  void process_ack(const net::Packet& packet);
+  void on_ack_timeout();
+
+  /// Plans the current cycle from an (estimated) beacon air-start time:
+  /// slot transmission, SSR if still unjoined, next beacon wake-up.
+  void schedule_cycle(sim::TimePoint cycle_start);
+
+  void send_slot_request(sim::TimePoint cycle_start);
+  void transmit_queued();
+  void wake_for_beacon();
+
+  /// radio_power_down policy: drops the radio into power-down now and
+  /// schedules the crystal start-up so standby is reached by `next_use`.
+  void plan_power_down(sim::TimePoint next_use);
+  void on_beacon_timeout();
+  void enter_search();
+
+  [[nodiscard]] sim::Duration beacon_air_estimate() const;
+
+  sim::Simulator& simulator_;
+  sim::Tracer& tracer_;
+  os::NodeOs& os_;
+  TdmaConfig config_;
+  net::NodeId self_;
+  sim::Rng rng_;
+
+  NodeMacState state_{NodeMacState::kBooting};
+  std::deque<std::vector<std::uint8_t>> tx_queue_;
+  std::uint8_t data_seq_{0};
+  net::NodeId bs_address_;  ///< derived from the configured PAN
+
+  // Last known schedule (from the most recent beacon).
+  sim::Duration cycle_{sim::Duration::zero()};
+  sim::Duration slot_width_{sim::Duration::zero()};
+  std::vector<net::NodeId> owners_;
+  int my_slot_{-1};
+  sim::TimePoint last_cycle_start_;
+  std::size_t last_beacon_wire_bytes_{0};
+  std::uint8_t missed_{0};
+
+  os::TimerService::TimerId timeout_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId grant_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId ack_timer_{os::TimerService::kInvalidTimer};
+  std::uint8_t retries_{0};         ///< attempts for the frame at queue front
+  bool awaiting_ack_{false};
+  NodeMacStats stats_;
+};
+
+}  // namespace bansim::mac

@@ -1,0 +1,23 @@
+#include "net/crc16.hpp"
+
+namespace bansim::net {
+
+std::uint16_t crc16_ccitt_update(std::uint16_t crc, std::uint8_t byte) {
+  crc ^= static_cast<std::uint16_t>(byte) << 8;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (crc & 0x8000) {
+      crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+    } else {
+      crc = static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data, std::uint16_t init) {
+  std::uint16_t crc = init;
+  for (std::uint8_t b : data) crc = crc16_ccitt_update(crc, b);
+  return crc;
+}
+
+}  // namespace bansim::net

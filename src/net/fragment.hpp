@@ -1,0 +1,70 @@
+// Block fragmentation over the small ShockBurst payload.
+//
+// An EEG sample block (a delta-compressed multi-channel chunk) routinely
+// exceeds the radio's 24-byte application payload.  The Fragmenter splits
+// a block into numbered fragments with a 3-byte header; the Reassembler at
+// the base station rebuilds blocks, tolerating loss (incomplete blocks are
+// discarded when a newer block completes) and duplicate delivery (ARQ
+// retransmissions).
+//
+// Fragment layout: | block_id (1B) | frag_index (1B) | frag_count (1B) | data |
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace bansim::net {
+
+inline constexpr std::size_t kFragmentHeaderBytes = 3;
+
+/// Splits `block` into fragments whose total size (header + chunk) fits
+/// `max_payload`.  Returns at most 255 fragments; blocks that would need
+/// more are rejected (empty result).
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> fragment_block(
+    std::uint8_t block_id, std::span<const std::uint8_t> block,
+    std::size_t max_payload);
+
+/// One reassembled block.
+struct ReassembledBlock {
+  std::uint8_t block_id{0};
+  std::vector<std::uint8_t> data;
+};
+
+class Reassembler {
+ public:
+  /// Feeds one received fragment; returns the completed block when this
+  /// fragment was the last missing piece.
+  std::optional<ReassembledBlock> feed(std::span<const std::uint8_t> fragment);
+
+  [[nodiscard]] std::uint64_t blocks_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t fragments_accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t fragments_rejected() const { return rejected_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t blocks_abandoned() const { return abandoned_; }
+
+  /// Blocks currently partially assembled (diagnostics).
+  [[nodiscard]] std::size_t pending_blocks() const { return pending_.size(); }
+
+  /// Incomplete blocks older than `keep` completed block ids are dropped;
+  /// bounded memory under sustained loss.
+  static constexpr std::size_t kMaxPending = 4;
+
+ private:
+  struct Partial {
+    std::vector<std::vector<std::uint8_t>> chunks;  ///< indexed by frag_index
+    std::vector<bool> have;                         ///< parallel to chunks
+    std::size_t received{0};
+  };
+
+  std::map<std::uint8_t, Partial> pending_;
+  std::uint64_t completed_{0};
+  std::uint64_t accepted_{0};
+  std::uint64_t rejected_{0};
+  std::uint64_t duplicates_{0};
+  std::uint64_t abandoned_{0};
+};
+
+}  // namespace bansim::net

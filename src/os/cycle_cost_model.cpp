@@ -1,0 +1,50 @@
+#include "os/cycle_cost_model.hpp"
+
+namespace bansim::os {
+
+void CycleCostModel::set(std::string task, std::uint64_t cycles) {
+  for (auto& [name, cost] : table_) {
+    if (name == task) {
+      cost = cycles;
+      return;
+    }
+  }
+  table_.emplace_back(std::move(task), cycles);
+}
+
+std::uint64_t CycleCostModel::lookup(std::string_view task,
+                                     std::uint64_t actual) const {
+  for (const auto& [name, cost] : table_) {
+    if (name == task) return cost;
+  }
+  return actual;
+}
+
+bool CycleCostModel::has(std::string_view task) const {
+  for (const auto& [name, cost] : table_) {
+    if (name == task) return true;
+  }
+  return false;
+}
+
+CycleCostModel CycleCostModel::platform_defaults() {
+  // Calibrated averages, in the spirit of PowerTOSSIM's basic-block map:
+  // each entry is the mean cost observed on the bench for that code path,
+  // rounded up a little for safety margin.  The real executions are data
+  // dependent, which is precisely why the estimates are not exact.
+  CycleCostModel m;
+  m.set("radio.clockin", 1600);
+  m.set("radio.clockout", 1750);
+  m.set("radio.rx_dispatch", 300);
+  m.set("mac.beacon_proc", 430);
+  m.set("mac.prepare_tx", 350);
+  m.set("mac.join", 500);
+  m.set("app.acq_frame", 8450);
+  m.set("app.rpeak_step", 460);
+  m.set("app.pack_payload", 260);
+  m.set("bs.handle_rx", 420);
+  m.set("bs.emit_beacon", 380);
+  return m;
+}
+
+}  // namespace bansim::os

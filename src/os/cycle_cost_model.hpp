@@ -1,0 +1,40 @@
+// Task-name -> nominal-cycle-count mapping.
+//
+// PowerTOSSIM estimates CPU time by mapping basic blocks to fixed cycle
+// counts; the paper reuses that idea (Section 4.1) and inherits its main
+// weakness: the mapping is a calibrated average, while the silicon executes
+// data-dependent paths.  In this reproduction the *reference* ("Real")
+// scheduler charges each task its actual, data-dependent cycles, while the
+// *model* ("Sim") scheduler consults this table — so the µC estimation
+// error has the same structural cause as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bansim::os {
+
+class CycleCostModel {
+ public:
+  /// Registers (or overwrites) the nominal cost of `task`.
+  void set(std::string task, std::uint64_t cycles);
+
+  /// Nominal cost of `task`; falls back to `actual` when the task was never
+  /// calibrated (the mapping tool saw no such block).
+  [[nodiscard]] std::uint64_t lookup(std::string_view task,
+                                     std::uint64_t actual) const;
+
+  [[nodiscard]] bool has(std::string_view task) const;
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// The calibration table shipped with the simulator: averages measured on
+  /// the reference platform for every task the BAN software posts.
+  [[nodiscard]] static CycleCostModel platform_defaults();
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> table_;
+};
+
+}  // namespace bansim::os

@@ -1,0 +1,15 @@
+#include "os/node_os.hpp"
+
+namespace bansim::os {
+
+NodeOs::NodeOs(sim::Simulator& simulator, sim::Tracer& tracer,
+               hw::Board& board, ModelProbe& probe,
+               const CycleCostModel* nominal_costs)
+    : board_{board},
+      power_{},
+      scheduler_{simulator, tracer, board.mcu(), power_, board.name(), probe,
+                 nominal_costs},
+      timers_{simulator, board.mcu(), board.timer(), scheduler_, power_},
+      radio_driver_{simulator, board.radio(), scheduler_, probe, board.name()} {}
+
+}  // namespace bansim::os

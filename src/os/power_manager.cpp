@@ -1,0 +1,28 @@
+#include "os/power_manager.hpp"
+
+namespace bansim::os {
+
+std::size_t PowerManager::register_peripheral(std::string name,
+                                              ClockConstraint needs) {
+  peripherals_.emplace_back(std::move(name), needs);
+  return peripherals_.size() - 1;
+}
+
+void PowerManager::update(std::size_t handle, ClockConstraint needs) {
+  peripherals_[handle].second = needs;
+}
+
+hw::McuMode PowerManager::idle_mode() const {
+  ClockConstraint strictest = ClockConstraint::kNone;
+  for (const auto& [name, needs] : peripherals_) {
+    if (static_cast<int>(needs) > static_cast<int>(strictest)) strictest = needs;
+  }
+  switch (strictest) {
+    case ClockConstraint::kSmclk: return hw::McuMode::kLpm1;
+    case ClockConstraint::kAclk: return hw::McuMode::kLpm3;
+    case ClockConstraint::kNone: return hw::McuMode::kLpm4;
+  }
+  return hw::McuMode::kLpm1;
+}
+
+}  // namespace bansim::os

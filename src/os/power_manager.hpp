@@ -1,0 +1,43 @@
+// TinyOS power management.
+//
+// When the task queue drains, TinyOS selects the deepest low-power mode
+// compatible with the peripherals still in use ("the TinyOS scheduler
+// calculates in which of the 5 available power save modes the
+// microcontroller will be put", Section 4.1).  Peripherals register clock
+// constraints; the manager picks the deepest mode that keeps every required
+// clock alive.  Because the BAN applications always keep the Timer_A
+// compare unit running on SMCLK, the chosen mode is in practice always
+// LPM1 — matching the paper's observation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/mcu.hpp"
+
+namespace bansim::os {
+
+/// Clock resources a peripheral can pin.
+enum class ClockConstraint : std::uint8_t {
+  kNone = 0,      ///< no clock needed; LPM4 acceptable
+  kAclk = 1,      ///< 32 kHz crystal; LPM3 acceptable
+  kSmclk = 2,     ///< sub-main clock (DCO); at most LPM1
+};
+
+class PowerManager {
+ public:
+  /// Declares a named constraint; returns a handle for updates.
+  std::size_t register_peripheral(std::string name, ClockConstraint needs);
+
+  /// Updates a peripheral's requirement (e.g. timer stopped -> kNone).
+  void update(std::size_t handle, ClockConstraint needs);
+
+  /// The deepest mode compatible with every current constraint.
+  [[nodiscard]] hw::McuMode idle_mode() const;
+
+ private:
+  std::vector<std::pair<std::string, ClockConstraint>> peripherals_;
+};
+
+}  // namespace bansim::os

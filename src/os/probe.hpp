@@ -1,0 +1,57 @@
+// Observation interface of the energy estimation model.
+//
+// The paper's estimator does not watch the silicon; it watches the *OS-level
+// event stream* of the TOSSIM simulation: which tasks ran, when the MAC
+// commanded the radio on and off, which packets crossed the air.  ModelProbe
+// is that event stream.  The OS, driver and MAC layers publish coarse
+// semantic events here, and core::EnergyEstimator turns them into the
+// paper's E = I * Vdd * t model — without ever seeing settle phases, wake-up
+// transients, clock skew or data-dependent cycle counts.  The gap between
+// the estimate and the Board meters is therefore structural, exactly like
+// the paper's Sim-vs-Real gap.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace bansim::os {
+
+class ModelProbe {
+ public:
+  virtual ~ModelProbe() = default;
+
+  /// A named OS task or interrupt handler was executed.
+  virtual void on_task(std::string_view node, std::string_view task,
+                       sim::TimePoint when) = 0;
+
+  /// The MAC/driver commanded the receiver on (start of a listen window).
+  virtual void on_radio_rx_on(std::string_view node, sim::TimePoint when) = 0;
+
+  /// The MAC/driver commanded the receiver off.
+  virtual void on_radio_rx_off(std::string_view node, sim::TimePoint when) = 0;
+
+  /// A frame of `frame_bytes` serialized bytes was handed to the radio for
+  /// transmission.
+  virtual void on_radio_tx(std::string_view node, std::size_t frame_bytes,
+                           sim::TimePoint when) = 0;
+
+  /// A frame crossed the stack boundary (sent or received by this node);
+  /// lets the estimator account control-packet overhead separately.
+  virtual void on_packet(std::string_view node, net::PacketType type,
+                         bool transmit, sim::TimePoint when) = 0;
+};
+
+/// Discards everything; used when no estimator is attached.
+class NullProbe final : public ModelProbe {
+ public:
+  void on_task(std::string_view, std::string_view, sim::TimePoint) override {}
+  void on_radio_rx_on(std::string_view, sim::TimePoint) override {}
+  void on_radio_rx_off(std::string_view, sim::TimePoint) override {}
+  void on_radio_tx(std::string_view, std::size_t, sim::TimePoint) override {}
+  void on_packet(std::string_view, net::PacketType, bool, sim::TimePoint) override {}
+};
+
+}  // namespace bansim::os

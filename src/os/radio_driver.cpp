@@ -1,0 +1,77 @@
+#include "os/radio_driver.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace bansim::os {
+
+RadioDriver::RadioDriver(sim::Simulator& simulator, hw::RadioNrf2401& radio,
+                         TaskScheduler& scheduler, ModelProbe& probe,
+                         std::string node_name)
+    : simulator_{simulator}, radio_{radio}, scheduler_{scheduler},
+      probe_{probe}, node_{std::move(node_name)} {
+  hw::RadioNrf2401::Callbacks callbacks;
+  callbacks.on_clockout_start = [this](std::size_t frame_bytes) {
+    // DR1 asserted: the MCU wakes on the data-ready interrupt and clocks
+    // the frame out of the FIFO.
+    scheduler_.raise_interrupt("radio.clockout",
+                               kCyclesPerSpiByte * frame_bytes, nullptr);
+  };
+  callbacks.on_receive = [this](const net::Packet& packet) {
+    probe_.on_packet(node_, packet.header.type, /*transmit=*/false,
+                     simulator_.now());
+    const std::uint64_t cycles = 180 + 8 * packet.payload.size();
+    scheduler_.post("radio.rx_dispatch", cycles, [this, packet] {
+      if (receive_handler_) receive_handler_(packet);
+    });
+  };
+  callbacks.on_send_done = [this] {
+    send_in_progress_ = false;
+    if (auto done = std::exchange(send_done_, nullptr)) done();
+  };
+  radio_.set_callbacks(std::move(callbacks));
+}
+
+void RadioDriver::init(std::function<void()> ready) {
+  radio_.power_up();
+  // Poll-free: the crystal start-up takes the datasheet time; model the
+  // readiness notification as a one-shot at that horizon.
+  simulator_.schedule_in(radio_.params().powerup_time,
+                         [ready = std::move(ready)] {
+                           if (ready) ready();
+                         });
+}
+
+void RadioDriver::send(const net::Packet& packet, std::function<void()> done) {
+  assert(!send_in_progress_ && "driver supports one outstanding send");
+  send_in_progress_ = true;
+  send_done_ = std::move(done);
+
+  const auto frame_bytes = packet.wire_size();
+  probe_.on_radio_tx(node_, frame_bytes, simulator_.now());
+  probe_.on_packet(node_, packet.header.type, /*transmit=*/true,
+                   simulator_.now());
+
+  // The MCU bit-bangs the FIFO while the radio clocks it in: both devices
+  // are busy for the same stretch, so the cost is charged concurrently.
+  scheduler_.post("radio.clockin", kCyclesPerSpiByte * frame_bytes, nullptr);
+  radio_.send(packet);
+}
+
+void RadioDriver::start_listen() {
+  probe_.on_radio_rx_on(node_, simulator_.now());
+  radio_.start_rx();
+}
+
+void RadioDriver::stop_listen() {
+  probe_.on_radio_rx_off(node_, simulator_.now());
+  radio_.stop_rx();
+}
+
+bool RadioDriver::listening() const {
+  const auto s = radio_.state();
+  return s == hw::RadioState::kRxSettle || s == hw::RadioState::kRxListen ||
+         s == hw::RadioState::kRxClockOut;
+}
+
+}  // namespace bansim::os

@@ -1,0 +1,77 @@
+#include "os/task_scheduler.hpp"
+
+namespace bansim::os {
+
+TaskScheduler::TaskScheduler(sim::Simulator& simulator, sim::Tracer& tracer,
+                             hw::Mcu& mcu, PowerManager& power,
+                             std::string node_name, ModelProbe& probe,
+                             const CycleCostModel* nominal_costs)
+    : simulator_{simulator}, tracer_{tracer}, mcu_{mcu}, power_{power},
+      node_{std::move(node_name)}, probe_{probe},
+      nominal_costs_{nominal_costs} {}
+
+void TaskScheduler::post(std::string name, std::uint64_t cycles,
+                         std::function<void()> body) {
+  queue_.push_back(Entry{std::move(name), cycles, std::move(body), false});
+  if (!running_) dispatch_next();
+}
+
+void TaskScheduler::raise_interrupt(std::string name, std::uint64_t cycles,
+                                    std::function<void()> handler) {
+  // Interrupts pre-empt the queue order but not a task already in flight
+  // (run-to-completion): the handler is dispatched before any queued task.
+  queue_.push_front(Entry{std::move(name), cycles, std::move(handler), true});
+  if (!running_) dispatch_next();
+}
+
+void TaskScheduler::dispatch_next() {
+  if (queue_.empty()) {
+    // Nothing to do: the OS drops the MCU into the deepest legal LPM.
+    if (mcu_.mode() == hw::McuMode::kActive) {
+      mcu_.enter(power_.idle_mode());
+    }
+    return;
+  }
+
+  running_ = true;
+  Entry entry = std::move(queue_.front());
+  queue_.pop_front();
+
+  // Waking from an LPM stalls execution while clocks restart; the MCU draws
+  // active current for that stretch but does no useful work.
+  sim::Duration latency = sim::Duration::zero();
+  if (mcu_.mode() != hw::McuMode::kActive) {
+    latency = mcu_.enter(hw::McuMode::kActive);
+  }
+
+  std::uint64_t cycles = entry.cycles;
+  if (nominal_costs_) {
+    // Estimation-model mode: charge the calibrated average for this code
+    // path instead of the data-dependent actual count.
+    cycles = nominal_costs_->lookup(entry.name, entry.cycles);
+  }
+  if (entry.is_interrupt) {
+    cycles += mcu_.isr_overhead_cycles();
+    ++interrupts_run_;
+  } else {
+    ++tasks_run_;
+  }
+
+  probe_.on_task(node_, entry.name, simulator_.now());
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kOs, node_,
+               (entry.is_interrupt ? "isr " : "task ") + entry.name + " (" +
+                   std::to_string(cycles) + " cyc)");
+
+  const sim::Duration busy = latency + mcu_.cycles_to_time(cycles);
+  simulator_.schedule_in(busy, [this, body = std::move(entry.body)] {
+    // The body runs at completion time: side effects (radio commands,
+    // posting follow-up tasks) happen after the computation they model.
+    // running_ stays set while the body executes, so anything it posts or
+    // raises is enqueued — interrupts at the front — and dispatched next.
+    if (body) body();
+    running_ = false;
+    dispatch_next();
+  });
+}
+
+}  // namespace bansim::os

@@ -1,0 +1,14 @@
+#include "phy/air_frame.hpp"
+
+namespace bansim::phy {
+
+sim::Duration air_time(const PhyConfig& cfg, std::size_t frame_bytes) {
+  // Packet::serialize() already contains the 2 CRC bytes, so the PHY adds
+  // only preamble and address framing on top of the byte image.
+  const double bits = static_cast<double>(cfg.preamble_bits) +
+                      static_cast<double>(cfg.address_bits) +
+                      static_cast<double>(frame_bytes) * 8.0;
+  return sim::Duration::from_seconds(bits / cfg.air_rate_bps);
+}
+
+}  // namespace bansim::phy

@@ -1,0 +1,43 @@
+// Physical-layer framing of the nRF2401 air interface.
+//
+// On the air, a ShockBurst frame is PREAMBLE | ADDRESS | PAYLOAD | CRC16,
+// shifted out at the configured air data rate (1 Mbps on the paper's
+// platform).  AirTime captures that arithmetic in one place so the radio
+// model, the channel and the energy estimator all agree on how long a given
+// packet occupies the medium.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bansim::phy {
+
+/// Radio-PHY framing constants (nRF2401, ShockBurst).
+struct PhyConfig {
+  double air_rate_bps{1'000'000.0};  ///< 1 Mbps ShockBurst on-air rate
+  std::uint32_t preamble_bits{8};
+  std::uint32_t address_bits{40};    ///< the chip supports 8-40; platform uses 40
+  std::uint32_t crc_bits{16};
+};
+
+/// Time the medium is occupied by `payload_bytes` of MAC-level bytes
+/// (header+payload+CRC as produced by Packet::serialize(), whose CRC bytes
+/// replace the PHY CRC field — the nRF2401 generates the CRC in hardware,
+/// so serialize()'s trailing 2 bytes model exactly those bits).
+[[nodiscard]] sim::Duration air_time(const PhyConfig& cfg, std::size_t frame_bytes);
+
+/// One transmission in flight on the channel.
+struct AirFrame {
+  std::uint64_t id{0};                  ///< unique per transmission
+  std::uint32_t tx_id{0};               ///< channel handle of the transmitter
+  std::vector<std::uint8_t> bytes;      ///< serialized Packet image
+  sim::TimePoint start;                 ///< first preamble bit on the air
+  sim::Duration duration;               ///< full occupation of the medium
+  bool corrupted{false};                ///< true once any overlap occurred
+
+  [[nodiscard]] sim::TimePoint end() const { return start + duration; }
+};
+
+}  // namespace bansim::phy

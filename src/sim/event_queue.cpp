@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace bansim::sim {
+
+EventHandle EventQueue::schedule(TimePoint when, EventAction action) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{when, seq_++, std::move(action), alive});
+  ++live_;
+  return EventHandle{std::move(alive)};
+}
+
+void EventQueue::prune() const {
+  while (!heap_.empty() && !*heap_.top().alive) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  prune();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() const {
+  prune();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().when;
+}
+
+std::pair<TimePoint, EventAction> EventQueue::pop() {
+  prune();
+  assert(!heap_.empty() && "pop() on empty queue");
+  // priority_queue::top() is const&; the entry is moved out via const_cast,
+  // which is safe because the element is popped immediately after and the
+  // heap ordering does not depend on the moved-from members.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  TimePoint when = top.when;
+  EventAction action = std::move(top.action);
+  *top.alive = false;
+  heap_.pop();
+  --live_;
+  return {when, std::move(action)};
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  live_ = 0;
+}
+
+}  // namespace bansim::sim

@@ -1,0 +1,98 @@
+// Pending-event set of the discrete-event kernel.
+//
+// Events are closures scheduled for an absolute TimePoint.  Ties are broken
+// by insertion order (FIFO among same-time events), which the TinyOS-style
+// layers above rely on for deterministic task/interrupt interleaving.
+// Cancellation is supported through EventHandle without removing entries
+// from the heap (lazy deletion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bansim::sim {
+
+using EventAction = std::function<void()>;
+
+/// Identifies a scheduled event so it can be cancelled.  Handles are cheap
+/// to copy; a default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event is scheduled and not yet fired or cancelled.
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+  /// Cancels the event if still pending.  Safe to call repeatedly.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_{std::move(alive)} {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of (time, sequence)-ordered events with lazy cancellation.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `action` to run at absolute time `when`.
+  EventHandle schedule(TimePoint when, EventAction action);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  std::pair<TimePoint, EventAction> pop();
+
+  /// Number of scheduled events not yet fired.  Cancelled events are counted
+  /// until their entry reaches the top of the heap and is pruned, so this is
+  /// an upper bound on the live count (exact when nothing was cancelled).
+  [[nodiscard]] std::size_t size() const {
+    prune();
+    return live_;
+  }
+
+  /// Total events ever scheduled (diagnostics).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return seq_; }
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    EventAction action;
+    std::shared_ptr<bool> alive;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled entries off the top so front() is live.
+  void prune() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::size_t live_{0};
+  std::uint64_t seq_{0};
+};
+
+}  // namespace bansim::sim

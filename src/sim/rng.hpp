@@ -1,0 +1,52 @@
+// Deterministic random-number generation for reproducible experiments.
+//
+// Every stochastic model element (ECG beat jitter, dynamic-TDMA random
+// slot-request timing, clock drift, measurement noise) draws from its own
+// named stream derived from the experiment seed, so adding a new consumer
+// never perturbs the draws seen by existing ones.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bansim::sim {
+
+/// xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that any 64-bit seed (including 0)
+  /// yields a well-mixed state.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Derives an independent stream for `name` from a base seed; same
+  /// (seed, name) pair always produces the same stream.
+  static Rng stream(std::uint64_t seed, std::string_view name);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_{false};
+  double spare_{0.0};
+};
+
+/// 64-bit FNV-1a — used to fold stream names into seeds.
+std::uint64_t fnv1a64(std::string_view s);
+
+}  // namespace bansim::sim

@@ -1,0 +1,30 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bansim::sim {
+
+namespace {
+
+std::string format_with_unit(double value, const char* unit) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f %s", value, unit);
+  return buf;
+}
+
+std::string render_ns(std::int64_t ns) {
+  const double a = std::abs(static_cast<double>(ns));
+  if (a >= 1e9) return format_with_unit(static_cast<double>(ns) * 1e-9, "s");
+  if (a >= 1e6) return format_with_unit(static_cast<double>(ns) * 1e-6, "ms");
+  if (a >= 1e3) return format_with_unit(static_cast<double>(ns) * 1e-3, "us");
+  return std::to_string(ns) + " ns";
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return render_ns(ns_); }
+
+std::string TimePoint::to_string() const { return render_ns(ns_); }
+
+}  // namespace bansim::sim

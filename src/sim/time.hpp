@@ -1,0 +1,145 @@
+// Simulated-time types for the BAN simulator.
+//
+// All simulation time is kept as signed 64-bit nanosecond counts wrapped in
+// the strong types Duration and TimePoint so that durations and absolute
+// instants cannot be mixed up, and so that raw integers never leak into
+// module interfaces.  2^63 ns is ~292 years, far beyond any BAN scenario.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace bansim::sim {
+
+/// A signed span of simulated time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors; prefer these to the raw-tick factory.
+  static constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1'000}; }
+  static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+
+  /// Fractional-unit factories (round to nearest nanosecond).
+  static constexpr Duration from_seconds(double s) {
+    return Duration{round_ticks(s * 1e9)};
+  }
+  static constexpr Duration from_milliseconds(double ms) {
+    return Duration{round_ticks(ms * 1e6)};
+  }
+  static constexpr Duration from_microseconds(double us) {
+    return Duration{round_ticks(us * 1e3)};
+  }
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double to_microseconds() const { return static_cast<double>(ns_) * 1e-3; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration rhs) const { return Duration{ns_ + rhs.ns_}; }
+  constexpr Duration operator-(Duration rhs) const { return Duration{ns_ - rhs.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration& operator+=(Duration rhs) { ns_ += rhs.ns_; return *this; }
+  constexpr Duration& operator-=(Duration rhs) { ns_ -= rhs.ns_; return *this; }
+
+  /// Scale by a real factor (rounds to nearest nanosecond).
+  [[nodiscard]] constexpr Duration scaled(double factor) const {
+    return Duration{round_ticks(static_cast<double>(ns_) * factor)};
+  }
+
+  /// Integer division of two durations (how many rhs fit in *this).
+  [[nodiscard]] constexpr std::int64_t divided_by(Duration rhs) const { return ns_ / rhs.ns_; }
+
+  /// Remainder after dividing by rhs.
+  [[nodiscard]] constexpr Duration mod(Duration rhs) const { return Duration{ns_ % rhs.ns_}; }
+
+  /// Human-readable rendering with an auto-chosen unit, e.g. "1.500 ms".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+
+  static constexpr std::int64_t round_ticks(double ns) {
+    return static_cast<std::int64_t>(ns + (ns >= 0 ? 0.5 : -0.5));
+  }
+
+  std::int64_t ns_{0};
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long n) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::microseconds(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::milliseconds(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::seconds(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(long double v) {
+  return Duration::from_microseconds(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(long double v) {
+  return Duration::from_milliseconds(static_cast<double>(v));
+}
+constexpr Duration operator""_s(long double v) {
+  return Duration::from_seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+/// An absolute instant on the simulation clock.  Time starts at zero().
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint zero() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+  static constexpr TimePoint from_ticks(std::int64_t ns) { return TimePoint{ns}; }
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+
+  /// Duration since the simulation epoch.
+  [[nodiscard]] constexpr Duration since_epoch() const { return Duration::nanoseconds(ns_); }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ticks()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ticks()}; }
+  constexpr Duration operator-(TimePoint rhs) const {
+    return Duration::nanoseconds(ns_ - rhs.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ticks(); return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+}  // namespace bansim::sim

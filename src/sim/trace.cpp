@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace bansim::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kKernel: return "kernel";
+    case TraceCategory::kOs: return "os";
+    case TraceCategory::kMcu: return "mcu";
+    case TraceCategory::kRadio: return "radio";
+    case TraceCategory::kChannel: return "channel";
+    case TraceCategory::kMac: return "mac";
+    case TraceCategory::kApp: return "app";
+    case TraceCategory::kEnergy: return "energy";
+    case TraceCategory::kCount: break;
+  }
+  return "?";
+}
+
+void StdoutSink::consume(const TraceRecord& record) {
+  std::printf("%12.6f ms [%-7s] %-8s %s\n", record.when.to_milliseconds(),
+              to_string(record.category), record.node.c_str(),
+              record.message.c_str());
+}
+
+void Tracer::attach(std::shared_ptr<TraceSink> sink,
+                    std::initializer_list<TraceCategory> categories) {
+  sinks_.push_back(std::move(sink));
+  for (TraceCategory c : categories) set_enabled(c, true);
+}
+
+void Tracer::emit(TimePoint when, TraceCategory category, std::string node,
+                  std::string message) {
+  if (!enabled(category)) return;
+  TraceRecord record{when, category, std::move(node), std::move(message)};
+  for (auto& sink : sinks_) sink->consume(record);
+}
+
+}  // namespace bansim::sim

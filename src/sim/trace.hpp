@@ -1,0 +1,93 @@
+// Structured event tracing.
+//
+// Models emit timestamped records into a Tracer; sinks decide what happens
+// to them (discarded, printed, retained in memory for tests and for the
+// TDMA-timeline figures).  Tracing is designed to be cheap when nobody
+// listens: a category check is one array load.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bansim::sim {
+
+/// Trace categories, one bit of filtering granularity per subsystem.
+enum class TraceCategory : std::uint8_t {
+  kKernel = 0,   ///< event-queue / simulator internals
+  kOs,           ///< task scheduler, timers, power manager
+  kMcu,          ///< microcontroller state transitions
+  kRadio,        ///< radio state machine, FIFO, CRC
+  kChannel,      ///< air frames, collisions
+  kMac,          ///< TDMA slots, beacons, joins
+  kApp,          ///< application-level events
+  kEnergy,       ///< energy meter transitions
+  kCount
+};
+
+[[nodiscard]] const char* to_string(TraceCategory c);
+
+/// One trace record.
+struct TraceRecord {
+  TimePoint when;
+  TraceCategory category{TraceCategory::kKernel};
+  std::string node;     ///< emitting node id, empty for global events
+  std::string message;  ///< human-readable payload
+};
+
+/// Destination of trace records.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void consume(const TraceRecord& record) = 0;
+};
+
+/// Retains records in memory; used by tests and the timeline renderers.
+class MemorySink final : public TraceSink {
+ public:
+  void consume(const TraceRecord& record) override { records_.push_back(record); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Writes "t=... [cat] node: message" lines to stdout.
+class StdoutSink final : public TraceSink {
+ public:
+  void consume(const TraceRecord& record) override;
+};
+
+/// Category-filtered fan-out of trace records to registered sinks.
+class Tracer {
+ public:
+  Tracer() { enabled_.fill(false); }
+
+  /// Registers a sink and enables the categories it wants.
+  void attach(std::shared_ptr<TraceSink> sink,
+              std::initializer_list<TraceCategory> categories);
+
+  /// Enables/disables a category globally.
+  void set_enabled(TraceCategory category, bool enabled) {
+    enabled_[static_cast<std::size_t>(category)] = enabled;
+  }
+
+  [[nodiscard]] bool enabled(TraceCategory category) const {
+    return enabled_[static_cast<std::size_t>(category)];
+  }
+
+  /// Emits a record to all sinks if the category is enabled.
+  void emit(TimePoint when, TraceCategory category, std::string node,
+            std::string message);
+
+ private:
+  std::array<bool, static_cast<std::size_t>(TraceCategory::kCount)> enabled_{};
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+};
+
+}  // namespace bansim::sim

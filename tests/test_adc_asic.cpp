@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/adc12.hpp"
+#include "hw/board.hpp"
+#include "hw/sensor_asic.hpp"
+
+namespace bansim::hw {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+struct AdcFixture : ::testing::Test {
+  sim::Simulator simulator;
+  AdcParams params;
+  Adc12 adc{simulator, params, 2.5};
+};
+
+TEST_F(AdcFixture, QuantizeEndpoints) {
+  EXPECT_EQ(adc.quantize(0.0), 0);
+  EXPECT_EQ(adc.quantize(2.5), 4095);
+  EXPECT_EQ(adc.quantize(1.25), 2048);  // rounds 2047.5 up
+}
+
+TEST_F(AdcFixture, QuantizeClamps) {
+  EXPECT_EQ(adc.quantize(-1.0), 0);
+  EXPECT_EQ(adc.quantize(5.0), 4095);
+}
+
+TEST_F(AdcFixture, QuantizeIsMonotone) {
+  std::uint16_t prev = 0;
+  for (double v = 0.0; v <= 2.5; v += 0.01) {
+    const std::uint16_t code = adc.quantize(v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST_F(AdcFixture, ConversionTakesConfiguredTime) {
+  adc.set_input([](std::uint32_t) { return 1.0; });
+  TimePoint done_at;
+  std::uint16_t code = 0;
+  adc.convert(0, [&](std::uint16_t c) {
+    code = c;
+    done_at = simulator.now();
+  });
+  EXPECT_TRUE(adc.busy());
+  simulator.run();
+  EXPECT_EQ(done_at, TimePoint::zero() + params.conversion_time);
+  EXPECT_EQ(code, adc.quantize(1.0));
+  EXPECT_FALSE(adc.busy());
+  EXPECT_EQ(adc.conversions(), 1u);
+}
+
+TEST_F(AdcFixture, SamplesSelectedChannel) {
+  adc.set_input([](std::uint32_t ch) { return ch == 3 ? 2.0 : 0.0; });
+  std::uint16_t code = 0;
+  adc.convert(3, [&](std::uint16_t c) { code = c; });
+  simulator.run();
+  EXPECT_EQ(code, adc.quantize(2.0));
+}
+
+TEST(SensorAsic, ReadsAssignedSignals) {
+  sim::Simulator simulator;
+  AsicParams params;
+  SensorAsic asic{simulator, params};
+  asic.set_channel_signal(0, [](TimePoint t) {
+    return 1.0 + t.to_seconds();
+  });
+  EXPECT_DOUBLE_EQ(asic.read_channel(0), 1.0);
+  simulator.schedule_in(2_s, [] {});
+  simulator.run();
+  EXPECT_DOUBLE_EQ(asic.read_channel(0), 3.0);
+}
+
+TEST(SensorAsic, UnassignedChannelIsZero) {
+  sim::Simulator simulator;
+  SensorAsic asic{simulator, AsicParams{}};
+  EXPECT_DOUBLE_EQ(asic.read_channel(7), 0.0);
+  EXPECT_DOUBLE_EQ(asic.read_channel(99), 0.0);  // out of range is safe
+}
+
+TEST(SensorAsic, ConstantPowerEnergy) {
+  sim::Simulator simulator;
+  AsicParams params;  // 10.5 mW
+  SensorAsic asic{simulator, params};
+  EXPECT_NEAR(asic.energy(TimePoint::zero() + 60_s), 10.5e-3 * 60.0, 1e-9);
+}
+
+TEST(Board, ComposesComponentsAndWiresAdcToAsic) {
+  sim::Simulator simulator;
+  sim::Tracer tracer;
+  phy::Channel channel{simulator, tracer};
+  Board board{simulator, tracer, channel, "node1", BoardParams{}, 0.0};
+  EXPECT_EQ(board.name(), "node1");
+
+  board.asic().set_channel_signal(2, [](TimePoint) { return 1.5; });
+  std::uint16_t code = 0;
+  board.adc().convert(2, [&](std::uint16_t c) { code = c; });
+  simulator.run();
+  EXPECT_EQ(code, board.adc().quantize(1.5));
+}
+
+TEST(Board, BreakdownHasAllComponents) {
+  sim::Simulator simulator;
+  sim::Tracer tracer;
+  phy::Channel channel{simulator, tracer};
+  Board board{simulator, tracer, channel, "node1", BoardParams{}, 0.0};
+  simulator.schedule_in(1_s, [] {});
+  simulator.run();
+  const auto rows = board.breakdown(simulator.now());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].component, "mcu");
+  EXPECT_EQ(rows[1].component, "radio");
+  EXPECT_EQ(rows[2].component, "asic");
+  EXPECT_NEAR(rows[2].joules, 10.5e-3, 1e-9);
+  // MCU was active the whole second: 2 mA * 2.8 V.
+  EXPECT_NEAR(rows[0].joules, 2e-3 * 2.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace bansim::hw

@@ -1,0 +1,123 @@
+#include "hw/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bansim::hw {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+BatteryParams small_cell() {
+  BatteryParams p;
+  p.capacity_mah = 100.0;
+  p.nominal_volts = 3.0;
+  p.peukert_exponent = 1.0;  // ideal cell unless a test opts in
+  return p;
+}
+
+TEST(Battery, CapacityArithmetic) {
+  Battery b{small_cell()};
+  // 100 mAh at 3 V = 0.1 * 3600 * 3 = 1080 J.
+  EXPECT_NEAR(b.capacity_joules(), 1080.0, 1e-9);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, DrawAndDepletion) {
+  Battery b{small_cell()};
+  b.draw(1000.0);
+  EXPECT_NEAR(b.remaining_joules(), 80.0, 1e-9);
+  b.draw(200.0);  // over-draw clamps
+  EXPECT_DOUBLE_EQ(b.remaining_joules(), 0.0);
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(Battery, ChargeClampsAtFull) {
+  Battery b{small_cell()};
+  b.draw(100.0);
+  b.charge(500.0);
+  EXPECT_DOUBLE_EQ(b.remaining_joules(), b.capacity_joules());
+}
+
+TEST(Battery, VoltageSagsLinearly) {
+  Battery b{small_cell()};
+  EXPECT_NEAR(b.open_circuit_volts(), 4.2, 1e-12);
+  b.draw(b.capacity_joules() / 2);
+  EXPECT_NEAR(b.open_circuit_volts(), 3.6, 1e-12);
+  b.draw(b.capacity_joules());
+  EXPECT_NEAR(b.open_circuit_volts(), 3.0, 1e-12);
+}
+
+TEST(Battery, HoursAtIdealCell) {
+  Battery b{small_cell()};
+  // 1080 J at 10 mW = 108000 s = 30 h.
+  EXPECT_NEAR(b.hours_at(0.010), 30.0, 1e-9);
+  EXPECT_TRUE(std::isinf(b.hours_at(0.0)));
+  EXPECT_TRUE(std::isinf(b.hours_at(-0.001)));
+}
+
+TEST(Battery, PeukertDeratesHighRates) {
+  BatteryParams p = small_cell();
+  p.peukert_exponent = 1.1;
+  Battery b{p};
+  // At exactly 1C the derating is 1^0.1 = 1: same as ideal.
+  const double one_c_watts = b.capacity_joules() / 3600.0;
+  EXPECT_NEAR(b.hours_at(one_c_watts), 1.0, 1e-9);
+  // Above 1C the effective capacity shrinks, below 1C it stretches.
+  EXPECT_LT(b.hours_at(2 * one_c_watts), 0.5);
+  EXPECT_GT(b.hours_at(0.5 * one_c_watts), 2.0);
+}
+
+TEST(Harvester, ConstantProfileIntegrates) {
+  Battery b{small_cell()};
+  b.draw(500.0);
+  Harvester h{[](TimePoint) { return 0.005; }, b};  // 5 mW thermoelectric
+  const double harvested =
+      h.accumulate(TimePoint::zero(), TimePoint::zero() + 1000_s);
+  EXPECT_NEAR(harvested, 5.0, 1e-9);
+  EXPECT_NEAR(b.remaining_joules(), 585.0, 1e-9);
+}
+
+TEST(Harvester, TimeVaryingProfile) {
+  Battery b{small_cell()};
+  b.draw(1000.0);
+  // Ramp 0 -> 10 mW over 100 s: integral = 0.5 J exactly (trapezoid).
+  Harvester h{[](TimePoint t) { return 1e-4 * t.to_seconds(); }, b};
+  const double harvested =
+      h.accumulate(TimePoint::zero(), TimePoint::zero() + 100_s, 100);
+  EXPECT_NEAR(harvested, 0.5, 1e-6);
+}
+
+TEST(Harvester, EmptyOrInvertedWindowIsZero) {
+  Battery b{small_cell()};
+  Harvester h{[](TimePoint) { return 1.0; }, b};
+  EXPECT_DOUBLE_EQ(
+      h.accumulate(TimePoint::zero() + 10_s, TimePoint::zero() + 10_s), 0.0);
+  EXPECT_DOUBLE_EQ(
+      h.accumulate(TimePoint::zero() + 10_s, TimePoint::zero() + 5_s), 0.0);
+}
+
+TEST(Lifetime, HarvestingExtendsLife) {
+  Battery b{small_cell()};
+  const double without = projected_lifetime_hours(b, 0.010);
+  const double with = projected_lifetime_hours(b, 0.010, 0.004);
+  EXPECT_GT(with, without);
+  EXPECT_TRUE(std::isinf(projected_lifetime_hours(b, 0.010, 0.010)));
+}
+
+TEST(Lifetime, PaperScaleSanity) {
+  // The streaming node's validated power (~600 mJ / 60 s + 10.5 mW ASIC)
+  // on the default 160 mAh cell: around a day of monitoring.
+  Battery b{BatteryParams{}};
+  const double node_watts = 0.0100 + 0.0105;
+  const double hours = projected_lifetime_hours(b, node_watts);
+  EXPECT_GT(hours, 15.0);
+  EXPECT_LT(hours, 40.0);
+}
+
+}  // namespace
+}  // namespace bansim::hw

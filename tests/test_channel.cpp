@@ -1,0 +1,178 @@
+#include "phy/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phy/air_frame.hpp"
+
+namespace bansim::phy {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+/// Records every frame boundary it hears.
+class Spy final : public MediumListener {
+ public:
+  struct Ended {
+    std::uint64_t id;
+    bool corrupted;
+    std::vector<std::uint8_t> bytes;
+  };
+  void on_frame_start(const AirFrame& frame) override {
+    starts.push_back(frame.id);
+  }
+  void on_frame_end(const AirFrame& frame, bool corrupted) override {
+    ends.push_back({frame.id, corrupted, frame.bytes});
+  }
+  std::vector<std::uint64_t> starts;
+  std::vector<Ended> ends;
+};
+
+struct ChannelFixture : ::testing::Test {
+  sim::Simulator simulator;
+  sim::Tracer tracer;
+  Channel channel{simulator, tracer};
+  Spy a, b, c;
+  std::uint32_t ia{0}, ib{0}, ic{0};
+
+  void SetUp() override {
+    ia = channel.attach(a);
+    ib = channel.attach(b);
+    ic = channel.attach(c);
+  }
+};
+
+TEST_F(ChannelFixture, DeliversToOthersNotSelf) {
+  channel.transmit(ia, {1, 2, 3}, 100_us);
+  simulator.run();
+  EXPECT_TRUE(a.starts.empty());
+  EXPECT_EQ(b.starts.size(), 1u);
+  EXPECT_EQ(c.starts.size(), 1u);
+  ASSERT_EQ(b.ends.size(), 1u);
+  EXPECT_FALSE(b.ends[0].corrupted);
+  EXPECT_EQ(b.ends[0].bytes, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(ChannelFixture, FrameEndArrivesAfterDuration) {
+  channel.transmit(ia, {0}, 250_us);
+  TimePoint end_seen;
+  simulator.schedule_in(1_ms, [] {});
+  simulator.run_until(TimePoint::zero() + 249_us);
+  EXPECT_TRUE(b.ends.empty());
+  simulator.run_until(TimePoint::zero() + 251_us);
+  EXPECT_EQ(b.ends.size(), 1u);
+}
+
+TEST_F(ChannelFixture, OverlapCorruptsBothFrames) {
+  channel.transmit(ia, {1}, 200_us);
+  simulator.run_until(TimePoint::zero() + 50_us);
+  channel.transmit(ib, {2}, 200_us);
+  simulator.run();
+  // c hears both, both corrupted.
+  ASSERT_EQ(c.ends.size(), 2u);
+  EXPECT_TRUE(c.ends[0].corrupted);
+  EXPECT_TRUE(c.ends[1].corrupted);
+  EXPECT_EQ(channel.collisions(), 1u);
+}
+
+TEST_F(ChannelFixture, NonOverlappingFramesAreClean) {
+  channel.transmit(ia, {1}, 100_us);
+  simulator.run_until(TimePoint::zero() + 150_us);
+  channel.transmit(ib, {2}, 100_us);
+  simulator.run();
+  ASSERT_EQ(c.ends.size(), 2u);
+  EXPECT_FALSE(c.ends[0].corrupted);
+  EXPECT_FALSE(c.ends[1].corrupted);
+  EXPECT_EQ(channel.collisions(), 0u);
+}
+
+TEST_F(ChannelFixture, SeveredLinkBlocksDelivery) {
+  channel.set_link(ia, ib, false);
+  EXPECT_FALSE(channel.link(ia, ib));
+  EXPECT_FALSE(channel.link(ib, ia));
+  channel.transmit(ia, {1}, 100_us);
+  simulator.run();
+  EXPECT_TRUE(b.starts.empty());
+  EXPECT_TRUE(b.ends.empty());
+  EXPECT_EQ(c.ends.size(), 1u);  // c still connected
+}
+
+TEST_F(ChannelFixture, HiddenNodesCollideAtCommonReceiver) {
+  // a and b cannot hear each other but both reach c: classic hidden node.
+  channel.set_link(ia, ib, false);
+  channel.transmit(ia, {1}, 200_us);
+  simulator.run_until(TimePoint::zero() + 20_us);
+  channel.transmit(ib, {2}, 200_us);
+  simulator.run();
+  ASSERT_EQ(c.ends.size(), 2u);
+  EXPECT_TRUE(c.ends[0].corrupted);
+  EXPECT_TRUE(c.ends[1].corrupted);
+}
+
+TEST_F(ChannelFixture, FullyIsolatedTransmittersDoNotCollide) {
+  // a-b severed AND c unreachable from b: a's frame has no receiver in
+  // common with b's, so neither is corrupted.
+  channel.set_link(ia, ib, false);
+  channel.set_link(ib, ic, false);
+  channel.transmit(ia, {1}, 200_us);
+  simulator.run_until(TimePoint::zero() + 20_us);
+  channel.transmit(ib, {2}, 200_us);
+  simulator.run();
+  ASSERT_EQ(c.ends.size(), 1u);
+  EXPECT_FALSE(c.ends[0].corrupted);
+  EXPECT_EQ(channel.collisions(), 0u);
+}
+
+TEST_F(ChannelFixture, PropagationDelayShiftsDelivery) {
+  channel.set_propagation_delay(3_us);
+  channel.transmit(ia, {1}, 100_us);
+  simulator.run_until(TimePoint::zero() + 2_us);
+  EXPECT_TRUE(b.starts.empty());
+  simulator.run_until(TimePoint::zero() + 4_us);
+  EXPECT_EQ(b.starts.size(), 1u);
+  simulator.run();
+  EXPECT_EQ(b.ends.size(), 1u);
+}
+
+TEST_F(ChannelFixture, CountsFrames) {
+  channel.transmit(ia, {1}, 10_us);
+  simulator.run();
+  channel.transmit(ib, {2}, 10_us);
+  simulator.run();
+  EXPECT_EQ(channel.frames_sent(), 2u);
+}
+
+TEST_F(ChannelFixture, ThreeWayOverlapCorruptsAll) {
+  channel.transmit(ia, {1}, 300_us);
+  simulator.run_until(TimePoint::zero() + 10_us);
+  channel.transmit(ib, {2}, 300_us);
+  simulator.run_until(TimePoint::zero() + 20_us);
+  channel.transmit(ic, {3}, 300_us);
+  simulator.run();
+  // every listener hears the two frames it did not send; all corrupted.
+  for (const Spy* spy : {&a, &b, &c}) {
+    ASSERT_EQ(spy->ends.size(), 2u);
+    EXPECT_TRUE(spy->ends[0].corrupted);
+    EXPECT_TRUE(spy->ends[1].corrupted);
+  }
+}
+
+TEST(AirTime, MatchesBitArithmetic) {
+  PhyConfig cfg;  // 1 Mbps, 8 preamble + 40 address + 16 CRC-in-bytes
+  // 26 bytes -> 8 + 40 + 208 bits = 256 bits -> 256 us at 1 Mbps.
+  EXPECT_EQ(air_time(cfg, 26), Duration::microseconds(256));
+  // Zero payload is still preamble + address.
+  EXPECT_EQ(air_time(cfg, 0), Duration::microseconds(48));
+}
+
+TEST(AirTime, ScalesWithRate) {
+  PhyConfig cfg;
+  cfg.air_rate_bps = 250'000.0;
+  EXPECT_EQ(air_time(cfg, 26), Duration::microseconds(1024));
+}
+
+}  // namespace
+}  // namespace bansim::phy

@@ -1,0 +1,144 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace bansim::core {
+namespace {
+
+using namespace bansim::sim::literals;
+
+TEST(ConfigIo, ParsesFullScenario) {
+  const BanConfig cfg = parse_config(R"(
+    ; the paper's Table 1 first row
+    [network]
+    nodes = 5
+    seed = 42
+    app = ecg_streaming
+
+    [tdma]
+    variant = static
+    max_slots = 5
+    cycle_ms = 30
+    ack_data = true
+    fast_grant = false
+
+    [streaming]
+    sample_rate_hz = 205
+  )");
+  EXPECT_EQ(cfg.num_nodes, 5u);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.app, AppKind::kEcgStreaming);
+  EXPECT_EQ(cfg.tdma.variant, mac::TdmaVariant::kStatic);
+  EXPECT_EQ(cfg.tdma.static_cycle(), 30_ms);
+  EXPECT_EQ(cfg.tdma.slot, 5_ms);
+  EXPECT_TRUE(cfg.tdma.ack_data);
+  EXPECT_FALSE(cfg.tdma.fast_grant);
+  EXPECT_DOUBLE_EQ(cfg.streaming.sample_rate_hz, 205.0);
+}
+
+TEST(ConfigIo, ParsesDynamicAndLink) {
+  const BanConfig cfg = parse_config(R"(
+    [network]
+    nodes = 3
+    app = rpeak
+    [tdma]
+    variant = dynamic
+    slot_ms = 10
+    radio_power_down = on
+    [link]
+    enabled = yes
+    tx_power_dbm = -12.5
+  )");
+  EXPECT_EQ(cfg.tdma.variant, mac::TdmaVariant::kDynamic);
+  EXPECT_EQ(cfg.tdma.slot, 10_ms);
+  EXPECT_TRUE(cfg.tdma.radio_power_down);
+  EXPECT_TRUE(cfg.use_link_model);
+  EXPECT_DOUBLE_EQ(cfg.link_budget.tx_power_dbm, -12.5);
+  EXPECT_EQ(cfg.app, AppKind::kRpeak);
+}
+
+TEST(ConfigIo, EegKeysCoupleChannelCounts) {
+  const BanConfig cfg = parse_config(R"(
+    [network]
+    app = eeg_monitoring
+    [eeg]
+    channels = 12
+    sample_rate_hz = 128
+    block_samples = 32
+  )");
+  EXPECT_EQ(cfg.app, AppKind::kEegMonitoring);
+  EXPECT_EQ(cfg.eeg.channels, 12u);
+  EXPECT_EQ(cfg.eeg_signal.channels, 12u);
+  EXPECT_DOUBLE_EQ(cfg.eeg.sample_rate_hz, 128.0);
+  EXPECT_EQ(cfg.eeg.block_samples, 32u);
+}
+
+TEST(ConfigIo, UnknownKeyIsAnError) {
+  EXPECT_THROW(parse_config("[network]\nnods = 5\n"), ConfigError);
+  EXPECT_THROW(parse_config("[nonsense]\nnodes = 5\n"), ConfigError);
+}
+
+TEST(ConfigIo, MalformedValuesAreErrors) {
+  EXPECT_THROW(parse_config("[network]\nnodes = five\n"), ConfigError);
+  EXPECT_THROW(parse_config("[tdma]\nack_data = maybe\n"), ConfigError);
+  EXPECT_THROW(parse_config("[network]\napp = tetris\n"), ConfigError);
+  EXPECT_THROW(parse_config("[network\nnodes = 5\n"), ConfigError);
+  EXPECT_THROW(parse_config("nodes 5\n"), ConfigError);
+}
+
+TEST(ConfigIo, CommentsAndWhitespaceTolerated) {
+  const BanConfig cfg = parse_config(
+      "  [network]   # section\n"
+      "   nodes=2;inline\n"
+      "\n"
+      "# full-line comment\n");
+  EXPECT_EQ(cfg.num_nodes, 2u);
+}
+
+TEST(ConfigIo, SerializeParseRoundTrip) {
+  BanConfig original;
+  original.num_nodes = 4;
+  original.seed = 99;
+  original.app = AppKind::kRpeak;
+  original.tdma = mac::TdmaConfig::dynamic_plan();
+  original.tdma.ack_data = true;
+  original.tdma.radio_power_down = true;
+  original.use_link_model = true;
+  original.link_budget.tx_power_dbm = -10.0;
+
+  const BanConfig back = parse_config(serialize_config(original));
+  EXPECT_EQ(back.num_nodes, original.num_nodes);
+  EXPECT_EQ(back.seed, original.seed);
+  EXPECT_EQ(back.app, original.app);
+  EXPECT_EQ(back.tdma.variant, original.tdma.variant);
+  EXPECT_EQ(back.tdma.slot, original.tdma.slot);
+  EXPECT_EQ(back.tdma.ack_data, original.tdma.ack_data);
+  EXPECT_EQ(back.tdma.radio_power_down, original.tdma.radio_power_down);
+  EXPECT_EQ(back.use_link_model, original.use_link_model);
+  EXPECT_DOUBLE_EQ(back.link_budget.tx_power_dbm,
+                   original.link_budget.tx_power_dbm);
+}
+
+TEST(ConfigIo, ParsedConfigActuallyRuns) {
+  BanConfig cfg = parse_config(R"(
+    [network]
+    nodes = 2
+    app = ecg_streaming
+    [tdma]
+    variant = static
+    max_slots = 5
+    cycle_ms = 60
+    [streaming]
+    sample_rate_hz = 100
+  )");
+  MeasurementProtocol protocol;
+  protocol.measure = sim::Duration::seconds(5);
+  const ScenarioResult r = run_scenario(cfg, protocol);
+  EXPECT_TRUE(r.joined);
+  EXPECT_GT(r.data_packets, 50u);
+}
+
+}  // namespace
+}  // namespace bansim::core

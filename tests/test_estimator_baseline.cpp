@@ -1,0 +1,157 @@
+#include "baseline/powertossim_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bansim::baseline {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at(std::int64_t ms) {
+  return TimePoint::zero() + Duration::milliseconds(ms);
+}
+
+struct EstimatorFixture : ::testing::Test {
+  hw::McuParams mcu;
+  hw::RadioParams radio;
+  phy::PhyConfig phy;
+  os::CycleCostModel costs;
+
+  EstimatorFixture() { costs.set("task_a", 8000); }  // 1 ms at 8 MHz
+
+  PowerTossimEstimator make(EstimatorOptions options = {}) {
+    return PowerTossimEstimator{mcu, radio, phy, costs, options};
+  }
+};
+
+TEST_F(EstimatorFixture, RxWindowIntegration) {
+  auto est = make();
+  est.begin_measurement(at(0));
+  est.on_radio_rx_on("n", at(10));
+  est.on_radio_rx_off("n", at(30));
+  const auto out = est.finalize(at(100));
+  const double expect = 0.020 * radio.rx_current_amps * radio.supply_volts;
+  EXPECT_NEAR(out.at("n").radio_joules, expect, 1e-12);
+}
+
+TEST_F(EstimatorFixture, OpenWindowClipsToFinalize) {
+  auto est = make();
+  est.begin_measurement(at(0));
+  est.on_radio_rx_on("n", at(90));
+  const auto out = est.finalize(at(100));
+  const double expect = 0.010 * radio.rx_current_amps * radio.supply_volts;
+  EXPECT_NEAR(out.at("n").radio_joules, expect, 1e-12);
+}
+
+TEST_F(EstimatorFixture, WindowStraddlingMeasurementStartIsClipped) {
+  auto est = make();
+  est.on_radio_rx_on("n", at(0));
+  est.begin_measurement(at(50));
+  est.on_radio_rx_off("n", at(70));
+  const auto out = est.finalize(at(100));
+  const double expect = 0.020 * radio.rx_current_amps * radio.supply_volts;
+  EXPECT_NEAR(out.at("n").radio_joules, expect, 1e-12);
+}
+
+TEST_F(EstimatorFixture, TxUsesAirTimeOnly) {
+  auto est = make();
+  est.begin_measurement(at(0));
+  est.on_radio_tx("n", 26, at(10));
+  est.on_packet("n", net::PacketType::kData, true, at(10));
+  const auto out = est.finalize(at(100));
+  // air_time(26 B) = 256 us at 1 Mbps; settle/clock-in invisible.
+  const double expect = 256e-6 * radio.tx_current_amps * radio.supply_volts;
+  EXPECT_NEAR(out.at("n").radio_joules, expect, 1e-12);
+  EXPECT_EQ(out.at("n").tx_frames, 1u);
+}
+
+TEST_F(EstimatorFixture, ControlPacketsCanBeExcluded) {
+  EstimatorOptions options;
+  options.include_control_packets = false;
+  auto est = make(options);
+  est.begin_measurement(at(0));
+  est.on_radio_tx("n", 9, at(10));
+  est.on_packet("n", net::PacketType::kSlotRequest, true, at(10));
+  est.on_radio_tx("n", 26, at(20));
+  est.on_packet("n", net::PacketType::kData, true, at(20));
+  const auto out = est.finalize(at(100));
+  const double expect = 256e-6 * radio.tx_current_amps * radio.supply_volts;
+  EXPECT_NEAR(out.at("n").radio_joules, expect, 1e-12);
+  EXPECT_EQ(out.at("n").control_frames, 1u);
+}
+
+TEST_F(EstimatorFixture, McuTasksThroughCostTable) {
+  auto est = make();
+  est.begin_measurement(at(0));
+  est.on_task("n", "task_a", at(10));  // 8000 cycles = 1 ms active
+  const auto out = est.finalize(at(100));
+  const double active = 0.001;
+  const double expect =
+      mcu.supply_volts * (active * mcu.active_current_amps +
+                          (0.100 - active) * mcu.lpm_current_amps);
+  EXPECT_NEAR(out.at("n").mcu_joules, expect, 1e-12);
+  EXPECT_EQ(out.at("n").tasks, 1u);
+}
+
+TEST_F(EstimatorFixture, UnknownTaskUsesFallbackCost) {
+  auto est = make();
+  est.begin_measurement(at(0));
+  est.on_task("n", "never_calibrated", at(10));
+  const auto out = est.finalize(at(100));
+  // Fallback 300 cycles at 8 MHz = 37.5 us of active time.
+  const double active = 300.0 / 8e6;
+  EXPECT_NEAR(out.at("n").mcu_joules,
+              mcu.supply_volts * (active * mcu.active_current_amps +
+                                  (0.100 - active) * mcu.lpm_current_amps),
+              1e-12);
+}
+
+TEST_F(EstimatorFixture, McuTasksCanBeDisabled) {
+  EstimatorOptions options;
+  options.include_mcu_tasks = false;
+  auto est = make(options);
+  est.begin_measurement(at(0));
+  est.on_task("n", "task_a", at(10));
+  const auto out = est.finalize(at(100));
+  // Pure sleep floor.
+  EXPECT_NEAR(out.at("n").mcu_joules,
+              mcu.supply_volts * 0.100 * mcu.lpm_current_amps, 1e-12);
+}
+
+TEST_F(EstimatorFixture, ListenWindowsCanBeDisabled) {
+  EstimatorOptions options;
+  options.include_listen_windows = false;
+  auto est = make(options);
+  est.begin_measurement(at(0));
+  est.on_radio_rx_on("n", at(10));
+  est.on_radio_rx_off("n", at(90));
+  const auto out = est.finalize(at(100));
+  EXPECT_DOUBLE_EQ(out.at("n").radio_joules, 0.0);
+}
+
+TEST_F(EstimatorFixture, EventsBeforeMeasurementAreDiscarded) {
+  auto est = make();
+  est.on_task("n", "task_a", at(10));
+  est.on_radio_tx("n", 26, at(10));
+  est.on_packet("n", net::PacketType::kData, true, at(10));
+  est.begin_measurement(at(50));
+  const auto out = est.finalize(at(100));
+  EXPECT_EQ(out.at("n").tx_frames, 0u);
+  EXPECT_EQ(out.at("n").tasks, 0u);
+}
+
+TEST_F(EstimatorFixture, MultipleNodesSeparated) {
+  auto est = make();
+  est.begin_measurement(at(0));
+  est.on_radio_rx_on("a", at(0));
+  est.on_radio_rx_off("a", at(10));
+  est.on_radio_rx_on("b", at(0));
+  est.on_radio_rx_off("b", at(30));
+  const auto out = est.finalize(at(100));
+  EXPECT_NEAR(out.at("b").radio_joules, 3.0 * out.at("a").radio_joules, 1e-12);
+}
+
+}  // namespace
+}  // namespace bansim::baseline

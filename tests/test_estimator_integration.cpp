@@ -1,0 +1,93 @@
+// Integration of the PowerTOSSIM-style analytical estimator with a live
+// reference network: the probe events published by the OS/driver/MAC
+// layers must reconstruct node energy within the expected analytical band.
+#include <gtest/gtest.h>
+
+#include "baseline/powertossim_estimator.hpp"
+#include "core/bansim.hpp"
+
+namespace bansim::baseline {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+struct IntegrationFixture : ::testing::Test {
+  std::unique_ptr<PowerTossimEstimator> estimator;
+  std::unique_ptr<core::BanNetwork> network;
+  TimePoint t0;
+  double t0_radio{0};  ///< meter snapshots taken *at* t0 (meters are
+  double t0_mcu{0};    ///< cumulative and not queryable into the past)
+
+  void run(core::BanConfig cfg, Duration window) {
+    estimator = std::make_unique<PowerTossimEstimator>(
+        cfg.board.mcu, cfg.board.radio, cfg.board.phy,
+        os::CycleCostModel::platform_defaults(), EstimatorOptions{});
+    network = std::make_unique<core::BanNetwork>(cfg, estimator.get());
+    network->start();
+    ASSERT_TRUE(network->run_until_joined(500_ms, TimePoint::zero() + 30_s));
+    t0 = network->simulator().now();
+    t0_radio = network->node(0).board().radio().meter().total_energy(t0);
+    t0_mcu = network->node(0).board().mcu().meter().total_energy(t0);
+    estimator->begin_measurement(t0);
+    network->run_until(t0 + window);
+  }
+};
+
+TEST_F(IntegrationFixture, RadioEstimateTracksReferenceWithin10Percent) {
+  core::PaperSetup setup;
+  core::BanConfig cfg =
+      core::streaming_static_config(setup, Duration::milliseconds(60));
+  cfg.num_nodes = 3;
+  run(cfg, 20_s);
+
+  const auto estimates = estimator->finalize(network->simulator().now());
+  const auto it = estimates.find("node1");
+  ASSERT_NE(it, estimates.end());
+
+  // Reference energy over the same window, via meter deltas.
+  const double now_radio =
+      network->node(0).board().radio().meter().total_energy(
+          network->simulator().now());
+  const double reference = now_radio - t0_radio;
+
+  // The analytical model misses settle/clock-in transients: it must land
+  // a few percent *under* the reference, never above by much.
+  EXPECT_GT(it->second.radio_joules, 0.80 * reference);
+  EXPECT_LT(it->second.radio_joules, 1.02 * reference);
+}
+
+TEST_F(IntegrationFixture, McuEstimateTracksReference) {
+  core::PaperSetup setup;
+  core::BanConfig cfg =
+      core::streaming_static_config(setup, Duration::milliseconds(60));
+  cfg.num_nodes = 3;
+  run(cfg, 20_s);
+
+  const auto estimates = estimator->finalize(network->simulator().now());
+  const double now_mcu = network->node(0).board().mcu().meter().total_energy(
+      network->simulator().now());
+  const double reference = now_mcu - t0_mcu;
+  const double estimate = estimates.at("node1").mcu_joules;
+  EXPECT_NEAR(estimate, reference, 0.08 * reference);
+}
+
+TEST_F(IntegrationFixture, EveryNodeAccounted) {
+  core::PaperSetup setup;
+  core::BanConfig cfg = core::rpeak_dynamic_config(setup, 4);
+  run(cfg, 10_s);
+  const auto estimates = estimator->finalize(network->simulator().now());
+  for (int node = 1; node <= 4; ++node) {
+    const auto it = estimates.find("node" + std::to_string(node));
+    ASSERT_NE(it, estimates.end()) << "node" << node;
+    EXPECT_GT(it->second.radio_joules, 0.0);
+    EXPECT_GT(it->second.mcu_joules, 0.0);
+    EXPECT_GT(it->second.tasks, 100u);
+  }
+  // The base station publishes events too.
+  EXPECT_NE(estimates.find("bs"), estimates.end());
+}
+
+}  // namespace
+}  // namespace bansim::baseline

@@ -1,0 +1,124 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bansim::sim {
+namespace {
+
+using namespace bansim::sim::literals;
+
+TimePoint at(std::int64_t ms) { return TimePoint::zero() + Duration::milliseconds(ms); }
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(30), [&] { order.push_back(3); });
+  q.schedule(at(10), [&] { order.push_back(1); });
+  q.schedule(at(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLive) {
+  EventQueue q;
+  q.schedule(at(20), [] {});
+  EventHandle early = q.schedule(at(10), [] {});
+  EXPECT_EQ(q.next_time(), at(10));
+  early.cancel();
+  EXPECT_EQ(q.next_time(), at(20));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(at(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, DefaultHandleIsNotPending) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must be a harmless no-op
+}
+
+TEST(EventQueue, HandleNotPendingAfterPop) {
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  auto [when, action] = q.pop();
+  EXPECT_EQ(when, at(1));
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventHandle a = q.schedule(at(1), [] {});
+  q.schedule(at(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  a.cancel();
+  EXPECT_EQ(q.size(), 1u);  // the cancelled head is pruned on observation
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(at(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ScheduledTotalCounts) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule(at(i), [] {});
+  EXPECT_EQ(q.scheduled_total(), 7u);
+}
+
+TEST(EventQueue, InterleavedCancelAndPopKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(q.schedule(at(i), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 20; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+  while (!q.empty()) q.pop().second();
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LT(order[i], order[i + 1]);
+    EXPECT_EQ(order[i] % 2, 1);
+  }
+}
+
+}  // namespace
+}  // namespace bansim::sim

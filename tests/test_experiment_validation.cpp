@@ -1,0 +1,172 @@
+// End-to-end validation harness tests: the reproduction's core claim — the
+// OS-level estimation model tracks the reference platform within the
+// paper's error band, with the paper's qualitative trends — checked on
+// shortened measurement windows to keep the suite fast.
+#include <gtest/gtest.h>
+
+#include "core/bansim.hpp"
+
+namespace bansim::core {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+
+MeasurementProtocol fast_protocol(Duration measure = 15_s) {
+  MeasurementProtocol p;
+  p.measure = measure;
+  return p;
+}
+
+PaperSetup fast_setup() {
+  PaperSetup s;
+  s.measure = 15_s;
+  return s;
+}
+
+TEST(Experiment, ScenarioRunsAndJoins) {
+  const BanConfig cfg =
+      streaming_static_config(fast_setup(), Duration::milliseconds(60));
+  const ScenarioResult r = run_scenario(cfg, fast_protocol());
+  ASSERT_TRUE(r.joined);
+  EXPECT_GT(r.radio_mj, 0.0);
+  EXPECT_GT(r.mcu_mj, 0.0);
+  EXPECT_GT(r.asic_mj, 0.0);
+  EXPECT_EQ(r.measured, 15_s);
+  EXPECT_GT(r.data_packets, 200u);  // ~one per 60 ms over 15 s
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const BanConfig cfg =
+      streaming_static_config(fast_setup(), Duration::milliseconds(60));
+  const ScenarioResult a = run_scenario(cfg, fast_protocol());
+  const ScenarioResult b = run_scenario(cfg, fast_protocol());
+  EXPECT_DOUBLE_EQ(a.radio_mj, b.radio_mj);
+  EXPECT_DOUBLE_EQ(a.mcu_mj, b.mcu_mj);
+  EXPECT_EQ(a.data_packets, b.data_packets);
+}
+
+TEST(Experiment, DifferentSeedsStayInTheSameBand) {
+  BanConfig cfg =
+      streaming_static_config(fast_setup(), Duration::milliseconds(60));
+  const ScenarioResult a = run_scenario(cfg, fast_protocol());
+  cfg.seed = 1234;
+  const ScenarioResult b = run_scenario(cfg, fast_protocol());
+  EXPECT_NE(a.radio_mj, b.radio_mj);  // skew draws differ
+  EXPECT_NEAR(a.radio_mj, b.radio_mj, 0.12 * a.radio_mj);
+}
+
+TEST(Experiment, ModelErrorWithinPaperBand_StreamingStatic) {
+  for (int cycle_ms : {30, 120}) {
+    const BanConfig cfg = streaming_static_config(
+        fast_setup(), Duration::milliseconds(cycle_ms));
+    const energy::ValidationRow row = validation_row(
+        cfg, fast_protocol(), std::to_string(cycle_ms), cycle_ms);
+    EXPECT_LT(row.radio_error(), 0.10) << "cycle " << cycle_ms;
+    EXPECT_LT(row.mcu_error(), 0.10) << "cycle " << cycle_ms;
+    EXPECT_GT(row.radio_real_mj, 0.0);
+  }
+}
+
+TEST(Experiment, ModelErrorWithinPaperBand_RpeakDynamic) {
+  const BanConfig cfg = rpeak_dynamic_config(fast_setup(), 3);
+  const energy::ValidationRow row =
+      validation_row(cfg, fast_protocol(), "3", 40);
+  EXPECT_LT(row.radio_error(), 0.10);
+  EXPECT_LT(row.mcu_error(), 0.10);
+}
+
+TEST(Experiment, RadioEnergyDecreasesWithCycle) {
+  // The paper's central trend (Tables 1, 3): longer TDMA cycle -> lower
+  // radio duty -> less radio energy.
+  double previous = 1e18;
+  for (int cycle_ms : {30, 60, 90, 120}) {
+    const BanConfig cfg = streaming_static_config(
+        fast_setup(), Duration::milliseconds(cycle_ms));
+    const ScenarioResult r = run_scenario(cfg, fast_protocol());
+    ASSERT_TRUE(r.joined);
+    EXPECT_LT(r.radio_mj, previous) << "cycle " << cycle_ms;
+    previous = r.radio_mj;
+  }
+}
+
+TEST(Experiment, RadioEnergyDecreasesWithNetworkSize) {
+  // Tables 2 and 4: more nodes -> longer dynamic cycle -> lower duty.
+  double previous = 1e18;
+  for (std::size_t nodes = 1; nodes <= 5; ++nodes) {
+    const BanConfig cfg = streaming_dynamic_config(fast_setup(), nodes);
+    const ScenarioResult r = run_scenario(cfg, fast_protocol());
+    ASSERT_TRUE(r.joined);
+    EXPECT_LT(r.radio_mj, previous) << nodes << " nodes";
+    previous = r.radio_mj;
+  }
+}
+
+TEST(Experiment, RpeakBeatsStreamingAtSameCycle) {
+  // Section 5.2: local preprocessing cuts the radio load.
+  const BanConfig stream =
+      streaming_static_config(fast_setup(), Duration::milliseconds(60));
+  BanConfig rpeak =
+      rpeak_static_config(fast_setup(), Duration::milliseconds(60));
+  const ScenarioResult rs = run_scenario(stream, fast_protocol());
+  const ScenarioResult rr = run_scenario(rpeak, fast_protocol());
+  EXPECT_LT(rr.radio_mj, rs.radio_mj);
+}
+
+TEST(Experiment, Figure4SavingInPaperDirection) {
+  PaperSetup setup = fast_setup();
+  const Figure4Result fig = figure4(setup);
+  EXPECT_GT(fig.saving_fraction(), 0.35);
+  EXPECT_LT(fig.saving_fraction(), 0.80);
+  // The Sim bars track the Real bars.
+  EXPECT_NEAR(fig.streaming_sim_radio_mj, fig.streaming_real_radio_mj,
+              0.10 * fig.streaming_real_radio_mj);
+  EXPECT_NEAR(fig.rpeak_sim_mcu_mj, fig.rpeak_real_mcu_mj,
+              0.10 * fig.rpeak_real_mcu_mj);
+  EXPECT_NE(fig.render().find("saves"), std::string::npos);
+}
+
+TEST(Experiment, AsicIsConstantPower) {
+  // The paper excludes the 25-ch ASIC (constant 10.5 mW) from validation;
+  // check it really is constant across configurations.
+  const BanConfig a =
+      streaming_static_config(fast_setup(), Duration::milliseconds(30));
+  const BanConfig b = rpeak_static_config(fast_setup(), Duration::milliseconds(120));
+  const ScenarioResult ra = run_scenario(a, fast_protocol());
+  const ScenarioResult rb = run_scenario(b, fast_protocol());
+  EXPECT_NEAR(ra.asic_mj, 10.5 * 15.0, 0.5);
+  EXPECT_NEAR(ra.asic_mj, rb.asic_mj, 1e-6);
+}
+
+TEST(Experiment, PaperTablesAreEmbedded) {
+  for (int t = 1; t <= 4; ++t) {
+    const energy::ValidationTable& table = paper_table(t);
+    EXPECT_FALSE(table.rows.empty());
+  }
+  // Sanity: the embedded paper numbers reproduce the published avg errors.
+  EXPECT_NEAR(paper_table(1).avg_radio_error(), 0.056, 0.01);
+  EXPECT_NEAR(paper_table(1).avg_mcu_error(), 0.060, 0.01);
+  EXPECT_NEAR(paper_table(3).avg_radio_error(), 0.022, 0.01);
+}
+
+TEST(Experiment, CoupledSampleRateMatchesPaper) {
+  // fs = 6 / cycle: the paper's 30 ms cycle corresponds to 205 Hz (stated),
+  // coupling gives 200 Hz — the same payload arithmetic.
+  const BanConfig cfg =
+      streaming_static_config(fast_setup(), Duration::milliseconds(30));
+  EXPECT_NEAR(cfg.streaming.sample_rate_hz, 200.0, 1.0);
+  const BanConfig cfg2 = streaming_dynamic_config(fast_setup(), 5);
+  EXPECT_NEAR(cfg2.streaming.sample_rate_hz, 100.0, 1.0);
+}
+
+TEST(Experiment, UnjoinableNetworkReportsFailure) {
+  BanConfig cfg = streaming_static_config(fast_setup(), 30_ms);
+  cfg.num_nodes = 7;  // seven contenders, five slots
+  MeasurementProtocol protocol = fast_protocol(1_s);
+  protocol.join_deadline = 3_s;
+  const ScenarioResult r = run_scenario(cfg, protocol);
+  EXPECT_FALSE(r.joined);
+}
+
+}  // namespace
+}  // namespace bansim::core

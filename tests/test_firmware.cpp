@@ -1,0 +1,114 @@
+// Cross-validation of the assembly beat-detector firmware against the C++
+// RpeakDetector on identical synthetic ECG streams.
+#include "isa/firmware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/ecg_synthesizer.hpp"
+#include "apps/rpeak_detector.hpp"
+#include "sim/rng.hpp"
+
+namespace bansim::isa::firmware {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+std::vector<std::uint16_t> ecg_codes(double bpm, double seconds,
+                                     std::uint64_t seed) {
+  apps::EcgConfig cfg;
+  cfg.heart_rate_bpm = bpm;
+  apps::EcgSynthesizer ecg{cfg, sim::Rng::stream(seed, "fw/ecg")};
+  std::vector<std::uint16_t> codes;
+  const double fs = 200.0;
+  for (int n = 0; n < static_cast<int>(seconds * fs); ++n) {
+    const double v = ecg.sample(TimePoint::zero() +
+                                Duration::from_seconds(n / fs));
+    codes.push_back(static_cast<std::uint16_t>(
+        std::lround(std::clamp(v / 2.5, 0.0, 1.0) * 4095.0)));
+  }
+  return codes;
+}
+
+TEST(Firmware, DetectsBeatsAt75Bpm) {
+  const auto codes = ecg_codes(75.0, 20.0, 3);
+  const RpeakRun run = run_rpeak(codes);
+  // 20 s at 75 bpm = 25 beats.
+  EXPECT_NEAR(static_cast<double>(run.beat_indices.size()), 25.0, 3.0);
+  EXPECT_GT(run.instructions, 10000u);
+  EXPECT_GT(run.energy_joules, 0.0);
+}
+
+TEST(Firmware, RefractoryHoldsBetweenDetections) {
+  const auto codes = ecg_codes(75.0, 20.0, 4);
+  const RpeakRun run = run_rpeak(codes);
+  ASSERT_GT(run.beat_indices.size(), 3u);
+  for (std::size_t i = 1; i < run.beat_indices.size(); ++i) {
+    EXPECT_GT(run.beat_indices[i] - run.beat_indices[i - 1], 50u);
+  }
+}
+
+TEST(Firmware, FlatStreamDetectsNothing) {
+  std::vector<std::uint16_t> codes(2000, 2048);
+  const RpeakRun run = run_rpeak(codes);
+  EXPECT_TRUE(run.beat_indices.empty());
+}
+
+class FirmwareCrossValidation : public ::testing::TestWithParam<double> {};
+
+TEST_P(FirmwareCrossValidation, AgreesWithCppDetector) {
+  const double bpm = GetParam();
+  const auto codes = ecg_codes(bpm, 30.0, 11);
+
+  // C++ reference detector on the same codes.
+  apps::RpeakDetector reference{200.0};
+  std::vector<std::uint32_t> cpp_beats;
+  for (std::size_t n = 0; n < codes.size(); ++n) {
+    const auto r = reference.step(codes[n]);
+    if (r.beat_samples_ago > 0) {
+      cpp_beats.push_back(static_cast<std::uint32_t>(n) - r.beat_samples_ago);
+    }
+  }
+
+  const RpeakRun fw = run_rpeak(codes);
+
+  // Both implementations see essentially the same beat train.
+  ASSERT_GT(cpp_beats.size(), 5u);
+  EXPECT_NEAR(static_cast<double>(fw.beat_indices.size()),
+              static_cast<double>(cpp_beats.size()),
+              0.2 * static_cast<double>(cpp_beats.size()) + 2.0);
+
+  // And the positions align: every firmware beat is within 40 samples
+  // (200 ms) of a C++ detection.
+  std::size_t matched = 0;
+  for (const std::uint16_t fw_beat : fw.beat_indices) {
+    for (const std::uint32_t cpp_beat : cpp_beats) {
+      if (std::abs(static_cast<int>(fw_beat) - static_cast<int>(cpp_beat)) <=
+          40) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(matched),
+            0.85 * static_cast<double>(fw.beat_indices.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(HeartRates, FirmwareCrossValidation,
+                         ::testing::Values(60.0, 75.0, 95.0));
+
+TEST(Firmware, PerSampleCostMatchesCalibrationOrder) {
+  // The OS-level model charges ~460-520 cycles per rpeak step; the real
+  // fixed-point firmware must be the same order of magnitude per sample.
+  const auto codes = ecg_codes(75.0, 10.0, 7);
+  const RpeakRun run = run_rpeak(codes);
+  const double cycles_per_sample =
+      static_cast<double>(run.cycles) / static_cast<double>(codes.size());
+  EXPECT_GT(cycles_per_sample, 30.0);
+  EXPECT_LT(cycles_per_sample, 500.0);
+}
+
+}  // namespace
+}  // namespace bansim::isa::firmware

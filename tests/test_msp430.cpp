@@ -1,0 +1,489 @@
+// Instruction-level tests of the MSP430 core and its assembler: semantics
+// and flags of every instruction class, all addressing modes, the constant
+// generators, byte operations, interrupts and the CPUOFF low-power path.
+#include <gtest/gtest.h>
+
+#include "isa/msp430_asm.hpp"
+#include "isa/msp430_core.hpp"
+
+namespace bansim::isa {
+namespace {
+
+/// Assembles, loads at 0x4000 with SP at 0x3FFE, runs <= `max` instructions.
+struct Machine {
+  Msp430Core core;
+  Msp430Assembler assembler;
+
+  StepResult run(const std::string& source, std::uint64_t max = 10000) {
+    core.reset();
+    const auto words = assembler.assemble(source);
+    core.load(0x4000, words);
+    core.set_reg(kSp, 0x3FFE);
+    return core.run(max);
+  }
+
+  [[nodiscard]] std::uint16_t r(int reg) const { return core.reg(reg); }
+};
+
+TEST(Msp430, MovImmediateToRegister) {
+  Machine m;
+  m.run("mov #0x1234, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x1234);
+}
+
+TEST(Msp430, ConstantGeneratorsAssembleToOneWord) {
+  Msp430Assembler assembler;
+  for (const char* source : {"mov #0, r4", "mov #1, r4", "mov #2, r4",
+                             "mov #4, r4", "mov #8, r4", "mov #-1, r4"}) {
+    EXPECT_EQ(assembler.assemble(source).size(), 1u) << source;
+  }
+  EXPECT_EQ(assembler.assemble("mov #3, r4").size(), 2u);
+}
+
+TEST(Msp430, ConstantGeneratorValues) {
+  Machine m;
+  m.run(R"(
+    mov #0, r4
+    mov #1, r5
+    mov #2, r6
+    mov #4, r7
+    mov #8, r8
+    mov #-1, r9
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0);
+  EXPECT_EQ(m.r(5), 1);
+  EXPECT_EQ(m.r(6), 2);
+  EXPECT_EQ(m.r(7), 4);
+  EXPECT_EQ(m.r(8), 8);
+  EXPECT_EQ(m.r(9), 0xFFFF);
+}
+
+TEST(Msp430, AddSetsCarryAndOverflow) {
+  Machine m;
+  m.run("mov #0xFFFF, r4\n add #1, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0);
+  EXPECT_TRUE(m.core.flag(kSrC));
+  EXPECT_TRUE(m.core.flag(kSrZ));
+  EXPECT_FALSE(m.core.flag(kSrV));
+
+  m.run("mov #0x7FFF, r4\n add #1, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x8000);
+  EXPECT_TRUE(m.core.flag(kSrV));  // positive + positive -> negative
+  EXPECT_TRUE(m.core.flag(kSrN));
+  EXPECT_FALSE(m.core.flag(kSrC));
+}
+
+TEST(Msp430, AddcUsesCarry) {
+  Machine m;
+  m.run(R"(
+    mov #0xFFFF, r4
+    add #1, r4      ; sets C
+    mov #5, r5
+    addc #0, r5     ; r5 = 5 + 0 + C = 6
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(5), 6);
+}
+
+TEST(Msp430, SubAndCmpSemantics) {
+  Machine m;
+  m.run("mov #10, r4\n sub #3, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 7);
+  EXPECT_TRUE(m.core.flag(kSrC));  // no borrow
+
+  m.run("mov #3, r4\n sub #10, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), static_cast<std::uint16_t>(-7));
+  EXPECT_FALSE(m.core.flag(kSrC));  // borrow
+  EXPECT_TRUE(m.core.flag(kSrN));
+
+  m.run("mov #7, r4\n cmp #7, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 7);  // CMP does not store
+  EXPECT_TRUE(m.core.flag(kSrZ));
+}
+
+TEST(Msp430, SubcChain32Bit) {
+  // 32-bit subtraction via SUB/SUBC: (r5:r4) -= (r7:r6).
+  Machine m;
+  m.run(R"(
+    mov #0x0000, r4  ; low
+    mov #0x0002, r5  ; high  -> 0x00020000
+    mov #0x0001, r6  ; low
+    mov #0x0000, r7  ; high  -> 0x00000001
+    sub r6, r4
+    subc r7, r5
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0xFFFF);
+  EXPECT_EQ(m.r(5), 0x0001);
+}
+
+TEST(Msp430, DaddBcd) {
+  Machine m;
+  m.run(R"(
+    bic #1, sr       ; clear carry
+    mov #0x1299, r4
+    mov #0x0001, r5
+    dadd r5, r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0x1300);
+  m.run(R"(
+    bic #1, sr
+    mov #0x9999, r4
+    mov #0x0001, r5
+    dadd r5, r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0x0000);
+  EXPECT_TRUE(m.core.flag(kSrC));
+}
+
+TEST(Msp430, LogicOps) {
+  Machine m;
+  m.run(R"(
+    mov #0x0FF0, r4
+    mov #0x00FF, r5
+    and r5, r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0x00F0);
+  EXPECT_TRUE(m.core.flag(kSrC));  // result non-zero
+  EXPECT_FALSE(m.core.flag(kSrV));
+
+  m.run("mov #0x0F0F, r4\n bis #0x00F0, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x0FFF);
+
+  m.run("mov #0x0FFF, r4\n bic #0x00F0, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x0F0F);
+
+  m.run("mov #0xAAAA, r4\n xor #0xFFFF, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x5555);
+  EXPECT_TRUE(m.core.flag(kSrV));  // both operands negative
+}
+
+TEST(Msp430, BitTestDoesNotStore) {
+  Machine m;
+  m.run("mov #0x00F0, r4\n bit #0x0010, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x00F0);
+  EXPECT_FALSE(m.core.flag(kSrZ));
+  m.run("mov #0x00F0, r4\n bit #0x0001, r4\n bis #0x10, sr");
+  EXPECT_TRUE(m.core.flag(kSrZ));
+}
+
+TEST(Msp430, ByteOperationsClearHighByte) {
+  Machine m;
+  m.run("mov #0x1234, r4\n add.b #0x10, r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x0044);  // byte op on register clears the high byte
+}
+
+TEST(Msp430, ByteMemoryAccess) {
+  Machine m;
+  m.run(R"(
+    mov #0xAB, r4
+    mov.b r4, &0x0200
+    mov.b &0x0200, r5
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.core.read8(0x0200), 0xAB);
+  EXPECT_EQ(m.r(5), 0x00AB);
+}
+
+TEST(Msp430, IndexedAndIndirectModes) {
+  Machine m;
+  m.run(R"(
+    mov #0x0200, r4
+    mov #0x1111, 0(r4)
+    mov #0x2222, 2(r4)
+    mov @r4, r5
+    mov #0x0200, r6
+    mov @r6+, r7
+    mov @r6+, r8
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(5), 0x1111);
+  EXPECT_EQ(m.r(7), 0x1111);
+  EXPECT_EQ(m.r(8), 0x2222);
+  EXPECT_EQ(m.r(6), 0x0204);  // autoincrement twice
+}
+
+TEST(Msp430, AutoIncrementByteIsOne) {
+  Machine m;
+  m.run(R"(
+    mov #0x0200, r4
+    mov.b #0x01, 0(r4)
+    mov.b #0x02, 1(r4)
+    mov #0x0200, r5
+    mov.b @r5+, r6
+    mov.b @r5+, r7
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(6), 1);
+  EXPECT_EQ(m.r(7), 2);
+  EXPECT_EQ(m.r(5), 0x0202);
+}
+
+TEST(Msp430, SymbolicAddressing) {
+  Machine m;
+  m.run(R"(
+    mov data, r4        ; symbolic source
+    mov r4, result      ; symbolic destination
+    bis #0x10, sr
+  data:
+    .word 0xBEEF
+  result:
+    .word 0
+  )");
+  EXPECT_EQ(m.r(4), 0xBEEF);
+  EXPECT_EQ(m.core.read16(m.assembler.label("result")), 0xBEEF);
+}
+
+TEST(Msp430, JumpsConditionMatrix) {
+  Machine m;
+  // Count down from 5: loop runs exactly 5 times.
+  m.run(R"(
+    mov #5, r4
+    clr r5
+  loop:
+    inc r5
+    dec r4
+    jnz loop
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(5), 5);
+  EXPECT_EQ(m.r(4), 0);
+}
+
+TEST(Msp430, SignedJumps) {
+  Machine m;
+  // JGE/JL over a signed comparison: -5 < 3.
+  m.run(R"(
+    mov #-5, r4
+    cmp #3, r4       ; r4 - 3
+    jge was_ge
+    mov #111, r5
+    jmp done
+  was_ge:
+    mov #222, r5
+  done:
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(5), 111);
+}
+
+TEST(Msp430, ShiftsAndRotates) {
+  Machine m;
+  m.run("mov #0x8003, r4\n rra r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0xC001);  // arithmetic: sign preserved
+  EXPECT_TRUE(m.core.flag(kSrC));
+
+  m.run(R"(
+    bic #1, sr
+    mov #0x0003, r4
+    rrc r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0x0001);
+  EXPECT_TRUE(m.core.flag(kSrC));
+
+  m.run(R"(
+    bis #1, sr       ; set carry
+    mov #0x0000, r4
+    rrc r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0x8000);  // carry rotated into msb
+}
+
+TEST(Msp430, SwpbAndSxt) {
+  Machine m;
+  m.run("mov #0x1234, r4\n swpb r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x3412);
+  m.run("mov #0x0080, r4\n sxt r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0xFF80);
+  EXPECT_TRUE(m.core.flag(kSrN));
+  m.run("mov #0x007F, r4\n sxt r4\n bis #0x10, sr");
+  EXPECT_EQ(m.r(4), 0x007F);
+}
+
+TEST(Msp430, PushPopCallRet) {
+  Machine m;
+  m.run(R"(
+    mov #0x1111, r4
+    push r4
+    mov #0x2222, r4
+    call #double_r4
+    mov @sp+, r5     ; pop the old value
+    bis #0x10, sr
+  double_r4:
+    add r4, r4
+    ret
+  )");
+  EXPECT_EQ(m.r(4), 0x4444);
+  EXPECT_EQ(m.r(5), 0x1111);
+  EXPECT_EQ(m.core.sp(), 0x3FFE);  // balanced
+}
+
+TEST(Msp430, CpuOffHaltsAndReportsState) {
+  Machine m;
+  const StepResult result = m.run("mov #7, r4\n bis #0x10, sr\n mov #9, r4");
+  EXPECT_EQ(result, StepResult::kCpuOff);
+  EXPECT_EQ(m.r(4), 7);  // the instruction after LPM never ran
+}
+
+TEST(Msp430, InterruptServiceAndReti) {
+  Machine m;
+  m.core.reset();
+  Msp430Assembler assembler;
+  const auto program = assembler.assemble(R"(
+    mov #0, r4
+    bis #8, sr        ; GIE
+  spin:
+    inc r5
+    cmp #100, r5
+    jne spin
+    bis #0x10, sr     ; sleep if the ISR never fired
+  isr:
+    mov #0xAA, r4
+    reti
+  )");
+  m.core.load(0x4000, program);
+  m.core.set_reg(kSp, 0x3FFE);
+  // Vector at 0xFFF0 points at the ISR.
+  m.core.write16(0xFFF0, assembler.label("isr"));
+
+  // Run a few instructions, then assert the interrupt.
+  for (int i = 0; i < 5; ++i) m.core.step();
+  const std::uint16_t r5_before = m.core.reg(5);
+  m.core.request_interrupt(0xFFF0);
+  m.core.step();  // takes the interrupt + first ISR instruction boundary
+  m.core.step();
+  EXPECT_EQ(m.core.reg(4), 0xAA);
+  m.core.step();  // RETI
+  // Execution resumes in the spin loop with GIE restored.
+  EXPECT_TRUE(m.core.flag(kSrGie));
+  m.core.run(10000);
+  EXPECT_GT(m.core.reg(5), r5_before);
+}
+
+TEST(Msp430, IllegalOpcodeReported) {
+  Machine m;
+  m.core.reset();
+  m.core.load(0x4000, {0x0000});
+  EXPECT_EQ(m.core.step(), StepResult::kIllegal);
+  EXPECT_EQ(m.core.step(), StepResult::kIllegal);  // sticky
+}
+
+TEST(Msp430, CycleCountsFollowAddressingModes) {
+  Machine m;
+  // MOV Rn, Rm = 1 cycle.
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("mov r4, r5"));
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 1u);
+
+  // MOV #imm, Rm = 2 cycles (autoincrement-class source).
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("mov #0x1234, r5"));
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 2u);
+
+  // MOV x(Rn), Rm = 3 cycles.
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("mov 2(r4), r5"));
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 3u);
+
+  // MOV Rn, x(Rm) = 4 cycles; MOV x(Rn), x(Rm) = 6.
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("mov r4, 2(r5)"));
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 4u);
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("mov 2(r4), 2(r5)"));
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 6u);
+
+  // Jumps are always 2.
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("jmp 0x4000"));
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 2u);
+}
+
+TEST(Msp430, EnergyAccounting) {
+  Machine m;
+  m.run(R"(
+    mov #1000, r4
+  loop:
+    dec r4
+    jnz loop
+    bis #0x10, sr
+  )");
+  // 1 + 1000*(1+2) + ... instructions: ~2002.
+  EXPECT_NEAR(static_cast<double>(m.core.instructions()), 2002.0, 3.0);
+  // 0.6 nJ per instruction (the paper's figure).
+  EXPECT_NEAR(m.core.energy_joules(), 2002 * 0.6e-9, 5e-9);
+  // The cycle model agrees within 2x (different abstraction).
+  EXPECT_GT(m.core.energy_joules_cycle_model(), m.core.energy_joules() * 0.5);
+  EXPECT_LT(m.core.energy_joules_cycle_model(), m.core.energy_joules() * 4.0);
+}
+
+TEST(Msp430, FibonacciProgram) {
+  Machine m;
+  m.run(R"(
+    mov #0, r4       ; fib(0)
+    mov #1, r5       ; fib(1)
+    mov #10, r6      ; iterations
+  loop:
+    mov r5, r7
+    add r4, r5
+    mov r7, r4
+    dec r6
+    jnz loop
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 55);  // fib(10)
+  EXPECT_EQ(m.r(5), 89);  // fib(11)
+}
+
+TEST(Msp430, ArraySumProgram) {
+  Machine m;
+  m.run(R"(
+    mov #data, r4
+    mov #4, r5
+    clr r6
+  loop:
+    add @r4+, r6
+    dec r5
+    jnz loop
+    bis #0x10, sr
+  data:
+    .word 10, 20, 30, 40
+  )");
+  EXPECT_EQ(m.r(6), 100);
+}
+
+TEST(Msp430, AssemblerErrors) {
+  Msp430Assembler assembler;
+  EXPECT_THROW(assembler.assemble("frobnicate r4"), AsmError);
+  EXPECT_THROW(assembler.assemble("mov r4"), AsmError);
+  EXPECT_THROW(assembler.assemble("jmp nowhere"), AsmError);
+  EXPECT_THROW(assembler.assemble("mov r4, #5"), AsmError);
+  EXPECT_THROW(assembler.assemble("mov r4, @r5"), AsmError);
+}
+
+TEST(Msp430, BranchPseudoOp) {
+  Machine m;
+  m.run(R"(
+    br #target
+    mov #1, r4      ; skipped
+  target:
+    mov #2, r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 2);
+}
+
+}  // namespace
+}  // namespace bansim::isa

@@ -1,0 +1,280 @@
+// Extended MSP430 coverage: addressing-mode corners, byte-mode format-II
+// operations, absolute addressing, stack discipline and program patterns.
+#include <gtest/gtest.h>
+
+#include "isa/msp430_asm.hpp"
+#include "isa/msp430_core.hpp"
+
+namespace bansim::isa {
+namespace {
+
+struct Machine {
+  Msp430Core core;
+  Msp430Assembler assembler;
+
+  StepResult run(const std::string& source, std::uint64_t max = 100000) {
+    core.reset();
+    core.load(0x4000, assembler.assemble(source));
+    core.set_reg(kSp, 0x3FFE);
+    return core.run(max);
+  }
+  [[nodiscard]] std::uint16_t r(int reg) const { return core.reg(reg); }
+};
+
+TEST(Msp430Ext, AbsoluteAddressingBothDirections) {
+  Machine m;
+  m.run(R"(
+    mov #0x5A5A, &0x0220
+    mov &0x0220, r7
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.core.read16(0x0220), 0x5A5A);
+  EXPECT_EQ(m.r(7), 0x5A5A);
+}
+
+TEST(Msp430Ext, NegativeIndexedOffset) {
+  Machine m;
+  m.run(R"(
+    mov #0x0210, r4
+    mov #0xBEAD, -4(r4)
+    mov -4(r4), r5
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.core.read16(0x020C), 0xBEAD);
+  EXPECT_EQ(m.r(5), 0xBEAD);
+}
+
+TEST(Msp430Ext, PushImmediateAndIndirect) {
+  Machine m;
+  m.run(R"(
+    push #0x1234
+    mov #0x0200, r4
+    mov #0x5678, 0(r4)
+    push @r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.core.read16(0x3FFC), 0x1234);
+  EXPECT_EQ(m.core.read16(0x3FFA), 0x5678);
+  EXPECT_EQ(m.core.sp(), 0x3FFA);
+}
+
+TEST(Msp430Ext, CallThroughRegister) {
+  Machine m;
+  m.run(R"(
+    mov #target, r10
+    call r10
+    bis #0x10, sr
+  target:
+    mov #0x77, r4
+    ret
+  )");
+  EXPECT_EQ(m.r(4), 0x77);
+  EXPECT_EQ(m.core.sp(), 0x3FFE);
+}
+
+TEST(Msp430Ext, ByteRrcAndRra) {
+  Machine m;
+  m.run(R"(
+    bic #1, sr
+    mov #0x00FF, r4
+    rra.b r4
+    bis #0x10, sr
+  )");
+  // Byte RRA of 0xFF: sign (bit 7) preserved -> 0xFF, C = 1.
+  EXPECT_EQ(m.r(4), 0x00FF);
+  EXPECT_TRUE(m.core.flag(kSrC));
+
+  m.run(R"(
+    bis #1, sr
+    mov #0x0000, r4
+    rrc.b r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 0x0080);  // carry enters bit 7 in byte mode
+}
+
+TEST(Msp430Ext, SwpbOnMemoryOperand) {
+  Machine m;
+  m.run(R"(
+    mov #0xCAFE, &0x0230
+    mov #0x0230, r4
+    swpb @r4
+    bis #0x10, sr
+  )");
+  // Format-II @Rn reads through the register; the result is written back
+  // to the memory operand.
+  EXPECT_EQ(m.core.read16(0x0230), 0xFECA);
+}
+
+TEST(Msp430Ext, CmpByteSetsFlagsOnLowByteOnly) {
+  Machine m;
+  m.run(R"(
+    mov #0x12FF, r4
+    cmp.b #0xFF, r4
+    bis #0x10, sr
+  )");
+  EXPECT_TRUE(m.core.flag(kSrZ));  // low bytes equal despite 0x12 high byte
+}
+
+TEST(Msp430Ext, JnTakesOnNegative) {
+  Machine m;
+  m.run(R"(
+    mov #1, r5
+    sub #2, r5      ; -1: N set
+    jn neg
+    mov #0, r6
+    jmp done
+  neg:
+    mov #1, r6
+  done:
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(6), 1);
+}
+
+TEST(Msp430Ext, JcJncFollowCarry) {
+  Machine m;
+  m.run(R"(
+    mov #0xFFFF, r4
+    add #1, r4      ; carry out
+    jc carried
+    mov #0, r6
+    jmp done
+  carried:
+    mov #1, r6
+  done:
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(6), 1);
+}
+
+TEST(Msp430Ext, StackedSubroutines) {
+  Machine m;
+  m.run(R"(
+    mov #3, r4
+    call #outer
+    bis #0x10, sr
+  outer:
+    push r4
+    call #inner
+    mov @sp+, r7
+    ret
+  inner:
+    add r4, r4
+    ret
+  )");
+  EXPECT_EQ(m.r(4), 6);
+  EXPECT_EQ(m.r(7), 3);
+  EXPECT_EQ(m.core.sp(), 0x3FFE);
+}
+
+TEST(Msp430Ext, MovToPcActsAsBranch) {
+  Machine m;
+  m.run(R"(
+    mov #skip, r10
+    mov r10, pc
+    mov #1, r4      ; never executed
+  skip:
+    mov #2, r4
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.r(4), 2);
+}
+
+TEST(Msp430Ext, StringReverseProgram) {
+  // Reverse 6 words in place with two pointers: exercises indexed loads,
+  // stores and signed comparison.
+  Machine m;
+  m.run(R"(
+    mov #data, r4      ; left
+    mov #data, r5
+    add #10, r5        ; right = &data[5]
+  loop:
+    cmp r5, r4
+    jhs done           ; left >= right (unsigned address compare)
+    mov @r4, r6
+    mov @r5, 0(r4)
+    mov r6, 0(r5)
+    add #2, r4
+    sub #2, r5
+    jmp loop
+  done:
+    bis #0x10, sr
+  data:
+    .word 1, 2, 3, 4, 5, 6
+  )");
+  const std::uint16_t base = m.assembler.label("data");
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(m.core.read16(static_cast<std::uint16_t>(base + 2 * i)), 6 - i);
+  }
+}
+
+TEST(Msp430Ext, InterruptDuringCpuOffWakesAfterGie) {
+  // Firmware pattern: enable GIE, enter LPM0; the ISR clears CPUOFF in the
+  // *saved* SR on the stack so execution continues after RETI.
+  Machine m;
+  m.core.reset();
+  const auto words = m.assembler.assemble(R"(
+    clr r4
+    bis #0x18, sr      ; GIE | CPUOFF: sleep until interrupt
+    mov #1, r4         ; runs only after wake-up
+    bis #0x10, sr
+  isr:
+    bic #0x10, 0(sp)   ; clear CPUOFF in the saved SR
+    reti
+  )");
+  m.core.load(0x4000, words);
+  m.core.set_reg(kSp, 0x3FFE);
+  m.core.write16(0xFFF0, m.assembler.label("isr"));
+
+  // Runs into CPUOFF.
+  EXPECT_EQ(m.core.run(100), StepResult::kCpuOff);
+  EXPECT_EQ(m.r(4), 0);
+
+  // Interrupt arrives: ISR runs, clears the saved CPUOFF, RETI resumes.
+  m.core.request_interrupt(0xFFF0);
+  EXPECT_EQ(m.core.run(100), StepResult::kCpuOff);  // final LPM at the end
+  EXPECT_EQ(m.r(4), 1);
+}
+
+TEST(Msp430Ext, Format2CycleCosts) {
+  Machine m;
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("rra r4"));
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 1u);
+
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("push r4"));
+  m.core.set_reg(kSp, 0x3FFE);
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 3u);
+
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("call #0x4400"));
+  m.core.set_reg(kSp, 0x3FFE);
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 5u);
+
+  m.core.reset();
+  m.core.load(0x4000, m.assembler.assemble("reti"));
+  m.core.set_reg(kSp, 0x3FFA);
+  m.core.step();
+  EXPECT_EQ(m.core.cycles(), 5u);
+}
+
+TEST(Msp430Ext, AssemblerLabelsOnOwnLine) {
+  Machine m;
+  m.run(R"(
+  entry:
+    mov #5, r4
+  exit_label:
+    bis #0x10, sr
+  )");
+  EXPECT_EQ(m.assembler.label("entry"), 0x4000);
+  EXPECT_GT(m.assembler.label("exit_label"), 0x4000);
+  EXPECT_THROW((void)m.assembler.label("missing"), AsmError);
+}
+
+}  // namespace
+}  // namespace bansim::isa

@@ -1,0 +1,99 @@
+#include "core/power_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_experiments.hpp"
+
+namespace bansim::core {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+struct ProfileFixture : ::testing::Test {
+  std::unique_ptr<BanNetwork> network;
+
+  void make(int cycle_ms) {
+    PaperSetup setup;
+    BanConfig cfg = streaming_static_config(
+        setup, Duration::milliseconds(cycle_ms));
+    cfg.num_nodes = 2;
+    network = std::make_unique<BanNetwork>(cfg);
+    network->start();
+    ASSERT_TRUE(network->run_until_joined(500_ms, TimePoint::zero() + 30_s));
+  }
+};
+
+TEST_F(ProfileFixture, ShowsSleepFloorAndRadioPeaks) {
+  make(60);
+  PowerProfileOptions options;
+  options.window = 200_ms;
+  const energy::PowerTrace trace =
+      capture_power_profile(*network, 0, options);
+  ASSERT_GT(trace.size(), 1000u);
+
+  // Sleep floor: LPM1 only = 0.66 mA * 2.8 V = 1.85 mW (plus radio standby).
+  double floor = 1e9, peak = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    floor = std::min(floor, trace.watts_at(i));
+    peak = std::max(peak, trace.watts_at(i));
+  }
+  EXPECT_NEAR(floor, 0.66e-3 * 2.8, 0.5e-3);
+  // Beacon listen: RX current dominates -> > 60 mW incl. the active MCU.
+  EXPECT_GT(peak, 60e-3);
+  EXPECT_LT(peak, 90e-3);
+}
+
+TEST_F(ProfileFixture, PeaksRecurAtCycleCadence) {
+  make(60);
+  PowerProfileOptions options;
+  options.window = 240_ms;
+  const energy::PowerTrace trace =
+      capture_power_profile(*network, 0, options);
+
+  // Count rising crossings of a 60 mW threshold — above the TX burst
+  // (~55 mW) but below the RX listen plateau (~70 mW): one listen window
+  // per 60 ms cycle -> 4 in 240 ms.
+  int crossings = 0;
+  bool above = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool now_above = trace.watts_at(i) > 60e-3;
+    if (now_above && !above) ++crossings;
+    above = now_above;
+  }
+  EXPECT_NEAR(crossings, 4, 1);
+}
+
+TEST_F(ProfileFixture, EnergyIntegralMatchesMeters) {
+  make(60);
+  auto& board = network->node(0).board();
+  const sim::TimePoint t0 = network->simulator().now();
+  const double before = board.mcu().meter().total_energy(t0) +
+                        board.radio().meter().total_energy(t0);
+  PowerProfileOptions options;
+  options.window = 120_ms;
+  const energy::PowerTrace trace =
+      capture_power_profile(*network, 0, options);
+  const sim::TimePoint t1 = network->simulator().now();
+  const double after = board.mcu().meter().total_energy(t1) +
+                       board.radio().meter().total_energy(t1);
+  EXPECT_NEAR(trace.energy(t0, t1), after - before, 1e-6);
+}
+
+TEST_F(ProfileFixture, AsicOptionLiftsTheFloor) {
+  make(60);
+  PowerProfileOptions options;
+  options.window = 50_ms;
+  options.include_asic = true;
+  const energy::PowerTrace trace =
+      capture_power_profile(*network, 0, options);
+  double floor = 1e9;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    floor = std::min(floor, trace.watts_at(i));
+  }
+  EXPECT_GT(floor, 10e-3);  // the constant 10.5 mW front-end
+}
+
+}  // namespace
+}  // namespace bansim::core

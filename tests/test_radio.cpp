@@ -1,0 +1,249 @@
+#include "hw/radio_nrf2401.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "phy/channel.hpp"
+
+namespace bansim::hw {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+net::Packet make_data(net::NodeId dest, net::NodeId src, std::size_t len) {
+  net::Packet p;
+  p.header.dest = dest;
+  p.header.src = src;
+  p.header.type = net::PacketType::kData;
+  p.payload.assign(len, 0x5A);
+  return p;
+}
+
+struct RadioFixture : ::testing::Test {
+  sim::Simulator simulator;
+  sim::Tracer tracer;
+  phy::Channel channel{simulator, tracer};
+  RadioParams params;
+  phy::PhyConfig phy;
+  RadioNrf2401 tx{simulator, tracer, channel, "tx", params, phy};
+  RadioNrf2401 rx{simulator, tracer, channel, "rx", params, phy};
+
+  std::vector<net::Packet> received;
+  int send_done{0};
+
+  void SetUp() override {
+    tx.set_local_address(1);
+    rx.set_local_address(2);
+    RadioNrf2401::Callbacks cb;
+    cb.on_receive = [this](const net::Packet& p) { received.push_back(p); };
+    rx.set_callbacks(cb);
+    RadioNrf2401::Callbacks txcb;
+    txcb.on_send_done = [this] { ++send_done; };
+    tx.set_callbacks(txcb);
+  }
+
+  /// Brings both radios to standby (past the 3 ms crystal start-up).
+  void power_both() {
+    tx.power_up();
+    rx.power_up();
+    simulator.run_until(simulator.now() + 4_ms);
+  }
+};
+
+TEST_F(RadioFixture, StartsPoweredDown) {
+  EXPECT_EQ(tx.state(), RadioState::kPowerDown);
+  EXPECT_FALSE(tx.busy());
+}
+
+TEST_F(RadioFixture, PowerUpTakesCrystalStartup) {
+  tx.power_up();
+  EXPECT_EQ(tx.state(), RadioState::kPoweringUp);
+  simulator.run_until(TimePoint::zero() + 2_ms);
+  EXPECT_EQ(tx.state(), RadioState::kPoweringUp);
+  simulator.run_until(TimePoint::zero() + 3_ms);
+  EXPECT_EQ(tx.state(), RadioState::kStandby);
+}
+
+TEST_F(RadioFixture, SendSequencesThroughStates) {
+  power_both();
+  const net::Packet p = make_data(2, 1, 18);
+  const auto frame_bytes = p.wire_size();  // 26
+  const TimePoint t0 = simulator.now();
+  tx.send(p);
+  EXPECT_EQ(tx.state(), RadioState::kTxClockIn);
+
+  // Clock-in: 26 bytes at 1 Mbps SPI = 208 us.
+  simulator.run_until(t0 + 207_us);
+  EXPECT_EQ(tx.state(), RadioState::kTxClockIn);
+  simulator.run_until(t0 + 209_us);
+  EXPECT_EQ(tx.state(), RadioState::kTxSettle);
+
+  // Settle 202 us, then on air for air_time(26) = 256 us.
+  simulator.run_until(t0 + 208_us + 203_us);
+  EXPECT_EQ(tx.state(), RadioState::kTxAir);
+  simulator.run_until(t0 + 208_us + 202_us + 257_us);
+  EXPECT_EQ(tx.state(), RadioState::kStandby);
+  EXPECT_EQ(send_done, 1);
+  EXPECT_EQ(tx.stats().tx_frames, 1u);
+  (void)frame_bytes;
+}
+
+TEST_F(RadioFixture, ListeningReceiverGetsPacket) {
+  power_both();
+  rx.start_rx();
+  simulator.run_until(simulator.now() + 1_ms);  // past RX settle
+  EXPECT_EQ(rx.state(), RadioState::kRxListen);
+
+  tx.send(make_data(2, 1, 18));
+  simulator.run_until(simulator.now() + 5_ms);
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].header.src, 1);
+  EXPECT_EQ(received[0].payload.size(), 18u);
+  EXPECT_EQ(rx.stats().rx_delivered, 1u);
+  EXPECT_EQ(rx.state(), RadioState::kRxListen);  // back to listening
+}
+
+TEST_F(RadioFixture, AddressFilterDropsOverheardFrames) {
+  power_both();
+  rx.start_rx();
+  simulator.run_until(simulator.now() + 1_ms);
+
+  tx.send(make_data(7, 1, 18));  // addressed to node 7, not rx (2)
+  simulator.run_until(simulator.now() + 5_ms);
+
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(rx.stats().rx_addr_filtered, 1u);
+  EXPECT_EQ(rx.stats().rx_delivered, 0u);
+}
+
+TEST_F(RadioFixture, BroadcastPassesAddressFilter) {
+  power_both();
+  rx.start_rx();
+  simulator.run_until(simulator.now() + 1_ms);
+  tx.send(make_data(net::kBroadcastId, 1, 4));
+  simulator.run_until(simulator.now() + 5_ms);
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(RadioFixture, CollisionDropsFrameInHardware) {
+  RadioNrf2401 tx2{simulator, tracer, channel, "tx2", params, phy};
+  tx2.set_local_address(3);
+  power_both();
+  tx2.power_up();
+  simulator.run_until(simulator.now() + 4_ms);
+
+  rx.start_rx();
+  simulator.run_until(simulator.now() + 1_ms);
+
+  // Same wire size -> identical clock-in+settle -> simultaneous air.
+  tx.send(make_data(2, 1, 18));
+  tx2.send(make_data(2, 3, 18));
+  simulator.run_until(simulator.now() + 5_ms);
+
+  EXPECT_TRUE(received.empty());
+  EXPECT_GE(rx.stats().rx_crc_dropped, 1u);
+  EXPECT_GE(channel.collisions(), 1u);
+}
+
+TEST_F(RadioFixture, FrameStartedWhileNotListeningIsMissed) {
+  power_both();
+  // rx stays in standby.
+  tx.send(make_data(2, 1, 18));
+  simulator.run_until(simulator.now() + 5_ms);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(rx.stats().rx_missed, 1u);
+}
+
+TEST_F(RadioFixture, StopRxReturnsToStandby) {
+  power_both();
+  rx.start_rx();
+  simulator.run_until(simulator.now() + 1_ms);
+  rx.stop_rx();
+  EXPECT_EQ(rx.state(), RadioState::kStandby);
+  // A pending settle completion must not resurrect the listen state.
+  rx.start_rx();
+  rx.stop_rx();
+  simulator.run_until(simulator.now() + 1_ms);
+  EXPECT_EQ(rx.state(), RadioState::kStandby);
+}
+
+TEST_F(RadioFixture, ClockoutChargesRxCurrentAndNotifiesDriver) {
+  std::optional<std::size_t> clockout_bytes;
+  RadioNrf2401::Callbacks cb;
+  cb.on_receive = [this](const net::Packet& p) { received.push_back(p); };
+  cb.on_clockout_start = [&](std::size_t n) { clockout_bytes = n; };
+  rx.set_callbacks(cb);
+
+  power_both();
+  rx.start_rx();
+  simulator.run_until(simulator.now() + 1_ms);
+  tx.send(make_data(2, 1, 18));
+  simulator.run_until(simulator.now() + 5_ms);
+
+  ASSERT_TRUE(clockout_bytes.has_value());
+  EXPECT_EQ(*clockout_bytes, 26u);
+  EXPECT_GT(rx.meter().time_in(static_cast<int>(RadioState::kRxClockOut),
+                               simulator.now()),
+            Duration::zero());
+}
+
+TEST_F(RadioFixture, EnergyAttributedPerState) {
+  power_both();
+  const TimePoint t0 = simulator.now();
+  rx.start_rx();
+  simulator.run_until(t0 + 10_ms);
+  const auto& m = rx.meter();
+  // Settle is charged at RX current for exactly the settle time.
+  EXPECT_EQ(m.time_in(static_cast<int>(RadioState::kRxSettle), simulator.now()),
+            params.settle_time);
+  const double listen_s =
+      m.time_in(static_cast<int>(RadioState::kRxListen), simulator.now())
+          .to_seconds();
+  EXPECT_NEAR(m.energy_in(static_cast<int>(RadioState::kRxListen),
+                          simulator.now()),
+              listen_s * params.rx_current_amps * params.supply_volts, 1e-12);
+}
+
+TEST_F(RadioFixture, SpiTimeMatchesRate) {
+  EXPECT_EQ(tx.spi_time(26), Duration::microseconds(208));
+  EXPECT_EQ(tx.spi_time(0), Duration::zero());
+}
+
+TEST_F(RadioFixture, PowerDownFromStandby) {
+  power_both();
+  tx.power_down();
+  EXPECT_EQ(tx.state(), RadioState::kPowerDown);
+}
+
+TEST_F(RadioFixture, StateNames) {
+  EXPECT_STREQ(to_string(RadioState::kTxAir), "tx_air");
+  EXPECT_STREQ(to_string(RadioState::kRxListen), "rx_listen");
+  EXPECT_STREQ(to_string(RadioState::kPowerDown), "power_down");
+}
+
+TEST_F(RadioFixture, BackToBackSendsBothDelivered) {
+  power_both();
+  rx.start_rx();
+  simulator.run_until(simulator.now() + 1_ms);
+  bool second_sent = false;
+  RadioNrf2401::Callbacks txcb;
+  txcb.on_send_done = [&] {
+    if (!second_sent) {
+      second_sent = true;
+      tx.send(make_data(2, 1, 8));
+    }
+  };
+  tx.set_callbacks(txcb);
+  tx.send(make_data(2, 1, 18));
+  simulator.run_until(simulator.now() + 10_ms);
+  EXPECT_EQ(received.size(), 2u);
+  EXPECT_EQ(tx.stats().tx_frames, 2u);
+}
+
+}  // namespace
+}  // namespace bansim::hw

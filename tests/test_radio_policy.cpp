@@ -1,0 +1,100 @@
+// Tests of the radio power-down housekeeping policy.
+#include <gtest/gtest.h>
+
+#include "core/ban_network.hpp"
+
+namespace bansim::mac {
+namespace {
+
+using namespace bansim::sim::literals;
+using core::AppKind;
+using core::BanConfig;
+using core::BanNetwork;
+using sim::Duration;
+using sim::TimePoint;
+
+BanConfig rpeak_config(bool power_down) {
+  BanConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.tdma = TdmaConfig::static_plan(240_ms, 5);
+  cfg.tdma.radio_power_down = power_down;
+  cfg.app = AppKind::kRpeak;
+  cfg.seed = 33;
+  return cfg;
+}
+
+TEST(RadioPowerDown, RadioSpendsTimeInPowerDown) {
+  BanNetwork net{rpeak_config(true)};
+  net.start();
+  ASSERT_TRUE(net.run_until_joined(500_ms, TimePoint::zero() + 30_s));
+  const auto t0 = net.simulator().now();
+  const auto& meter = net.node(0).board().radio().meter();
+  const auto pd_before =
+      meter.time_in(static_cast<int>(hw::RadioState::kPowerDown), t0);
+  net.run_until(t0 + 10_s);
+  const auto pd = meter.time_in(static_cast<int>(hw::RadioState::kPowerDown),
+                                net.simulator().now()) -
+                  pd_before;
+  // Most of the 240 ms cycle is idle: power-down should cover > 80 %.
+  EXPECT_GT(pd.to_seconds(), 8.0);
+}
+
+TEST(RadioPowerDown, ProtocolKeepsWorking) {
+  BanNetwork net{rpeak_config(true)};
+  net.start();
+  ASSERT_TRUE(net.run_until_joined(500_ms, TimePoint::zero() + 30_s));
+  const auto beacons_before = net.node(0).mac().stats().beacons_received;
+  const auto missed_before = net.node(0).mac().stats().beacons_missed;
+  net.run_until(net.simulator().now() + 12_s);
+  // 12 s / 240 ms = 50 beacons, none missed to late power-ups.
+  EXPECT_NEAR(static_cast<double>(net.node(0).mac().stats().beacons_received -
+                                  beacons_before),
+              50.0, 2.0);
+  EXPECT_EQ(net.node(0).mac().stats().beacons_missed - missed_before, 0u);
+}
+
+TEST(RadioPowerDown, SavesEnergyOnLongCycles) {
+  auto radio_joules = [](bool power_down) {
+    BanNetwork net{rpeak_config(power_down)};
+    net.start();
+    EXPECT_TRUE(net.run_until_joined(500_ms, TimePoint::zero() + 30_s));
+    const auto t0 = net.simulator().now();
+    const double before =
+        net.node(0).board().radio().meter().total_energy(t0);
+    net.run_until(t0 + 20_s);
+    return net.node(0).board().radio().meter().total_energy(
+               net.simulator().now()) -
+           before;
+  };
+  const double standby = radio_joules(false);
+  const double off = radio_joules(true);
+  EXPECT_LT(off, standby);
+  // The saving is real but small (idle-current housekeeping).
+  EXPECT_LT((standby - off) / standby, 0.06);
+}
+
+TEST(RadioPowerDown, SkippedWhenIdleStretchTooShort) {
+  // With a (hypothetical) 40 ms crystal start-up, no idle stretch of a
+  // 30 ms cycle can amortize a power-down: the policy must not engage.
+  BanConfig cfg = rpeak_config(true);
+  cfg.tdma = TdmaConfig::static_plan(30_ms, 5);
+  cfg.tdma.radio_power_down = true;
+  cfg.board.radio.powerup_time = 40_ms;
+  BanNetwork net{cfg};
+  net.start();
+  ASSERT_TRUE(net.run_until_joined(500_ms, TimePoint::zero() + 30_s));
+  const auto t0 = net.simulator().now();
+  const auto& meter = net.node(0).board().radio().meter();
+  const auto pd_before =
+      meter.time_in(static_cast<int>(hw::RadioState::kPowerDown), t0);
+  net.run_until(t0 + 5_s);
+  const auto pd = meter.time_in(static_cast<int>(hw::RadioState::kPowerDown),
+                                net.simulator().now()) -
+                  pd_before;
+  EXPECT_EQ(pd, sim::Duration::zero());
+  // And the protocol still runs.
+  EXPECT_TRUE(net.node(0).mac().joined());
+}
+
+}  // namespace
+}  // namespace bansim::mac

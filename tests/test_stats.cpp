@@ -1,0 +1,153 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace bansim::sim {
+namespace {
+
+using namespace bansim::sim::literals;
+
+TimePoint at(std::int64_t ms) { return TimePoint::zero() + Duration::milliseconds(ms); }
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance of the classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Summary, WelfordMatchesNaiveOnRandomData) {
+  Rng rng{314};
+  Summary s;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    s.add(v);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double naive_mean = sum / n;
+  const double naive_var = (sum2 - n * naive_mean * naive_mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), naive_mean, 1e-9);
+  EXPECT_NEAR(s.variance(), naive_var, 1e-6);
+}
+
+TEST(Summary, ResetClears) {
+  Summary s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BinsAndBounds) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.0);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi-exclusive)
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(StateResidency, AccumulatesPerState) {
+  StateResidency r{3, 0, at(0)};
+  r.transition(1, at(10));
+  r.transition(2, at(30));
+  r.transition(0, at(60));
+  EXPECT_EQ(r.time_in(0, at(100)), Duration::milliseconds(10 + 40));
+  EXPECT_EQ(r.time_in(1, at(100)), Duration::milliseconds(20));
+  EXPECT_EQ(r.time_in(2, at(100)), Duration::milliseconds(30));
+}
+
+TEST(StateResidency, CountsEntries) {
+  StateResidency r{2, 0, at(0)};
+  r.transition(1, at(1));
+  r.transition(0, at(2));
+  r.transition(1, at(3));
+  EXPECT_EQ(r.entries(0), 2u);
+  EXPECT_EQ(r.entries(1), 2u);
+}
+
+TEST(StateResidency, InProgressStretchCountsUpToNow) {
+  StateResidency r{2, 1, at(0)};
+  EXPECT_EQ(r.time_in(1, at(25)), Duration::milliseconds(25));
+  EXPECT_EQ(r.time_in(0, at(25)), Duration::zero());
+}
+
+TEST(StateResidency, TotalTimeIsConserved) {
+  // Property: sum over states of time_in == elapsed, for any transition mix.
+  Rng rng{7};
+  StateResidency r{4, 0, at(0)};
+  TimePoint t = at(0);
+  for (int i = 0; i < 200; ++i) {
+    t += Duration::microseconds(rng.uniform_int(1, 5000));
+    r.transition(static_cast<int>(rng.uniform_int(0, 3)), t);
+  }
+  const TimePoint end = t + 7_ms;
+  Duration total = Duration::zero();
+  for (int s = 0; s < 4; ++s) total += r.time_in(s, end);
+  EXPECT_EQ(total, end - at(0));
+}
+
+TEST(Counters, AddAndGet) {
+  Counters c;
+  c.add("tx");
+  c.add("tx", 4);
+  c.add("rx", 2);
+  EXPECT_EQ(c.get("tx"), 5u);
+  EXPECT_EQ(c.get("rx"), 2u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_EQ(c.items().size(), 2u);
+}
+
+}  // namespace
+}  // namespace bansim::sim

@@ -1,0 +1,110 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bansim::sim {
+namespace {
+
+using namespace bansim::sim::literals;
+
+TEST(Duration, DefaultIsZero) {
+  Duration d;
+  EXPECT_TRUE(d.is_zero());
+  EXPECT_EQ(d.ticks(), 0);
+}
+
+TEST(Duration, NamedConstructors) {
+  EXPECT_EQ(Duration::nanoseconds(5).ticks(), 5);
+  EXPECT_EQ(Duration::microseconds(5).ticks(), 5'000);
+  EXPECT_EQ(Duration::milliseconds(5).ticks(), 5'000'000);
+  EXPECT_EQ(Duration::seconds(5).ticks(), 5'000'000'000LL);
+}
+
+TEST(Duration, FractionalFactoriesRoundToNearest) {
+  EXPECT_EQ(Duration::from_microseconds(1.5).ticks(), 1500);
+  EXPECT_EQ(Duration::from_microseconds(0.0004).ticks(), 0);
+  EXPECT_EQ(Duration::from_microseconds(0.0006).ticks(), 1);
+  EXPECT_EQ(Duration::from_seconds(-1.0).ticks(), -1'000'000'000LL);
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ((5_us).ticks(), 5'000);
+  EXPECT_EQ((3_ms).ticks(), 3'000'000);
+  EXPECT_EQ((2_s).ticks(), 2'000'000'000LL);
+  EXPECT_EQ((1.5_ms).ticks(), 1'500'000);
+  EXPECT_EQ((250_ns).ticks(), 250);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((3_ms + 2_ms).ticks(), (5_ms).ticks());
+  EXPECT_EQ((3_ms - 5_ms).ticks(), (-2 * 1_ms).ticks());
+  EXPECT_EQ((2_ms * 4).ticks(), (8_ms).ticks());
+  EXPECT_EQ((4 * 2_ms).ticks(), (8_ms).ticks());
+  EXPECT_EQ((8_ms / 2).ticks(), (4_ms).ticks());
+  Duration d = 1_ms;
+  d += 1_ms;
+  d -= 500_us;
+  EXPECT_EQ(d, 1500_us);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_TRUE((-1 * 1_ms).is_negative());
+  EXPECT_FALSE((1_ms).is_negative());
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_us).to_milliseconds(), 1.5);
+  EXPECT_DOUBLE_EQ((2_s).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((3_us).to_microseconds(), 3.0);
+}
+
+TEST(Duration, Scaled) {
+  EXPECT_EQ((10_ms).scaled(1.5), 15_ms);
+  EXPECT_EQ((10_ms).scaled(0.0), Duration::zero());
+  // 1 + 2e-3 skew on a 10 ms interval = +20 us.
+  EXPECT_EQ((10_ms).scaled(1.002), 10'020_us);
+}
+
+TEST(Duration, DividedByAndMod) {
+  EXPECT_EQ((95_ms).divided_by(30_ms), 3);
+  EXPECT_EQ((95_ms).mod(30_ms), 5_ms);
+  EXPECT_EQ((90_ms).mod(30_ms), Duration::zero());
+}
+
+TEST(Duration, ToStringPicksUnit) {
+  EXPECT_EQ((1500_us).to_string(), "1.500 ms");
+  EXPECT_EQ((2_s).to_string(), "2.000 s");
+  EXPECT_EQ((750_ns).to_string(), "750 ns");
+  EXPECT_EQ((12_us).to_string(), "12.000 us");
+}
+
+TEST(TimePoint, EpochAndArithmetic) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ((t1 - t0), 5_ms);
+  EXPECT_EQ(t1.since_epoch(), 5_ms);
+  EXPECT_EQ((t1 - 2_ms).since_epoch(), 3_ms);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimePoint, FromTicks) {
+  const TimePoint t = TimePoint::from_ticks(123);
+  EXPECT_EQ(t.ticks(), 123);
+}
+
+TEST(TimePoint, CompoundAdd) {
+  TimePoint t;
+  t += 1_s;
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(t.to_milliseconds(), 1000.0);
+}
+
+TEST(TimePoint, MaxIsLargerThanAnyPractical) {
+  EXPECT_GT(TimePoint::max(), TimePoint::zero() + Duration::seconds(1'000'000));
+}
+
+}  // namespace
+}  // namespace bansim::sim

@@ -1,0 +1,94 @@
+#include "core/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bansim::core {
+namespace {
+
+using namespace bansim::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+using sim::TraceCategory;
+using sim::TraceRecord;
+
+TimePoint at(std::int64_t ms) {
+  return TimePoint::zero() + Duration::milliseconds(ms);
+}
+
+TraceRecord mac(std::int64_t ms, std::string node, std::string message) {
+  return {at(ms), TraceCategory::kMac, std::move(node), std::move(message)};
+}
+
+TEST(Timeline, PlacesSymbolsAtTheRightBins) {
+  std::vector<TraceRecord> records = {
+      mac(0, "bs", "SB beacon seq=0"),
+      mac(12, "node1", "SSR (slot 2)"),
+      mac(25, "bs", "grant slot 2 to node 1"),
+      mac(40, "node1", "Si data tx slot=2 len=18"),
+  };
+  TimelineOptions options;
+  options.start = at(0);
+  options.window = 50_ms;
+  options.bin = 1_ms;
+  const std::string out = render_timeline(records, options);
+
+  // Two rows, labelled.
+  EXPECT_NE(out.find("bs"), std::string::npos);
+  EXPECT_NE(out.find("node1"), std::string::npos);
+  // bs row: B at bin 0, G at bin 25.
+  const auto bs_pos = out.find("bs       |");
+  ASSERT_NE(bs_pos, std::string::npos);
+  EXPECT_EQ(out[bs_pos + 10 + 0], 'B');
+  EXPECT_EQ(out[bs_pos + 10 + 25], 'G');
+  const auto n1_pos = out.find("node1    |");
+  ASSERT_NE(n1_pos, std::string::npos);
+  EXPECT_EQ(out[n1_pos + 10 + 12], 'R');
+  EXPECT_EQ(out[n1_pos + 10 + 40], 'D');
+}
+
+TEST(Timeline, IgnoresOutOfWindowAndNonMacRecords) {
+  std::vector<TraceRecord> records = {
+      mac(5, "bs", "SB beacon seq=0"),
+      mac(500, "bs", "SB beacon seq=1"),  // beyond window
+      {at(6), TraceCategory::kRadio, "bs", "SB beacon imitation"},
+      mac(7, "bs", "unrelated message"),
+  };
+  TimelineOptions options;
+  options.start = at(0);
+  options.window = 100_ms;
+  options.bin = 1_ms;
+  const std::string out = render_timeline(records, options);
+  // Exactly one B, no symbol at bin 6 or 7.
+  const auto bs_pos = out.find("bs       |");
+  ASSERT_NE(bs_pos, std::string::npos);
+  EXPECT_EQ(out[bs_pos + 10 + 5], 'B');
+  EXPECT_EQ(out[bs_pos + 10 + 6], '.');
+  EXPECT_EQ(out[bs_pos + 10 + 7], '.');
+  EXPECT_EQ(std::count(out.begin(), out.end(), 'B'), 2);  // legend + 1 event
+}
+
+TEST(Timeline, RecordsBeforeStartAreSkipped) {
+  std::vector<TraceRecord> records = {
+      mac(5, "bs", "SB beacon seq=0"),
+      mac(55, "bs", "SB beacon seq=1"),
+  };
+  TimelineOptions options;
+  options.start = at(50);
+  options.window = 100_ms;
+  options.bin = 1_ms;
+  const std::string out = render_timeline(records, options);
+  const auto bs_pos = out.find("bs       |");
+  ASSERT_NE(bs_pos, std::string::npos);
+  EXPECT_EQ(out[bs_pos + 10 + 5], 'B');  // 55 ms -> bin 5 relative to start
+}
+
+TEST(Timeline, EmptyRecordsGiveHeaderOnly) {
+  TimelineOptions options;
+  options.start = at(0);
+  const std::string out = render_timeline({}, options);
+  EXPECT_NE(out.find("timeline from"), std::string::npos);
+  EXPECT_EQ(out.find("node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bansim::core

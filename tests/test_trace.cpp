@@ -1,0 +1,74 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bansim::sim {
+namespace {
+
+using namespace bansim::sim::literals;
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer t;
+  for (int c = 0; c < static_cast<int>(TraceCategory::kCount); ++c) {
+    EXPECT_FALSE(t.enabled(static_cast<TraceCategory>(c)));
+  }
+}
+
+TEST(Tracer, AttachEnablesRequestedCategories) {
+  Tracer t;
+  auto sink = std::make_shared<MemorySink>();
+  t.attach(sink, {TraceCategory::kMac, TraceCategory::kRadio});
+  EXPECT_TRUE(t.enabled(TraceCategory::kMac));
+  EXPECT_TRUE(t.enabled(TraceCategory::kRadio));
+  EXPECT_FALSE(t.enabled(TraceCategory::kApp));
+}
+
+TEST(Tracer, EmitReachesSinkWhenEnabled) {
+  Tracer t;
+  auto sink = std::make_shared<MemorySink>();
+  t.attach(sink, {TraceCategory::kMac});
+  t.emit(TimePoint::zero() + 5_ms, TraceCategory::kMac, "node1", "hello");
+  ASSERT_EQ(sink->records().size(), 1u);
+  const TraceRecord& r = sink->records().front();
+  EXPECT_EQ(r.when, TimePoint::zero() + 5_ms);
+  EXPECT_EQ(r.node, "node1");
+  EXPECT_EQ(r.message, "hello");
+  EXPECT_EQ(r.category, TraceCategory::kMac);
+}
+
+TEST(Tracer, DisabledCategoryIsDropped) {
+  Tracer t;
+  auto sink = std::make_shared<MemorySink>();
+  t.attach(sink, {TraceCategory::kMac});
+  t.emit(TimePoint::zero(), TraceCategory::kApp, "n", "dropped");
+  EXPECT_TRUE(sink->records().empty());
+}
+
+TEST(Tracer, SetEnabledTogglesAtRuntime) {
+  Tracer t;
+  auto sink = std::make_shared<MemorySink>();
+  t.attach(sink, {TraceCategory::kOs});
+  t.set_enabled(TraceCategory::kOs, false);
+  t.emit(TimePoint::zero(), TraceCategory::kOs, "n", "x");
+  EXPECT_TRUE(sink->records().empty());
+  t.set_enabled(TraceCategory::kOs, true);
+  t.emit(TimePoint::zero(), TraceCategory::kOs, "n", "y");
+  EXPECT_EQ(sink->records().size(), 1u);
+}
+
+TEST(Tracer, MemorySinkClear) {
+  MemorySink sink;
+  sink.consume({TimePoint::zero(), TraceCategory::kKernel, "", "m"});
+  EXPECT_EQ(sink.records().size(), 1u);
+  sink.clear();
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(Tracer, CategoryNames) {
+  EXPECT_STREQ(to_string(TraceCategory::kRadio), "radio");
+  EXPECT_STREQ(to_string(TraceCategory::kMac), "mac");
+  EXPECT_STREQ(to_string(TraceCategory::kEnergy), "energy");
+}
+
+}  // namespace
+}  // namespace bansim::sim

@@ -1,0 +1,73 @@
+// Seed-sweep robustness of the headline result: the estimation model must
+// stay inside the paper's error band for *any* node (any clock-skew draw),
+// not just the lucky default seed.  Shortened windows keep the sweep fast.
+#include <gtest/gtest.h>
+
+#include "core/bansim.hpp"
+
+namespace bansim::core {
+namespace {
+
+using sim::Duration;
+
+struct SweepCase {
+  std::uint64_t seed;
+  bool dynamic;
+  bool rpeak;
+};
+
+class ValidationSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ValidationSweep, ErrorStaysInBand) {
+  const SweepCase param = GetParam();
+  PaperSetup setup;
+  setup.seed = param.seed;
+  setup.measure = Duration::seconds(12);
+
+  BanConfig cfg;
+  if (param.dynamic) {
+    cfg = param.rpeak ? rpeak_dynamic_config(setup, 4)
+                      : streaming_dynamic_config(setup, 4);
+  } else {
+    cfg = param.rpeak
+              ? rpeak_static_config(setup, Duration::milliseconds(60))
+              : streaming_static_config(setup, Duration::milliseconds(60));
+  }
+
+  MeasurementProtocol protocol;
+  protocol.measure = setup.measure;
+  const energy::ValidationRow row = validation_row(cfg, protocol, "x", 60);
+
+  EXPECT_GT(row.radio_real_mj, 0.0);
+  EXPECT_GT(row.mcu_real_mj, 0.0);
+  // The paper's band with headroom: a worst-case draw (node and BS skews
+  // near opposite tolerance extremes) inflates the listen-window gap to
+  // ~12 % — the same mechanism behind the paper's own worst rows.
+  EXPECT_LT(row.radio_error(), 0.15)
+      << "seed " << param.seed << (param.dynamic ? " dynamic" : " static")
+      << (param.rpeak ? " rpeak" : " streaming");
+  EXPECT_LT(row.mcu_error(), 0.15);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const std::uint64_t seed : {3ull, 17ull, 101ull, 2024ull}) {
+    for (const bool dynamic : {false, true}) {
+      for (const bool rpeak : {false, true}) {
+        cases.push_back({seed, dynamic, rpeak});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndScenarios, ValidationSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) +
+             (param_info.param.dynamic ? "_dynamic" : "_static") +
+             (param_info.param.rpeak ? "_rpeak" : "_streaming");
+    });
+
+}  // namespace
+}  // namespace bansim::core
