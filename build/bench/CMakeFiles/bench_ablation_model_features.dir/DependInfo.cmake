@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_model_features.cpp" "bench/CMakeFiles/bench_ablation_model_features.dir/bench_ablation_model_features.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_model_features.dir/bench_ablation_model_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bansim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bansim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/bansim_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bansim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/bansim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bansim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bansim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bansim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bansim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_scaling.dir/bench_kernel_scaling.cpp.o"
+  "CMakeFiles/bench_kernel_scaling.dir/bench_kernel_scaling.cpp.o.d"
+  "bench_kernel_scaling"
+  "bench_kernel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

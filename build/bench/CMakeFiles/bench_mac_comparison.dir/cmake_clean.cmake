@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mac_comparison.dir/bench_mac_comparison.cpp.o"
+  "CMakeFiles/bench_mac_comparison.dir/bench_mac_comparison.cpp.o.d"
+  "bench_mac_comparison"
+  "bench_mac_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mac_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_rpeak_dynamic.dir/bench_table4_rpeak_dynamic.cpp.o"
+  "CMakeFiles/bench_table4_rpeak_dynamic.dir/bench_table4_rpeak_dynamic.cpp.o.d"
+  "bench_table4_rpeak_dynamic"
+  "bench_table4_rpeak_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_rpeak_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_cli.dir/bansim_cli.cpp.o"
+  "CMakeFiles/bansim_cli.dir/bansim_cli.cpp.o.d"
+  "bansim_cli"
+  "bansim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_streaming_demo.dir/ecg_streaming_demo.cpp.o"
+  "CMakeFiles/ecg_streaming_demo.dir/ecg_streaming_demo.cpp.o.d"
+  "ecg_streaming_demo"
+  "ecg_streaming_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_streaming_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_playground.dir/firmware_playground.cpp.o"
+  "CMakeFiles/firmware_playground.dir/firmware_playground.cpp.o.d"
+  "firmware_playground"
+  "firmware_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

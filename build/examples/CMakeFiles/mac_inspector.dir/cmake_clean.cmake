@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_inspector.dir/mac_inspector.cpp.o"
+  "CMakeFiles/mac_inspector.dir/mac_inspector.cpp.o.d"
+  "mac_inspector"
+  "mac_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_tuning.dir/network_tuning.cpp.o"
+  "CMakeFiles/network_tuning.dir/network_tuning.cpp.o.d"
+  "network_tuning"
+  "network_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

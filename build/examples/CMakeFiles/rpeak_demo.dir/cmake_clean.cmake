@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpeak_demo.dir/rpeak_demo.cpp.o"
+  "CMakeFiles/rpeak_demo.dir/rpeak_demo.cpp.o.d"
+  "rpeak_demo"
+  "rpeak_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpeak_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

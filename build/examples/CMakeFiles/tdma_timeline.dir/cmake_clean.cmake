@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdma_timeline.dir/tdma_timeline.cpp.o"
+  "CMakeFiles/tdma_timeline.dir/tdma_timeline.cpp.o.d"
+  "tdma_timeline"
+  "tdma_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdma_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/base_station_app.cpp" "src/apps/CMakeFiles/bansim_apps.dir/base_station_app.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/base_station_app.cpp.o.d"
+  "/root/repo/src/apps/delta_codec.cpp" "src/apps/CMakeFiles/bansim_apps.dir/delta_codec.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/delta_codec.cpp.o.d"
+  "/root/repo/src/apps/ecg_streaming_app.cpp" "src/apps/CMakeFiles/bansim_apps.dir/ecg_streaming_app.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/ecg_streaming_app.cpp.o.d"
+  "/root/repo/src/apps/ecg_synthesizer.cpp" "src/apps/CMakeFiles/bansim_apps.dir/ecg_synthesizer.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/ecg_synthesizer.cpp.o.d"
+  "/root/repo/src/apps/eeg_app.cpp" "src/apps/CMakeFiles/bansim_apps.dir/eeg_app.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/eeg_app.cpp.o.d"
+  "/root/repo/src/apps/eeg_synthesizer.cpp" "src/apps/CMakeFiles/bansim_apps.dir/eeg_synthesizer.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/eeg_synthesizer.cpp.o.d"
+  "/root/repo/src/apps/rpeak_app.cpp" "src/apps/CMakeFiles/bansim_apps.dir/rpeak_app.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/rpeak_app.cpp.o.d"
+  "/root/repo/src/apps/rpeak_detector.cpp" "src/apps/CMakeFiles/bansim_apps.dir/rpeak_detector.cpp.o" "gcc" "src/apps/CMakeFiles/bansim_apps.dir/rpeak_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/bansim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/bansim_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bansim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bansim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bansim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bansim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_apps.dir/base_station_app.cpp.o"
+  "CMakeFiles/bansim_apps.dir/base_station_app.cpp.o.d"
+  "CMakeFiles/bansim_apps.dir/delta_codec.cpp.o"
+  "CMakeFiles/bansim_apps.dir/delta_codec.cpp.o.d"
+  "CMakeFiles/bansim_apps.dir/ecg_streaming_app.cpp.o"
+  "CMakeFiles/bansim_apps.dir/ecg_streaming_app.cpp.o.d"
+  "CMakeFiles/bansim_apps.dir/ecg_synthesizer.cpp.o"
+  "CMakeFiles/bansim_apps.dir/ecg_synthesizer.cpp.o.d"
+  "CMakeFiles/bansim_apps.dir/eeg_app.cpp.o"
+  "CMakeFiles/bansim_apps.dir/eeg_app.cpp.o.d"
+  "CMakeFiles/bansim_apps.dir/eeg_synthesizer.cpp.o"
+  "CMakeFiles/bansim_apps.dir/eeg_synthesizer.cpp.o.d"
+  "CMakeFiles/bansim_apps.dir/rpeak_app.cpp.o"
+  "CMakeFiles/bansim_apps.dir/rpeak_app.cpp.o.d"
+  "CMakeFiles/bansim_apps.dir/rpeak_detector.cpp.o"
+  "CMakeFiles/bansim_apps.dir/rpeak_detector.cpp.o.d"
+  "libbansim_apps.a"
+  "libbansim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

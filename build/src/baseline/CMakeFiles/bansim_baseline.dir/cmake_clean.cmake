@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_baseline.dir/powertossim_estimator.cpp.o"
+  "CMakeFiles/bansim_baseline.dir/powertossim_estimator.cpp.o.d"
+  "libbansim_baseline.a"
+  "libbansim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

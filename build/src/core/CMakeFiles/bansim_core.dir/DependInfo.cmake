@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aloha_network.cpp" "src/core/CMakeFiles/bansim_core.dir/aloha_network.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/aloha_network.cpp.o.d"
+  "/root/repo/src/core/ban_network.cpp" "src/core/CMakeFiles/bansim_core.dir/ban_network.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/ban_network.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/bansim_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/bansim_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/mac_analyzer.cpp" "src/core/CMakeFiles/bansim_core.dir/mac_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/mac_analyzer.cpp.o.d"
+  "/root/repo/src/core/multi_ban.cpp" "src/core/CMakeFiles/bansim_core.dir/multi_ban.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/multi_ban.cpp.o.d"
+  "/root/repo/src/core/paper_experiments.cpp" "src/core/CMakeFiles/bansim_core.dir/paper_experiments.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/paper_experiments.cpp.o.d"
+  "/root/repo/src/core/power_profile.cpp" "src/core/CMakeFiles/bansim_core.dir/power_profile.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/power_profile.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/bansim_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/bansim_core.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/bansim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/bansim_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/bansim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bansim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bansim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bansim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bansim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bansim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bansim_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

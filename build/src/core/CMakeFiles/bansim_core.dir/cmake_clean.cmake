@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_core.dir/aloha_network.cpp.o"
+  "CMakeFiles/bansim_core.dir/aloha_network.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/ban_network.cpp.o"
+  "CMakeFiles/bansim_core.dir/ban_network.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/config_io.cpp.o"
+  "CMakeFiles/bansim_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/experiment.cpp.o"
+  "CMakeFiles/bansim_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/mac_analyzer.cpp.o"
+  "CMakeFiles/bansim_core.dir/mac_analyzer.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/multi_ban.cpp.o"
+  "CMakeFiles/bansim_core.dir/multi_ban.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/paper_experiments.cpp.o"
+  "CMakeFiles/bansim_core.dir/paper_experiments.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/power_profile.cpp.o"
+  "CMakeFiles/bansim_core.dir/power_profile.cpp.o.d"
+  "CMakeFiles/bansim_core.dir/timeline.cpp.o"
+  "CMakeFiles/bansim_core.dir/timeline.cpp.o.d"
+  "libbansim_core.a"
+  "libbansim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

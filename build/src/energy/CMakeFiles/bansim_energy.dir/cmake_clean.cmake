@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_energy.dir/energy_meter.cpp.o"
+  "CMakeFiles/bansim_energy.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/bansim_energy.dir/energy_report.cpp.o"
+  "CMakeFiles/bansim_energy.dir/energy_report.cpp.o.d"
+  "CMakeFiles/bansim_energy.dir/power_trace.cpp.o"
+  "CMakeFiles/bansim_energy.dir/power_trace.cpp.o.d"
+  "libbansim_energy.a"
+  "libbansim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/adc12.cpp" "src/hw/CMakeFiles/bansim_hw.dir/adc12.cpp.o" "gcc" "src/hw/CMakeFiles/bansim_hw.dir/adc12.cpp.o.d"
+  "/root/repo/src/hw/battery.cpp" "src/hw/CMakeFiles/bansim_hw.dir/battery.cpp.o" "gcc" "src/hw/CMakeFiles/bansim_hw.dir/battery.cpp.o.d"
+  "/root/repo/src/hw/board.cpp" "src/hw/CMakeFiles/bansim_hw.dir/board.cpp.o" "gcc" "src/hw/CMakeFiles/bansim_hw.dir/board.cpp.o.d"
+  "/root/repo/src/hw/mcu.cpp" "src/hw/CMakeFiles/bansim_hw.dir/mcu.cpp.o" "gcc" "src/hw/CMakeFiles/bansim_hw.dir/mcu.cpp.o.d"
+  "/root/repo/src/hw/radio_nrf2401.cpp" "src/hw/CMakeFiles/bansim_hw.dir/radio_nrf2401.cpp.o" "gcc" "src/hw/CMakeFiles/bansim_hw.dir/radio_nrf2401.cpp.o.d"
+  "/root/repo/src/hw/sensor_asic.cpp" "src/hw/CMakeFiles/bansim_hw.dir/sensor_asic.cpp.o" "gcc" "src/hw/CMakeFiles/bansim_hw.dir/sensor_asic.cpp.o.d"
+  "/root/repo/src/hw/timer_unit.cpp" "src/hw/CMakeFiles/bansim_hw.dir/timer_unit.cpp.o" "gcc" "src/hw/CMakeFiles/bansim_hw.dir/timer_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bansim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bansim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bansim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bansim_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_hw.dir/adc12.cpp.o"
+  "CMakeFiles/bansim_hw.dir/adc12.cpp.o.d"
+  "CMakeFiles/bansim_hw.dir/battery.cpp.o"
+  "CMakeFiles/bansim_hw.dir/battery.cpp.o.d"
+  "CMakeFiles/bansim_hw.dir/board.cpp.o"
+  "CMakeFiles/bansim_hw.dir/board.cpp.o.d"
+  "CMakeFiles/bansim_hw.dir/mcu.cpp.o"
+  "CMakeFiles/bansim_hw.dir/mcu.cpp.o.d"
+  "CMakeFiles/bansim_hw.dir/radio_nrf2401.cpp.o"
+  "CMakeFiles/bansim_hw.dir/radio_nrf2401.cpp.o.d"
+  "CMakeFiles/bansim_hw.dir/sensor_asic.cpp.o"
+  "CMakeFiles/bansim_hw.dir/sensor_asic.cpp.o.d"
+  "CMakeFiles/bansim_hw.dir/timer_unit.cpp.o"
+  "CMakeFiles/bansim_hw.dir/timer_unit.cpp.o.d"
+  "libbansim_hw.a"
+  "libbansim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

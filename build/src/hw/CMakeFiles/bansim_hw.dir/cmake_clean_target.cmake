@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbansim_hw.a"
+)

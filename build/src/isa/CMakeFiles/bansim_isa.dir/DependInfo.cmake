@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/firmware.cpp" "src/isa/CMakeFiles/bansim_isa.dir/firmware.cpp.o" "gcc" "src/isa/CMakeFiles/bansim_isa.dir/firmware.cpp.o.d"
+  "/root/repo/src/isa/msp430_asm.cpp" "src/isa/CMakeFiles/bansim_isa.dir/msp430_asm.cpp.o" "gcc" "src/isa/CMakeFiles/bansim_isa.dir/msp430_asm.cpp.o.d"
+  "/root/repo/src/isa/msp430_core.cpp" "src/isa/CMakeFiles/bansim_isa.dir/msp430_core.cpp.o" "gcc" "src/isa/CMakeFiles/bansim_isa.dir/msp430_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_isa.dir/firmware.cpp.o"
+  "CMakeFiles/bansim_isa.dir/firmware.cpp.o.d"
+  "CMakeFiles/bansim_isa.dir/msp430_asm.cpp.o"
+  "CMakeFiles/bansim_isa.dir/msp430_asm.cpp.o.d"
+  "CMakeFiles/bansim_isa.dir/msp430_core.cpp.o"
+  "CMakeFiles/bansim_isa.dir/msp430_core.cpp.o.d"
+  "libbansim_isa.a"
+  "libbansim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

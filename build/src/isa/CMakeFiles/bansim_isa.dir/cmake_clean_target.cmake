@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbansim_isa.a"
+)

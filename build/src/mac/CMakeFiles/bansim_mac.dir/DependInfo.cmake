@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/aloha_mac.cpp" "src/mac/CMakeFiles/bansim_mac.dir/aloha_mac.cpp.o" "gcc" "src/mac/CMakeFiles/bansim_mac.dir/aloha_mac.cpp.o.d"
+  "/root/repo/src/mac/base_station_mac.cpp" "src/mac/CMakeFiles/bansim_mac.dir/base_station_mac.cpp.o" "gcc" "src/mac/CMakeFiles/bansim_mac.dir/base_station_mac.cpp.o.d"
+  "/root/repo/src/mac/node_mac.cpp" "src/mac/CMakeFiles/bansim_mac.dir/node_mac.cpp.o" "gcc" "src/mac/CMakeFiles/bansim_mac.dir/node_mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/bansim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bansim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bansim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bansim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bansim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

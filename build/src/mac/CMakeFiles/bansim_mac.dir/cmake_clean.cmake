@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_mac.dir/aloha_mac.cpp.o"
+  "CMakeFiles/bansim_mac.dir/aloha_mac.cpp.o.d"
+  "CMakeFiles/bansim_mac.dir/base_station_mac.cpp.o"
+  "CMakeFiles/bansim_mac.dir/base_station_mac.cpp.o.d"
+  "CMakeFiles/bansim_mac.dir/node_mac.cpp.o"
+  "CMakeFiles/bansim_mac.dir/node_mac.cpp.o.d"
+  "libbansim_mac.a"
+  "libbansim_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

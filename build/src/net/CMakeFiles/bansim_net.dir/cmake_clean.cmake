@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_net.dir/crc16.cpp.o"
+  "CMakeFiles/bansim_net.dir/crc16.cpp.o.d"
+  "CMakeFiles/bansim_net.dir/fragment.cpp.o"
+  "CMakeFiles/bansim_net.dir/fragment.cpp.o.d"
+  "CMakeFiles/bansim_net.dir/packet.cpp.o"
+  "CMakeFiles/bansim_net.dir/packet.cpp.o.d"
+  "libbansim_net.a"
+  "libbansim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

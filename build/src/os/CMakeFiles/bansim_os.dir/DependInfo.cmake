@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cycle_cost_model.cpp" "src/os/CMakeFiles/bansim_os.dir/cycle_cost_model.cpp.o" "gcc" "src/os/CMakeFiles/bansim_os.dir/cycle_cost_model.cpp.o.d"
+  "/root/repo/src/os/node_os.cpp" "src/os/CMakeFiles/bansim_os.dir/node_os.cpp.o" "gcc" "src/os/CMakeFiles/bansim_os.dir/node_os.cpp.o.d"
+  "/root/repo/src/os/power_manager.cpp" "src/os/CMakeFiles/bansim_os.dir/power_manager.cpp.o" "gcc" "src/os/CMakeFiles/bansim_os.dir/power_manager.cpp.o.d"
+  "/root/repo/src/os/radio_driver.cpp" "src/os/CMakeFiles/bansim_os.dir/radio_driver.cpp.o" "gcc" "src/os/CMakeFiles/bansim_os.dir/radio_driver.cpp.o.d"
+  "/root/repo/src/os/task_scheduler.cpp" "src/os/CMakeFiles/bansim_os.dir/task_scheduler.cpp.o" "gcc" "src/os/CMakeFiles/bansim_os.dir/task_scheduler.cpp.o.d"
+  "/root/repo/src/os/timer_service.cpp" "src/os/CMakeFiles/bansim_os.dir/timer_service.cpp.o" "gcc" "src/os/CMakeFiles/bansim_os.dir/timer_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bansim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bansim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bansim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bansim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bansim_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

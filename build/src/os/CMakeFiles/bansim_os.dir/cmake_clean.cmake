@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_os.dir/cycle_cost_model.cpp.o"
+  "CMakeFiles/bansim_os.dir/cycle_cost_model.cpp.o.d"
+  "CMakeFiles/bansim_os.dir/node_os.cpp.o"
+  "CMakeFiles/bansim_os.dir/node_os.cpp.o.d"
+  "CMakeFiles/bansim_os.dir/power_manager.cpp.o"
+  "CMakeFiles/bansim_os.dir/power_manager.cpp.o.d"
+  "CMakeFiles/bansim_os.dir/radio_driver.cpp.o"
+  "CMakeFiles/bansim_os.dir/radio_driver.cpp.o.d"
+  "CMakeFiles/bansim_os.dir/task_scheduler.cpp.o"
+  "CMakeFiles/bansim_os.dir/task_scheduler.cpp.o.d"
+  "CMakeFiles/bansim_os.dir/timer_service.cpp.o"
+  "CMakeFiles/bansim_os.dir/timer_service.cpp.o.d"
+  "libbansim_os.a"
+  "libbansim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

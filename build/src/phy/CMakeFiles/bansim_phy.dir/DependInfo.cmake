@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/air_frame.cpp" "src/phy/CMakeFiles/bansim_phy.dir/air_frame.cpp.o" "gcc" "src/phy/CMakeFiles/bansim_phy.dir/air_frame.cpp.o.d"
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/bansim_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/bansim_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/link_model.cpp" "src/phy/CMakeFiles/bansim_phy.dir/link_model.cpp.o" "gcc" "src/phy/CMakeFiles/bansim_phy.dir/link_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bansim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

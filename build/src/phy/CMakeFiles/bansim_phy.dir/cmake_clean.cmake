@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_phy.dir/air_frame.cpp.o"
+  "CMakeFiles/bansim_phy.dir/air_frame.cpp.o.d"
+  "CMakeFiles/bansim_phy.dir/channel.cpp.o"
+  "CMakeFiles/bansim_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/bansim_phy.dir/link_model.cpp.o"
+  "CMakeFiles/bansim_phy.dir/link_model.cpp.o.d"
+  "libbansim_phy.a"
+  "libbansim_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bansim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/bansim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/bansim_sim.dir/rng.cpp.o"
+  "CMakeFiles/bansim_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/bansim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bansim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/bansim_sim.dir/stats.cpp.o"
+  "CMakeFiles/bansim_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/bansim_sim.dir/time.cpp.o"
+  "CMakeFiles/bansim_sim.dir/time.cpp.o.d"
+  "CMakeFiles/bansim_sim.dir/trace.cpp.o"
+  "CMakeFiles/bansim_sim.dir/trace.cpp.o.d"
+  "libbansim_sim.a"
+  "libbansim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bansim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

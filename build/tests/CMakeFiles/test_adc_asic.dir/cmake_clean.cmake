@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adc_asic.dir/test_adc_asic.cpp.o"
+  "CMakeFiles/test_adc_asic.dir/test_adc_asic.cpp.o.d"
+  "test_adc_asic"
+  "test_adc_asic.pdb"
+  "test_adc_asic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adc_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

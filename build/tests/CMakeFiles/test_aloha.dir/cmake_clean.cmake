@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aloha.dir/test_aloha.cpp.o"
+  "CMakeFiles/test_aloha.dir/test_aloha.cpp.o.d"
+  "test_aloha"
+  "test_aloha.pdb"
+  "test_aloha[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aloha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coexistence.dir/test_coexistence.cpp.o"
+  "CMakeFiles/test_coexistence.dir/test_coexistence.cpp.o.d"
+  "test_coexistence"
+  "test_coexistence.pdb"
+  "test_coexistence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc_packet.dir/test_crc_packet.cpp.o"
+  "CMakeFiles/test_crc_packet.dir/test_crc_packet.cpp.o.d"
+  "test_crc_packet"
+  "test_crc_packet.pdb"
+  "test_crc_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_fragment.dir/test_delta_fragment.cpp.o"
+  "CMakeFiles/test_delta_fragment.dir/test_delta_fragment.cpp.o.d"
+  "test_delta_fragment"
+  "test_delta_fragment.pdb"
+  "test_delta_fragment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecg_rpeak.dir/test_ecg_rpeak.cpp.o"
+  "CMakeFiles/test_ecg_rpeak.dir/test_ecg_rpeak.cpp.o.d"
+  "test_ecg_rpeak"
+  "test_ecg_rpeak.pdb"
+  "test_ecg_rpeak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecg_rpeak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

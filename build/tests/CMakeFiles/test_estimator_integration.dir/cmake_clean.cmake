@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator_integration.dir/test_estimator_integration.cpp.o"
+  "CMakeFiles/test_estimator_integration.dir/test_estimator_integration.cpp.o.d"
+  "test_estimator_integration"
+  "test_estimator_integration.pdb"
+  "test_estimator_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

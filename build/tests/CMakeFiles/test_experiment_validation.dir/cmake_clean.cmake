@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_validation.dir/test_experiment_validation.cpp.o"
+  "CMakeFiles/test_experiment_validation.dir/test_experiment_validation.cpp.o.d"
+  "test_experiment_validation"
+  "test_experiment_validation.pdb"
+  "test_experiment_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_analyzer.dir/test_mac_analyzer.cpp.o"
+  "CMakeFiles/test_mac_analyzer.dir/test_mac_analyzer.cpp.o.d"
+  "test_mac_analyzer"
+  "test_mac_analyzer.pdb"
+  "test_mac_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

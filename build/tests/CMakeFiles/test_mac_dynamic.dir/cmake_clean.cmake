@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_dynamic.dir/test_mac_dynamic.cpp.o"
+  "CMakeFiles/test_mac_dynamic.dir/test_mac_dynamic.cpp.o.d"
+  "test_mac_dynamic"
+  "test_mac_dynamic.pdb"
+  "test_mac_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_static.dir/test_mac_static.cpp.o"
+  "CMakeFiles/test_mac_static.dir/test_mac_static.cpp.o.d"
+  "test_mac_static"
+  "test_mac_static.pdb"
+  "test_mac_static[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msp430.dir/test_msp430.cpp.o"
+  "CMakeFiles/test_msp430.dir/test_msp430.cpp.o.d"
+  "test_msp430"
+  "test_msp430.pdb"
+  "test_msp430[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msp430.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

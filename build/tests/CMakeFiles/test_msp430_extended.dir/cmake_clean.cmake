@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msp430_extended.dir/test_msp430_extended.cpp.o"
+  "CMakeFiles/test_msp430_extended.dir/test_msp430_extended.cpp.o.d"
+  "test_msp430_extended"
+  "test_msp430_extended.pdb"
+  "test_msp430_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msp430_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_profile.dir/test_power_profile.cpp.o"
+  "CMakeFiles/test_power_profile.dir/test_power_profile.cpp.o.d"
+  "test_power_profile"
+  "test_power_profile.pdb"
+  "test_power_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio_policy.dir/test_radio_policy.cpp.o"
+  "CMakeFiles/test_radio_policy.dir/test_radio_policy.cpp.o.d"
+  "test_radio_policy"
+  "test_radio_policy.pdb"
+  "test_radio_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

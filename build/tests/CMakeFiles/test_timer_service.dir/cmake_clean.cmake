@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_service.dir/test_timer_service.cpp.o"
+  "CMakeFiles/test_timer_service.dir/test_timer_service.cpp.o.d"
+  "test_timer_service"
+  "test_timer_service.pdb"
+  "test_timer_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validation_sweep.dir/test_validation_sweep.cpp.o"
+  "CMakeFiles/test_validation_sweep.dir/test_validation_sweep.cpp.o.d"
+  "test_validation_sweep"
+  "test_validation_sweep.pdb"
+  "test_validation_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
