@@ -10,9 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "baseline/powertossim_estimator.hpp"
 #include "core/bansim.hpp"
+#include "sim/scenario_runner.hpp"
 
 namespace {
 
@@ -24,14 +27,63 @@ struct AblationRow {
   baseline::EstimatorOptions options;
 };
 
-void print_reproduction() {
+struct AblationResult {
+  double est_radio_mj{0};
+  double est_mcu_mj{0};
+  double ref_radio_mj{0};
+  double ref_mcu_mj{0};
+  std::uint64_t events{0};
+  bool joined{false};
+};
+
+AblationResult run_variant(const core::BanConfig& cfg,
+                           const core::MeasurementProtocol& protocol,
+                           const baseline::EstimatorOptions& options) {
+  baseline::PowerTossimEstimator estimator{
+      cfg.board.mcu, cfg.board.radio, cfg.board.phy,
+      os::CycleCostModel::platform_defaults(), options};
+
+  core::BanNetwork network{cfg, &estimator};
+  // Measure from t=0 so the join phase (SSR control traffic, searching
+  // listen) is inside the window; steady state then dominates the tail.
+  estimator.begin_measurement(sim::TimePoint::zero());
+  network.start();
+  AblationResult result;
+  result.joined = network.run_until_joined(
+      protocol.settle, sim::TimePoint::zero() + protocol.join_deadline);
+  if (!result.joined) return result;
+
+  network.run_until(network.simulator().now() + protocol.measure);
+  const sim::TimePoint t1 = network.simulator().now();
+  const auto after = network.node(0).board().breakdown(t1);
+
+  auto component = [](const std::vector<energy::ComponentEnergy>& rows_,
+                      const char* name) {
+    for (const auto& c : rows_) {
+      if (c.component == name) return c.joules;
+    }
+    return 0.0;
+  };
+  result.ref_radio_mj = component(after, "radio") * 1e3;
+  result.ref_mcu_mj = component(after, "mcu") * 1e3;
+
+  const auto estimates = estimator.finalize(t1);
+  const auto it = estimates.find("node1");
+  result.est_radio_mj =
+      it != estimates.end() ? it->second.radio_joules * 1e3 : 0.0;
+  result.est_mcu_mj = it != estimates.end() ? it->second.mcu_joules * 1e3 : 0.0;
+  result.events = network.simulator().events_executed();
+  return result;
+}
+
+void print_reproduction(unsigned jobs) {
   core::PaperSetup setup;
   core::BanConfig cfg =
       core::streaming_static_config(setup, Duration::milliseconds(30));
   cfg.streaming.sample_rate_hz = 205;
   core::MeasurementProtocol protocol;
 
-  const AblationRow rows[] = {
+  const std::vector<AblationRow> rows = {
       {"full analytical model", {true, true, true}},
       {"- control packets", {false, true, true}},
       {"- listen windows (idle listening + beacons)", {true, false, true}},
@@ -45,45 +97,34 @@ void print_reproduction() {
   std::printf("%-46s %12s %12s %10s %10s\n", "estimator variant",
               "radio (mJ)", "uC (mJ)", "radio err", "uC err");
 
+  // Each estimator variant re-runs the whole reference scenario with its
+  // own network and estimator — independent, so they fan out across cores.
+  std::vector<std::function<AblationResult()>> scenarios;
   for (const AblationRow& row : rows) {
-    baseline::PowerTossimEstimator estimator{
-        cfg.board.mcu, cfg.board.radio, cfg.board.phy,
-        os::CycleCostModel::platform_defaults(), row.options};
-
-    core::BanNetwork network{cfg, &estimator};
-    // Measure from t=0 so the join phase (SSR control traffic, searching
-    // listen) is inside the window; steady state then dominates the tail.
-    estimator.begin_measurement(sim::TimePoint::zero());
-    network.start();
-    const bool joined = network.run_until_joined(
-        protocol.settle, sim::TimePoint::zero() + protocol.join_deadline);
-    if (!joined) continue;
-
-    network.run_until(network.simulator().now() + protocol.measure);
-    const sim::TimePoint t1 = network.simulator().now();
-    const auto after = network.node(0).board().breakdown(t1);
-
-    auto component = [](const std::vector<energy::ComponentEnergy>& rows_,
-                        const char* name) {
-      for (const auto& c : rows_) {
-        if (c.component == name) return c.joules;
-      }
-      return 0.0;
-    };
-    const double ref_radio = component(after, "radio") * 1e3;
-    const double ref_mcu = component(after, "mcu") * 1e3;
-
-    const auto estimates = estimator.finalize(t1);
-    const auto it = estimates.find("node1");
-    const double est_radio =
-        it != estimates.end() ? it->second.radio_joules * 1e3 : 0.0;
-    const double est_mcu =
-        it != estimates.end() ? it->second.mcu_joules * 1e3 : 0.0;
-
-    std::printf("%-46s %12.1f %12.1f %9.1f%% %9.1f%%\n", row.label, est_radio,
-                est_mcu, 100.0 * (est_radio - ref_radio) / ref_radio,
-                100.0 * (est_mcu - ref_mcu) / ref_mcu);
+    scenarios.push_back(
+        [cfg, protocol, options = row.options] {
+          return run_variant(cfg, protocol, options);
+        });
   }
+  sim::ScenarioRunner runner{jobs};
+  const auto results = runner.run(scenarios);
+
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AblationResult& r = results[i];
+    events += r.events;
+    if (!r.joined) continue;
+    std::printf("%-46s %12.1f %12.1f %9.1f%% %9.1f%%\n", rows[i].label,
+                r.est_radio_mj, r.est_mcu_mj,
+                100.0 * (r.est_radio_mj - r.ref_radio_mj) / r.ref_radio_mj,
+                100.0 * (r.est_mcu_mj - r.ref_mcu_mj) / r.ref_mcu_mj);
+  }
+  std::printf(
+      "\nsweep: %zu scenarios, %llu kernel events, %.2f s wall (jobs=%u), "
+      "%.2f Mevents/s\n",
+      results.size(), static_cast<unsigned long long>(events),
+      runner.last_wall_seconds(), runner.jobs(),
+      static_cast<double>(events) / runner.last_wall_seconds() / 1e6);
   std::printf(
       "\n(reference radio/uC come from the platform meters; a negative error "
       "is underestimation.\n On the node side, control-frame TX (SSRs) is "
@@ -114,7 +155,8 @@ BENCHMARK(BM_AblationRun)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const unsigned jobs = bansim::sim::consume_jobs_flag(argc, argv, 0);
+  print_reproduction(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

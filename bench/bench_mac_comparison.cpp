@@ -12,9 +12,11 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/aloha_network.hpp"
 #include "core/bansim.hpp"
+#include "sim/scenario_runner.hpp"
 
 namespace {
 
@@ -25,6 +27,7 @@ using sim::TimePoint;
 struct MacResult {
   double radio_mj_per_min{0};
   double delivery{0};  ///< unique payloads delivered / generated
+  std::uint64_t events{0};
 };
 
 MacResult run_aloha(int interval_ms, double seconds) {
@@ -51,6 +54,7 @@ MacResult run_aloha(int interval_ms, double seconds) {
       generated > 0 ? 1.0 - static_cast<double>(lost + queued) /
                                 static_cast<double>(generated)
                     : 0.0;
+  result.events = net.simulator().events_executed();
   return result;
 }
 
@@ -103,23 +107,45 @@ MacResult run_tdma(int interval_ms, double seconds) {
       generated0 > 0 ? std::min(1.0, static_cast<double>(sent) /
                                          static_cast<double>(generated0))
                      : 1.0;
+  result.events = net.simulator().events_executed();
   return result;
 }
 
-void print_reproduction() {
+void print_reproduction(unsigned jobs) {
   std::printf(
       "MAC comparison: static TDMA (paper) vs random-access ALOHA baseline\n"
       "5 nodes, 18-byte payloads, node radio energy normalized to mJ/min\n\n");
   std::printf("%14s | %12s %9s | %12s %9s\n", "payload every",
               "TDMA mJ/min", "delivery", "ALOHA mJ/min", "delivery");
   std::printf("%s\n", std::string(66, '-').c_str());
-  for (const int interval_ms : {200, 100, 60, 30, 12, 6}) {
-    const MacResult tdma = run_tdma(interval_ms, 30.0);
-    const MacResult aloha = run_aloha(interval_ms, 30.0);
-    std::printf("%11d ms | %12.1f %8.1f%% | %12.1f %8.1f%%\n", interval_ms,
+
+  // Every (interval, MAC) pair is an isolated simulation; scenario 2i is
+  // TDMA and 2i+1 ALOHA for interval i, so the printed table is identical
+  // for any worker count.
+  const std::vector<int> intervals = {200, 100, 60, 30, 12, 6};
+  std::vector<std::function<MacResult()>> scenarios;
+  for (const int interval_ms : intervals) {
+    scenarios.push_back([interval_ms] { return run_tdma(interval_ms, 30.0); });
+    scenarios.push_back([interval_ms] { return run_aloha(interval_ms, 30.0); });
+  }
+  sim::ScenarioRunner runner{jobs};
+  const auto results = runner.run(scenarios);
+
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const MacResult& tdma = results[2 * i];
+    const MacResult& aloha = results[2 * i + 1];
+    events += tdma.events + aloha.events;
+    std::printf("%11d ms | %12.1f %8.1f%% | %12.1f %8.1f%%\n", intervals[i],
                 tdma.radio_mj_per_min, tdma.delivery * 100,
                 aloha.radio_mj_per_min, aloha.delivery * 100);
   }
+  std::printf(
+      "\nsweep: %zu scenarios, %llu kernel events, %.2f s wall (jobs=%u), "
+      "%.2f Mevents/s\n",
+      results.size(), static_cast<unsigned long long>(events),
+      runner.last_wall_seconds(), runner.jobs(),
+      static_cast<double>(events) / runner.last_wall_seconds() / 1e6);
   std::printf(
       "\n(TDMA pays a flat beacon-tracking cost, keeps ~100%% delivery up to "
       "its slot capacity\n (one frame per 30 ms cycle) and sheds excess load "
@@ -148,7 +174,8 @@ BENCHMARK(BM_AlohaPoint)->Arg(60)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const unsigned jobs = bansim::sim::consume_jobs_flag(argc, argv, 0);
+  print_reproduction(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

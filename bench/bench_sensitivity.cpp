@@ -9,22 +9,34 @@
 // 0 means the model is insensitive to it — exactly the information a
 // designer needs before spending engineering effort on a knob, and the
 // reason the paper's measured-currents-plus-duty-cycle model works.
+//
+// The 17 scenario points (baseline + 8 knobs x 2 directions) are
+// independent simulations, so they fan out across cores through
+// sim::ScenarioRunner; pass --jobs N to control the worker count
+// (--jobs 1 reproduces the old serial run bit for bit).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "core/bansim.hpp"
+#include "sim/scenario_runner.hpp"
 
 namespace {
 
 using namespace bansim;
 using sim::Duration;
 
-double node_energy_mj(const core::BanConfig& cfg) {
+core::ScenarioResult run_point(const core::BanConfig& cfg) {
   core::MeasurementProtocol protocol;
   protocol.measure = Duration::seconds(30);
-  const core::ScenarioResult r = core::run_scenario(cfg, protocol);
+  return core::run_scenario(cfg, protocol);
+}
+
+double node_energy_mj(const core::ScenarioResult& r) {
   return r.joined ? r.total_mj : -1.0;
 }
 
@@ -33,11 +45,10 @@ struct Knob {
   std::function<void(core::BanConfig&, double factor)> apply;
 };
 
-void print_reproduction() {
+void print_reproduction(unsigned jobs) {
   core::PaperSetup setup;
   const core::BanConfig baseline =
       core::streaming_static_config(setup, Duration::milliseconds(30));
-  const double base_mj = node_energy_mj(baseline);
 
   const Knob knobs[] = {
       {"radio RX current",
@@ -62,6 +73,23 @@ void print_reproduction() {
        [](core::BanConfig& c, double f) { c.board.phy.air_rate_bps *= f; }},
   };
 
+  // Scenario 0 is the baseline; knob k contributes scenarios 1+2k (-20 %)
+  // and 2+2k (+20 %).  Each factory owns a full config copy, so the sweep
+  // is embarrassingly parallel and its results are index-ordered.
+  std::vector<std::function<core::ScenarioResult()>> scenarios;
+  scenarios.push_back([baseline] { return run_point(baseline); });
+  for (const Knob& knob : knobs) {
+    for (const double factor : {0.8, 1.2}) {
+      core::BanConfig cfg = baseline;
+      knob.apply(cfg, factor);
+      scenarios.push_back([cfg] { return run_point(cfg); });
+    }
+  }
+
+  sim::ScenarioRunner runner{jobs};
+  const auto results = runner.run(scenarios);
+  const double base_mj = node_energy_mj(results[0]);
+
   std::printf(
       "Parameter sensitivity of validated node energy (radio + uC)\n"
       "5-node ECG streaming, 30 ms static TDMA; baseline %.1f mJ / 30 s\n\n",
@@ -69,17 +97,22 @@ void print_reproduction() {
   std::printf("%-22s | %11s %11s | %10s\n", "parameter", "-20% -> mJ",
               "+20% -> mJ", "elasticity");
   std::printf("%s\n", std::string(64, '-').c_str());
-  for (const Knob& knob : knobs) {
-    core::BanConfig lo = baseline;
-    knob.apply(lo, 0.8);
-    core::BanConfig hi = baseline;
-    knob.apply(hi, 1.2);
-    const double lo_mj = node_energy_mj(lo);
-    const double hi_mj = node_energy_mj(hi);
+  for (std::size_t k = 0; k < std::size(knobs); ++k) {
+    const double lo_mj = node_energy_mj(results[1 + 2 * k]);
+    const double hi_mj = node_energy_mj(results[2 + 2 * k]);
     const double elasticity = (hi_mj - lo_mj) / base_mj / 0.4;
-    std::printf("%-22s | %11.1f %11.1f | %+10.2f\n", knob.name, lo_mj, hi_mj,
-                elasticity);
+    std::printf("%-22s | %11.1f %11.1f | %+10.2f\n", knobs[k].name, lo_mj,
+                hi_mj, elasticity);
   }
+
+  std::uint64_t events = 0;
+  for (const auto& r : results) events += r.events;
+  std::printf(
+      "\nsweep: %zu scenarios, %llu kernel events, %.2f s wall (jobs=%u), "
+      "%.2f Mevents/s\n",
+      results.size(), static_cast<unsigned long long>(events),
+      runner.last_wall_seconds(), runner.jobs(),
+      static_cast<double>(events) / runner.last_wall_seconds() / 1e6);
   std::printf(
       "\n(RX current and the guard window dominate — they set the beacon "
       "listen cost;\n faster air/SPI rates barely matter because the data "
@@ -92,7 +125,7 @@ void BM_SensitivityPoint(benchmark::State& state) {
   const core::BanConfig cfg =
       core::streaming_static_config(setup, Duration::milliseconds(30));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(node_energy_mj(cfg));
+    benchmark::DoNotOptimize(node_energy_mj(run_point(cfg)));
   }
 }
 
@@ -101,7 +134,8 @@ BENCHMARK(BM_SensitivityPoint)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const unsigned jobs = bansim::sim::consume_jobs_flag(argc, argv, 0);
+  print_reproduction(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,5 +1,6 @@
 #include "apps/eeg_app.hpp"
 
+#include <cassert>
 #include <cmath>
 
 #include "apps/ecg_streaming_app.hpp"  // frame-read cycle constants
@@ -89,17 +90,22 @@ void EegApp::emit_block() {
                              static_cast<std::ptrdiff_t>(config_.block_samples));
     }
 
-    const auto fragments =
-        net::fragment_block(next_block_id_, block, config_.max_payload);
-    if (fragments.empty() ||
-        mac_.queue_depth() + fragments.size() > mac::NodeMac::kMaxQueue) {
+    net::FragmentError frag_error{};
+    const auto fragments = net::fragment_block(next_block_id_, block,
+                                               config_.max_payload, &frag_error);
+    // A payload with no room after the fragment header is a configuration
+    // bug (every block would be shed forever), not a workload condition.
+    assert(fragments || frag_error == net::FragmentError::kTooManyFragments);
+    (void)frag_error;
+    if (!fragments ||
+        mac_.queue_depth() + fragments->size() > mac::NodeMac::kMaxQueue) {
       // Radio budget overcommitted: shed the whole block rather than ship
       // a torso the collector cannot reassemble.
       ++blocks_dropped_;
       ++next_block_id_;
       return;
     }
-    for (const auto& fragment : fragments) {
+    for (const auto& fragment : *fragments) {
       mac_.queue_payload(fragment);
     }
     ++next_block_id_;

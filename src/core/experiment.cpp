@@ -23,7 +23,10 @@ ScenarioResult run_scenario(const BanConfig& config,
   ScenarioResult result;
   result.joined = network.run_until_joined(
       protocol.settle, sim::TimePoint::zero() + protocol.join_deadline);
-  if (!result.joined) return result;
+  if (!result.joined) {
+    result.events = network.simulator().events_executed();
+    return result;
+  }
 
   auto& node = network.node(protocol.focus_node);
   const sim::TimePoint t0 = network.simulator().now();
@@ -45,6 +48,7 @@ ScenarioResult run_scenario(const BanConfig& config,
       mac_after.beacons_received - mac_before.beacons_received;
   result.beacons_missed = mac_after.beacons_missed - mac_before.beacons_missed;
   result.collisions = network.channel().collisions();
+  result.events = network.simulator().events_executed();
   result.measured = t1 - t0;
   return result;
 }

@@ -22,6 +22,7 @@ struct ScenarioResult {
   std::uint64_t beacons_received{0};
   std::uint64_t beacons_missed{0};
   std::uint64_t collisions{0};   ///< channel-wide
+  std::uint64_t events{0};       ///< kernel events executed over the whole run
   sim::Duration measured{};      ///< actual measurement window
   bool joined{false};            ///< network formed before the deadline
 };

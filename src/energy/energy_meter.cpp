@@ -1,6 +1,8 @@
 #include "energy/energy_meter.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace bansim::energy {
 
@@ -13,12 +15,23 @@ EnergyMeter::EnergyMeter(std::string component, double supply_volts,
   assert(supply_volts_ > 0.0);
 }
 
+std::size_t EnergyMeter::checked_state(int state, const char* what) const {
+  if (state < 0 || static_cast<std::size_t>(state) >= states_.size()) {
+    throw std::out_of_range("EnergyMeter(" + component_ + ")::" + what +
+                            ": state " + std::to_string(state) +
+                            " outside [0, " + std::to_string(states_.size()) +
+                            ")");
+  }
+  return static_cast<std::size_t>(state);
+}
+
 void EnergyMeter::transition(int state, sim::TimePoint when) {
+  checked_state(state, "transition");
   residency_.transition(state, when);
 }
 
 double EnergyMeter::energy_in(int state, sim::TimePoint now) const {
-  const auto i = static_cast<std::size_t>(state);
+  const std::size_t i = checked_state(state, "energy_in");
   const double t = residency_.time_in(state, now).to_seconds();
   return states_[i].current_amps * supply_volts_ * t + transient_joules_[i];
 }
@@ -37,7 +50,7 @@ double EnergyMeter::average_power(sim::TimePoint now) const {
 }
 
 void EnergyMeter::add_transient(int state, double joules) {
-  transient_joules_[static_cast<std::size_t>(state)] += joules;
+  transient_joules_[checked_state(state, "add_transient")] += joules;
 }
 
 std::size_t EnergyLedger::add_meter(EnergyMeter meter) {

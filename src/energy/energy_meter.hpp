@@ -33,6 +33,9 @@ class EnergyMeter {
               sim::TimePoint start = sim::TimePoint::zero());
 
   /// Reports that the component entered `state` at time `when`.
+  /// Throws std::out_of_range for a state outside [0, num_states()), as do
+  /// all other state-addressed accessors — a silent out-of-bounds write
+  /// here would skew every validation table downstream.
   void transition(int state, sim::TimePoint when);
 
   [[nodiscard]] int current_state() const { return residency_.current_state(); }
@@ -43,11 +46,13 @@ class EnergyMeter {
 
   /// Time spent in `state` up to `now` (includes the in-progress stretch).
   [[nodiscard]] sim::Duration time_in(int state, sim::TimePoint now) const {
+    checked_state(state, "time_in");
     return residency_.time_in(state, now);
   }
 
   /// Number of entries into `state` (diagnostics: wakeups, TX bursts, ...).
   [[nodiscard]] std::uint64_t entries(int state) const {
+    checked_state(state, "entries");
     return residency_.entries(state);
   }
 
@@ -65,6 +70,10 @@ class EnergyMeter {
   void add_transient(int state, double joules);
 
  private:
+  /// Validates a caller-supplied state index; returns it widened.  Throws
+  /// std::out_of_range naming the component and call site.
+  std::size_t checked_state(int state, const char* what) const;
+
   std::string component_;
   double supply_volts_;
   std::vector<PowerState> states_;

@@ -1,17 +1,26 @@
 #include "net/fragment.hpp"
 
+#include <algorithm>
+
 namespace bansim::net {
 
-std::vector<std::vector<std::uint8_t>> fragment_block(
+std::optional<std::vector<std::vector<std::uint8_t>>> fragment_block(
     std::uint8_t block_id, std::span<const std::uint8_t> block,
-    std::size_t max_payload) {
-  std::vector<std::vector<std::uint8_t>> out;
-  if (max_payload <= kFragmentHeaderBytes) return out;
+    std::size_t max_payload, FragmentError* error) {
+  if (max_payload <= kFragmentHeaderBytes) {
+    if (error) *error = FragmentError::kPayloadTooSmall;
+    return std::nullopt;
+  }
   const std::size_t chunk = max_payload - kFragmentHeaderBytes;
   const std::size_t count =
       block.empty() ? 1 : (block.size() + chunk - 1) / chunk;
-  if (count > 255) return out;
+  if (count > 255) {
+    if (error) *error = FragmentError::kTooManyFragments;
+    return std::nullopt;
+  }
 
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t begin = i * chunk;
     const std::size_t end = std::min(block.size(), begin + chunk);
@@ -40,21 +49,37 @@ std::optional<ReassembledBlock> Reassembler::feed(
     ++rejected_;
     return std::nullopt;
   }
+  const auto payload = fragment.subspan(kFragmentHeaderBytes);
 
+  ++feed_seq_;
   Partial& partial = pending_[block_id];
-  if (partial.chunks.size() != count) {
-    // New block (or stale partial from a recycled block id): restart it.
+  bool restart = partial.chunks.size() != count;
+  if (!restart) {
+    // Same id and same fragment count: this may still be a recycled block
+    // id landing on a stale partial, which a bare size check cannot see.
+    // Two independent freshness signals catch it: the partial has been idle
+    // far longer than any live block's fragments are ever spread apart, or
+    // the new fragment disagrees with a chunk we already hold.
+    const bool aged = feed_seq_ - partial.last_feed > kStaleFeedGap;
+    const bool conflict =
+        partial.have[index] &&
+        !std::equal(partial.chunks[index].begin(), partial.chunks[index].end(),
+                    payload.begin(), payload.end());
+    restart = aged || conflict;
+  }
+  if (restart) {
+    if (partial.received > 0) ++stale_discarded_;
     partial = Partial{};
     partial.chunks.resize(count);
     partial.have.assign(count, false);
   }
+  partial.last_feed = feed_seq_;
   if (partial.have[index]) {
     ++duplicates_;
     return std::nullopt;
   }
   partial.have[index] = true;
-  partial.chunks[index].assign(fragment.begin() + kFragmentHeaderBytes,
-                               fragment.end());
+  partial.chunks[index].assign(payload.begin(), payload.end());
   ++partial.received;
   ++accepted_;
 

@@ -20,12 +20,21 @@ namespace bansim::net {
 
 inline constexpr std::size_t kFragmentHeaderBytes = 3;
 
+/// Why fragment_block() could not split a block.
+enum class FragmentError : std::uint8_t {
+  kPayloadTooSmall,   ///< max_payload leaves no data room after the header
+  kTooManyFragments,  ///< block would need more than 255 fragments
+};
+
 /// Splits `block` into fragments whose total size (header + chunk) fits
-/// `max_payload`.  Returns at most 255 fragments; blocks that would need
-/// more are rejected (empty result).
-[[nodiscard]] std::vector<std::vector<std::uint8_t>> fragment_block(
-    std::uint8_t block_id, std::span<const std::uint8_t> block,
-    std::size_t max_payload);
+/// `max_payload`.  A successful result always holds at least one fragment
+/// (an empty block yields one header-only fragment); impossible geometry
+/// (`max_payload` <= header, or a block needing more than 255 fragments)
+/// returns std::nullopt and, when `error` is non-null, stores the reason
+/// there so callers can tell a configuration bug from an oversized block.
+[[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>>
+fragment_block(std::uint8_t block_id, std::span<const std::uint8_t> block,
+               std::size_t max_payload, FragmentError* error = nullptr);
 
 /// One reassembled block.
 struct ReassembledBlock {
@@ -45,6 +54,13 @@ class Reassembler {
   [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
   [[nodiscard]] std::uint64_t blocks_abandoned() const { return abandoned_; }
 
+  /// Stale partials discarded because a recycled block id started a new
+  /// cycle on top of them (fragment-count change, conflicting payload for
+  /// an already-held index, or age-out).  Each one would previously have
+  /// been merged with the new block's fragments and could emit a corrupted
+  /// block.
+  [[nodiscard]] std::uint64_t stale_discarded() const { return stale_discarded_; }
+
   /// Blocks currently partially assembled (diagnostics).
   [[nodiscard]] std::size_t pending_blocks() const { return pending_.size(); }
 
@@ -52,11 +68,18 @@ class Reassembler {
   /// bounded memory under sustained loss.
   static constexpr std::size_t kMaxPending = 4;
 
+  /// A partial untouched for this many feed() calls is treated as stale
+  /// when its block id comes around again: fragments of a live block arrive
+  /// within a handful of feeds of each other, while an 8-bit block id only
+  /// recycles after ~255 intervening blocks.
+  static constexpr std::uint64_t kStaleFeedGap = 64;
+
  private:
   struct Partial {
     std::vector<std::vector<std::uint8_t>> chunks;  ///< indexed by frag_index
     std::vector<bool> have;                         ///< parallel to chunks
     std::size_t received{0};
+    std::uint64_t last_feed{0};  ///< freshness marker (feed sequence number)
   };
 
   std::map<std::uint8_t, Partial> pending_;
@@ -65,6 +88,8 @@ class Reassembler {
   std::uint64_t rejected_{0};
   std::uint64_t duplicates_{0};
   std::uint64_t abandoned_{0};
+  std::uint64_t stale_discarded_{0};
+  std::uint64_t feed_seq_{0};
 };
 
 }  // namespace bansim::net

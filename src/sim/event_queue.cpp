@@ -5,16 +5,29 @@
 namespace bansim::sim {
 
 EventHandle EventQueue::schedule(TimePoint when, EventAction action) {
-  auto alive = std::make_shared<bool>(true);
-  heap_.push(Entry{when, seq_++, std::move(action), alive});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.alive = true;
+  heap_.push(Entry{when, seq_++, std::move(action), slot, s.generation});
   ++live_;
-  return EventHandle{std::move(alive)};
+  return EventHandle{this, slot, s.generation};
 }
 
 void EventQueue::prune() const {
-  while (!heap_.empty() && !*heap_.top().alive) {
+  // Entries whose slot generation moved on were cancelled (their slot was
+  // released eagerly, so live_ is already adjusted); just drop them.
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    const Slot& s = slots_[top.slot];
+    if (s.generation == top.generation && s.alive) break;
     heap_.pop();
-    --live_;
   }
 }
 
@@ -38,7 +51,7 @@ std::pair<TimePoint, EventAction> EventQueue::pop() {
   Entry& top = const_cast<Entry&>(heap_.top());
   TimePoint when = top.when;
   EventAction action = std::move(top.action);
-  *top.alive = false;
+  release_slot(top.slot);
   heap_.pop();
   --live_;
   return {when, std::move(action)};
@@ -46,6 +59,9 @@ std::pair<TimePoint, EventAction> EventQueue::pop() {
 
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].alive) release_slot(slot);
+  }
   live_ = 0;
 }
 

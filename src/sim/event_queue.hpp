@@ -5,11 +5,17 @@
 // layers above rely on for deterministic task/interrupt interleaving.
 // Cancellation is supported through EventHandle without removing entries
 // from the heap (lazy deletion).
+//
+// Liveness is tracked in a pooled slot arena instead of a per-event
+// shared_ptr<bool>: scheduling an event claims a {slot, generation} pair
+// from a free list, and a handle refers to the event only while the slot's
+// generation still matches.  Firing or cancelling releases the slot and
+// bumps its generation, so recycled slots never alias old handles and the
+// hot schedule/pop path performs no heap allocation for bookkeeping.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -20,24 +26,32 @@ namespace bansim::sim {
 
 using EventAction = std::function<void()>;
 
+class EventQueue;
+
 /// Identifies a scheduled event so it can be cancelled.  Handles are cheap
-/// to copy; a default-constructed handle refers to nothing.
+/// to copy; a default-constructed handle refers to nothing.  A handle must
+/// not outlive the EventQueue that issued it (it holds a non-owning pointer
+/// back to the queue), but it may freely outlive the event itself: once the
+/// event fires, is cancelled, or the queue is cleared, the handle simply
+/// reports !pending().
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True while the event is scheduled and not yet fired or cancelled.
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const;
 
   /// Cancels the event if still pending.  Safe to call repeatedly.
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
+  void cancel();
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_{std::move(alive)} {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint64_t generation)
+      : queue_{queue}, slot_{slot}, generation_{generation} {}
+
+  EventQueue* queue_{nullptr};
+  std::uint32_t slot_{0};
+  std::uint64_t generation_{0};
 };
 
 /// Min-heap of (time, sequence)-ordered events with lazy cancellation.
@@ -58,9 +72,9 @@ class EventQueue {
   /// Removes and returns the earliest live event.  Precondition: !empty().
   std::pair<TimePoint, EventAction> pop();
 
-  /// Number of scheduled events not yet fired.  Cancelled events are counted
-  /// until their entry reaches the top of the heap and is pruned, so this is
-  /// an upper bound on the live count (exact when nothing was cancelled).
+  /// Number of scheduled events not yet fired or cancelled.  Exact:
+  /// cancellation releases its slot eagerly even though the heap entry is
+  /// pruned lazily.
   [[nodiscard]] std::size_t size() const {
     prune();
     return live_;
@@ -69,15 +83,26 @@ class EventQueue {
   /// Total events ever scheduled (diagnostics).
   [[nodiscard]] std::uint64_t scheduled_total() const { return seq_; }
 
-  /// Drops every pending event.
+  /// Capacity of the liveness arena (diagnostics: peak concurrent events).
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
+
+  /// Drops every pending event.  Outstanding handles become !pending().
   void clear();
 
  private:
+  friend class EventHandle;
+
+  struct Slot {
+    std::uint64_t generation{0};
+    bool alive{false};
+  };
+
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
     EventAction action;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot;
+    std::uint64_t generation;
   };
 
   struct Later {
@@ -87,12 +112,42 @@ class EventQueue {
     }
   };
 
-  /// Pops cancelled entries off the top so front() is live.
+  [[nodiscard]] bool slot_pending(std::uint32_t slot,
+                                  std::uint64_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation &&
+           slots_[slot].alive;
+  }
+
+  /// Marks the slot dead and recycles it under a new generation, so stale
+  /// heap entries and handles both see a mismatch.
+  void release_slot(std::uint32_t slot) {
+    slots_[slot].alive = false;
+    ++slots_[slot].generation;
+    free_slots_.push_back(slot);
+  }
+
+  void cancel_slot(std::uint32_t slot, std::uint64_t generation) {
+    if (!slot_pending(slot, generation)) return;
+    release_slot(slot);
+    --live_;
+  }
+
+  /// Pops dead entries off the top so front() is live.
   void prune() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::size_t live_{0};
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_{0};
   std::uint64_t seq_{0};
 };
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slot_pending(slot_, generation_);
+}
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->cancel_slot(slot_, generation_);
+}
 
 }  // namespace bansim::sim

@@ -96,8 +96,17 @@ TEST(DeltaCodec, MalformedStreamsRejected) {
                    .has_value());
 }
 
-using net::fragment_block;
+using net::FragmentError;
 using net::Reassembler;
+
+/// Unwraps fragment_block for tests exercising legal geometry.
+std::vector<std::vector<std::uint8_t>> fragment_block(
+    std::uint8_t block_id, std::span<const std::uint8_t> block,
+    std::size_t max_payload) {
+  auto frags = net::fragment_block(block_id, block, max_payload);
+  EXPECT_TRUE(frags.has_value());
+  return std::move(frags).value_or(std::vector<std::vector<std::uint8_t>>{});
+}
 
 TEST(Fragmentation, SingleFragmentBlock) {
   const std::vector<std::uint8_t> block = {1, 2, 3};
@@ -183,10 +192,19 @@ TEST(Fragmentation, PendingMemoryIsBounded) {
   EXPECT_GT(r.blocks_abandoned(), 0u);
 }
 
-TEST(Fragmentation, TooManyFragmentsRejected) {
+TEST(Fragmentation, ImpossibleGeometryReportsDistinctErrors) {
   std::vector<std::uint8_t> huge(22 * 300, 0);
-  EXPECT_TRUE(fragment_block(1, huge, 24).empty());
-  EXPECT_TRUE(fragment_block(1, huge, 3).empty());  // no room after header
+  FragmentError error{};
+  EXPECT_FALSE(net::fragment_block(1, huge, 24, &error).has_value());
+  EXPECT_EQ(error, FragmentError::kTooManyFragments);
+  EXPECT_FALSE(net::fragment_block(1, huge, 3, &error).has_value());
+  EXPECT_EQ(error, FragmentError::kPayloadTooSmall);
+  // Error pointer is optional.
+  EXPECT_FALSE(net::fragment_block(1, huge, 3).has_value());
+  // An empty block is NOT an error: one header-only fragment.
+  const auto empty = net::fragment_block(1, {}, 24, &error);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->size(), 1u);
 }
 
 TEST(Fragmentation, StaleRecycledBlockIdRestarts) {
@@ -197,6 +215,57 @@ TEST(Fragmentation, StaleRecycledBlockIdRestarts) {
   const auto frags = fragment_block(9, new_block, 24);
   EXPECT_FALSE(r.feed(frags[0]).has_value());
   const auto out = r.feed(frags[1]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->data, new_block);
+  EXPECT_EQ(r.stale_discarded(), 1u);
+}
+
+// Regression for the recycled-block-id aliasing bug: with the same fragment
+// *count*, the old `chunks.size() != count` check let a stale partial merge
+// with the new cycle's fragments.  Fragment 0 of the old cycle survives, the
+// new cycle's fragment 0 is lost, and fragments 1..2 of the new cycle used
+// to complete the block with the stale chunk 0 spliced in — a corrupted
+// block delivered as if intact.
+TEST(Fragmentation, RecycledIdWithSameCountDoesNotSpliceStaleChunk) {
+  std::vector<std::uint8_t> old_block(60, 0xAA);  // 3 fragments
+  std::vector<std::uint8_t> new_block(60, 0xBB);  // 3 fragments, same id
+  Reassembler r;
+  r.feed(fragment_block(9, old_block, 24)[0]);  // frags 1,2 of old cycle lost
+
+  // The id recycles only after ~255 other blocks flow through; emulate a
+  // (shortened) stretch of that traffic so the partial's age shows.
+  for (std::uint64_t i = 0; i <= Reassembler::kStaleFeedGap; ++i) {
+    ASSERT_TRUE(r.feed(fragment_block(10, {}, 24)[0]).has_value());
+  }
+
+  const auto frags = fragment_block(9, new_block, 24);
+  EXPECT_FALSE(r.feed(frags[1]).has_value());
+  const auto out = r.feed(frags[2]);
+  // Old behaviour: completes here with {stale 0xAA chunk, 0xBB, 0xBB}.
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(r.stale_discarded(), 1u);
+
+  // The retransmitted fragment 0 of the *new* cycle completes it cleanly.
+  const auto done = r.feed(frags[0]);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->data, new_block);
+}
+
+// Same aliasing scenario, but the new cycle's fragment 0 *does* arrive: its
+// payload conflicts with the stale chunk already held at index 0, which is
+// direct evidence of a recycled id regardless of partial age.
+TEST(Fragmentation, RecycledIdConflictingChunkRestartsImmediately) {
+  std::vector<std::uint8_t> old_block(60, 0xAA);
+  std::vector<std::uint8_t> new_block(60, 0xBB);
+  Reassembler r;
+  r.feed(fragment_block(9, old_block, 24)[0]);
+
+  const auto frags = fragment_block(9, new_block, 24);
+  EXPECT_FALSE(r.feed(frags[0]).has_value());  // conflict -> restart
+  EXPECT_EQ(r.stale_discarded(), 1u);
+  EXPECT_EQ(r.duplicates(), 0u);  // not misclassified as an ARQ duplicate
+  r.feed(frags[1]);
+  const auto out = r.feed(frags[2]);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->data, new_block);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "energy/energy_report.hpp"
 #include "energy/power_trace.hpp"
 #include "sim/rng.hpp"
@@ -81,6 +83,28 @@ TEST(EnergyMeter, EnergyConservationProperty) {
   double sum = 0.0;
   for (int s = 0; s < 3; ++s) sum += m.energy_in(s, end);
   EXPECT_NEAR(sum, m.total_energy(end), 1e-12);
+}
+
+TEST(EnergyMeter, OutOfRangeStateFailsLoudly) {
+  // A negative or too-large state used to index states_/transient_joules_
+  // unchecked — silent UB that would skew the validation tables.  Every
+  // state-addressed entry point must throw instead.
+  EnergyMeter m = radio_meter();  // 3 states
+  EXPECT_THROW(m.transition(3, at(1)), std::out_of_range);
+  EXPECT_THROW(m.transition(-1, at(1)), std::out_of_range);
+  EXPECT_THROW((void)m.energy_in(3, at(1)), std::out_of_range);
+  EXPECT_THROW((void)m.energy_in(-1, at(1)), std::out_of_range);
+  EXPECT_THROW(m.add_transient(3, 1e-6), std::out_of_range);
+  EXPECT_THROW(m.add_transient(-2, 1e-6), std::out_of_range);
+  EXPECT_THROW((void)m.time_in(3, at(1)), std::out_of_range);
+  EXPECT_THROW((void)m.entries(-1), std::out_of_range);
+  // The meter is untouched by the rejected calls.
+  EXPECT_EQ(m.current_state(), 0);
+  EXPECT_DOUBLE_EQ(m.total_energy(at(0)), 0.0);
+  // Legal boundary states still work.
+  m.transition(2, at(1));
+  m.add_transient(0, 1e-6);
+  EXPECT_EQ(m.current_state(), 2);
 }
 
 TEST(EnergyLedger, BreakdownAndTotals) {

@@ -104,6 +104,68 @@ TEST(EventQueue, ScheduledTotalCounts) {
   EXPECT_EQ(q.scheduled_total(), 7u);
 }
 
+TEST(EventQueue, CancelThenRescheduleReusesSlotWithoutAliasing) {
+  EventQueue q;
+  bool stale_ran = false;
+  bool fresh_ran = false;
+  EventHandle stale = q.schedule(at(1), [&] { stale_ran = true; });
+  stale.cancel();
+  // The replacement recycles the freed slot; the stale handle must not be
+  // able to see or cancel it.
+  EventHandle fresh = q.schedule(at(2), [&] { fresh_ran = true; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  stale.cancel();  // must be a no-op against the recycled slot
+  EXPECT_TRUE(fresh.pending());
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(stale_ran);
+  EXPECT_TRUE(fresh_ran);
+}
+
+TEST(EventQueue, SizeIsExactAfterMassCancellation) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) handles.push_back(q.schedule(at(i), [] {}));
+  for (auto& h : handles) h.cancel();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  // A survivor in the middle of the cancelled mass is still found.
+  EventHandle live = q.schedule(at(50), [] {});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), at(50));
+  EXPECT_TRUE(live.pending());
+}
+
+TEST(EventQueue, HandleOutlivesClear) {
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  q.clear();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must be a harmless no-op
+  // New work scheduled after the clear is unaffected by the old handle.
+  EventHandle fresh = q.schedule(at(2), [] {});
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, SlotArenaRecyclesInsteadOfGrowing) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) {
+    EventHandle h = q.schedule(at(i), [] {});
+    if (i % 2 == 0) {
+      h.cancel();
+    } else {
+      q.pop().second();
+    }
+  }
+  // Every schedule released its slot before the next one; the arena should
+  // stay at its peak concurrency (1), not grow with the schedule count.
+  EXPECT_EQ(q.slot_capacity(), 1u);
+  EXPECT_EQ(q.scheduled_total(), 1000u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, InterleavedCancelAndPopKeepsOrder) {
   EventQueue q;
   std::vector<int> order;

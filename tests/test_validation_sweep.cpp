@@ -1,9 +1,19 @@
 // Seed-sweep robustness of the headline result: the estimation model must
 // stay inside the paper's error band for *any* node (any clock-skew draw),
 // not just the lucky default seed.  Shortened windows keep the sweep fast.
+//
+// The sweep is one test that fans all 16 cases out across every core via
+// sim::ScenarioRunner (each case owns its own Simulator + node stack, so
+// the rows are bit-identical to serial execution) and then asserts the
+// error band case by case.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "core/bansim.hpp"
+#include "sim/scenario_runner.hpp"
 
 namespace bansim::core {
 namespace {
@@ -14,12 +24,26 @@ struct SweepCase {
   std::uint64_t seed;
   bool dynamic;
   bool rpeak;
+
+  [[nodiscard]] std::string label() const {
+    return "seed" + std::to_string(seed) + (dynamic ? "_dynamic" : "_static") +
+           (rpeak ? "_rpeak" : "_streaming");
+  }
 };
 
-class ValidationSweep : public ::testing::TestWithParam<SweepCase> {};
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const std::uint64_t seed : {3ull, 17ull, 101ull, 2024ull}) {
+    for (const bool dynamic : {false, true}) {
+      for (const bool rpeak : {false, true}) {
+        cases.push_back({seed, dynamic, rpeak});
+      }
+    }
+  }
+  return cases;
+}
 
-TEST_P(ValidationSweep, ErrorStaysInBand) {
-  const SweepCase param = GetParam();
+energy::ValidationRow run_case(const SweepCase& param) {
   PaperSetup setup;
   setup.seed = param.seed;
   setup.measure = Duration::seconds(12);
@@ -36,38 +60,62 @@ TEST_P(ValidationSweep, ErrorStaysInBand) {
 
   MeasurementProtocol protocol;
   protocol.measure = setup.measure;
-  const energy::ValidationRow row = validation_row(cfg, protocol, "x", 60);
-
-  EXPECT_GT(row.radio_real_mj, 0.0);
-  EXPECT_GT(row.mcu_real_mj, 0.0);
-  // The paper's band with headroom: a worst-case draw (node and BS skews
-  // near opposite tolerance extremes) inflates the listen-window gap to
-  // ~12 % — the same mechanism behind the paper's own worst rows.
-  EXPECT_LT(row.radio_error(), 0.15)
-      << "seed " << param.seed << (param.dynamic ? " dynamic" : " static")
-      << (param.rpeak ? " rpeak" : " streaming");
-  EXPECT_LT(row.mcu_error(), 0.15);
+  return validation_row(cfg, protocol, "x", 60);
 }
 
-std::vector<SweepCase> sweep_cases() {
-  std::vector<SweepCase> cases;
-  for (const std::uint64_t seed : {3ull, 17ull, 101ull, 2024ull}) {
-    for (const bool dynamic : {false, true}) {
-      for (const bool rpeak : {false, true}) {
-        cases.push_back({seed, dynamic, rpeak});
-      }
-    }
+TEST(ValidationSweep, ErrorStaysInBandForEverySeedAndScenario) {
+  const std::vector<SweepCase> cases = sweep_cases();
+  std::vector<std::function<energy::ValidationRow()>> scenarios;
+  scenarios.reserve(cases.size());
+  for (const SweepCase& param : cases) {
+    scenarios.push_back([param] { return run_case(param); });
   }
-  return cases;
+
+  sim::ScenarioRunner runner;  // hardware_concurrency() workers
+  const std::vector<energy::ValidationRow> rows = runner.run(scenarios);
+  ASSERT_EQ(rows.size(), cases.size());
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE(cases[i].label());
+    const energy::ValidationRow& row = rows[i];
+    EXPECT_GT(row.radio_real_mj, 0.0);
+    EXPECT_GT(row.mcu_real_mj, 0.0);
+    // The paper's band with headroom: a worst-case draw (node and BS skews
+    // near opposite tolerance extremes) inflates the listen-window gap to
+    // ~12 % — the same mechanism behind the paper's own worst rows.
+    EXPECT_LT(row.radio_error(), 0.15);
+    EXPECT_LT(row.mcu_error(), 0.15);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    SeedsAndScenarios, ValidationSweep, ::testing::ValuesIn(sweep_cases()),
-    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
-      return "seed" + std::to_string(param_info.param.seed) +
-             (param_info.param.dynamic ? "_dynamic" : "_static") +
-             (param_info.param.rpeak ? "_rpeak" : "_streaming");
-    });
+// The parallel sweep must produce exactly the rows a serial sweep does —
+// per-scenario isolation, not merely statistical agreement.  Two cases per
+// flavour keep this cheap; the exhaustive band check above already runs
+// every case once.
+TEST(ValidationSweep, ParallelRowsBitIdenticalToSerial) {
+  const std::vector<SweepCase> cases = {
+      {3, false, false}, {3, true, true}, {17, false, true}, {17, true, false}};
+  auto scenarios = [&cases] {
+    std::vector<std::function<energy::ValidationRow()>> work;
+    for (const SweepCase& param : cases) {
+      work.push_back([param] { return run_case(param); });
+    }
+    return work;
+  };
+
+  sim::ScenarioRunner serial{1};
+  sim::ScenarioRunner parallel{4};
+  const auto a = serial.run(scenarios());
+  const auto b = parallel.run(scenarios());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(cases[i].label());
+    EXPECT_EQ(a[i].radio_real_mj, b[i].radio_real_mj);
+    EXPECT_EQ(a[i].radio_sim_mj, b[i].radio_sim_mj);
+    EXPECT_EQ(a[i].mcu_real_mj, b[i].mcu_real_mj);
+    EXPECT_EQ(a[i].mcu_sim_mj, b[i].mcu_sim_mj);
+  }
+}
 
 }  // namespace
 }  // namespace bansim::core
