@@ -50,6 +50,7 @@ struct CliOptions {
   bool analyze{false};
   bool csv{false};
   bool dump_config{false};
+  bool per_node{false};  ///< forced on when the config carries a roster
 };
 
 int usage(const char* argv0) {
@@ -59,8 +60,11 @@ int usage(const char* argv0) {
                "          [--cycle-ms N] [--nodes N] [--seconds N] [--seed N]\n"
                "          [--fidelity ref|model|both] [--analyze] [--csv] "
                "[--dump-config]\n"
-               "          [--sweep KEY=V1,V2,...|KEY=LO..HI] [--jobs N]\n"
-               "       sweep KEY is one of: cycle-ms, nodes, seed\n",
+               "          [--per-node] [--sweep KEY=V1,V2,...|KEY=LO..HI] "
+               "[--jobs N]\n"
+               "       sweep KEY is one of: cycle-ms, nodes, seed\n"
+               "       --per-node prints a per-node energy table (implied by\n"
+               "       a config with [node.K] roster sections)\n",
                argv0);
   return 2;
 }
@@ -111,6 +115,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--per-node") {
+      options.per_node = true;
     } else if (arg == "--analyze") {
       options.analyze = true;
     } else if (arg == "--csv") {
@@ -146,9 +152,7 @@ core::BanConfig build_config(const CliOptions& options) {
   if (options.nodes) config.num_nodes = static_cast<std::size_t>(*options.nodes);
   if (options.seed) config.seed = *options.seed;
   if (options.variant) {
-    config.tdma.variant = *options.variant == "dynamic"
-                              ? mac::TdmaVariant::kDynamic
-                              : mac::TdmaVariant::kStatic;
+    config.tdma.variant = core::parse_tdma_variant(*options.variant);
   }
   if (options.cycle_ms && config.tdma.variant == mac::TdmaVariant::kStatic) {
     const auto slots = config.tdma.max_slots;
@@ -159,19 +163,7 @@ core::BanConfig build_config(const CliOptions& options) {
     config.tdma.ack_data = keep.ack_data;
     config.tdma.radio_power_down = keep.radio_power_down;
   }
-  if (options.app) {
-    if (*options.app == "rpeak") {
-      config.app = core::AppKind::kRpeak;
-    } else if (*options.app == "eeg_monitoring") {
-      config.app = core::AppKind::kEegMonitoring;
-    } else if (*options.app == "ecg_streaming") {
-      config.app = core::AppKind::kEcgStreaming;
-    } else if (*options.app == "none") {
-      config.app = core::AppKind::kNone;
-    } else {
-      throw core::ConfigError("unknown app: " + *options.app);
-    }
-  }
+  if (options.app) config.app = core::parse_app_kind(*options.app);
   return config;
 }
 
@@ -189,6 +181,49 @@ void report(const char* fidelity, const core::ScenarioResult& r, bool csv) {
       fidelity, r.radio_mj, r.mcu_mj, r.total_mj, r.asic_mj,
       static_cast<unsigned long long>(r.data_packets),
       static_cast<unsigned long long>(r.beacons_missed));
+}
+
+/// Runs the scenario once per fidelity and prints one energy row per
+/// device (nodes, then the base station) over the measurement window.
+/// This is the heterogeneous-roster view: each row names the node's app
+/// so a mixed ECG/R-peak ward reads at a glance.
+int report_per_node(const core::BanConfig& base, core::Fidelity fidelity,
+                    const char* fidelity_name, int seconds) {
+  core::BanConfig config = base;
+  config.fidelity = fidelity;
+  core::BanNetwork network{config};
+  network.start();
+  if (!network.run_until_joined(
+          Duration::seconds(1),
+          sim::TimePoint::zero() + Duration::seconds(30))) {
+    std::fprintf(stderr, "per-node [%s]: network failed to join\n",
+                 fidelity_name);
+    return 1;
+  }
+  const sim::TimePoint t0 = network.simulator().now();
+  const std::vector<energy::NodeEnergy> before = network.energy_snapshot();
+  network.run_until(t0 + Duration::seconds(seconds));
+  const std::vector<energy::NodeEnergy> after = network.energy_snapshot();
+
+  std::printf("\nper-node energy [%s], %d s window:\n", fidelity_name,
+              seconds);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const bool is_bs = i >= network.num_nodes();
+    const char* app =
+        is_bs ? "base_station" : to_string(network.node(i).app_kind());
+    auto delta_mj = [&](const char* component) {
+      return (after[i].component_joules(component) -
+              before[i].component_joules(component)) *
+             1e3;
+    };
+    const double total_mj =
+        (after[i].total_joules() - before[i].total_joules()) * 1e3;
+    std::printf("  %-10s %-16s mcu %8.3f  radio %8.3f  asic %8.3f  total "
+                "%8.3f mJ\n",
+                after[i].node.c_str(), app, delta_mj("mcu"), delta_mj("radio"),
+                delta_mj("asic"), total_mj);
+  }
+  return 0;
 }
 
 struct SweepSpec {
@@ -322,10 +357,12 @@ int main(int argc, char** argv) {
     if (options.sweep) return run_sweep(options, config, protocol);
 
     if (!options.csv) {
-      std::printf("scenario: %s, %zu nodes, %s TDMA, %d s window, seed %llu\n",
-                  to_string(config.app), config.num_nodes,
-                  to_string(config.tdma.variant), options.seconds,
-                  static_cast<unsigned long long>(config.seed));
+      std::printf(
+          "scenario: %s, %zu nodes%s, %s TDMA, %d s window, seed %llu\n",
+          to_string(config.app), config.effective_nodes(),
+          config.roster.empty() ? "" : " (roster)",
+          to_string(config.tdma.variant), options.seconds,
+          static_cast<unsigned long long>(config.seed));
     } else {
       std::printf(
           "fidelity,radio_mj,mcu_mj,asic_mj,total_mj,data_packets,"
@@ -339,6 +376,22 @@ int main(int argc, char** argv) {
     if (options.fidelity == "model" || options.fidelity == "both") {
       config.fidelity = core::Fidelity::kModel;
       report("model", core::run_scenario(config, protocol), options.csv);
+    }
+
+    // A roster config describes a heterogeneous ward network, where the
+    // aggregate focus-node numbers above hide the interesting structure —
+    // always show the per-node table for those.
+    if ((options.per_node || !config.roster.empty()) && !options.csv) {
+      int rc = 0;
+      if (options.fidelity == "ref" || options.fidelity == "both") {
+        rc |= report_per_node(config, core::Fidelity::kReference, "reference",
+                              options.seconds);
+      }
+      if (options.fidelity == "model" || options.fidelity == "both") {
+        rc |= report_per_node(config, core::Fidelity::kModel, "model",
+                              options.seconds);
+      }
+      if (rc != 0) return 1;
     }
 
     if (options.analyze) {

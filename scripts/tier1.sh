@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + full test suite, then an ASan/UBSan
-# build of the memory-sensitive regression surfaces (fragment reassembly,
-# energy-meter bounds, event-queue slot arena, scenario runner).
+# Tier-1 verification: full build (warnings are errors) + full test
+# suite, then an ASan/UBSan build of the memory-sensitive regression
+# surfaces (fragment reassembly, energy-meter bounds, event-queue slot
+# arena, scenario runner, heterogeneous-roster BAN composition).
 #
 # usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -10,14 +11,15 @@ jobs=${1:-$(nproc)}
 repo=$(cd "$(dirname "$0")/.." && pwd)
 
 echo "== tier 1: build + ctest =="
-cmake -B "$repo/build" -S "$repo"
+cmake -B "$repo/build" -S "$repo" -DBANSIM_WARNINGS_AS_ERRORS=ON
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo "== tier 1: ASan/UBSan regression subset =="
 sanitize_tests=(test_delta_fragment test_energy_meter test_event_queue
-                test_scenario_runner)
-cmake -B "$repo/build-asan" -S "$repo" -DBANSIM_SANITIZE=ON
+                test_scenario_runner test_heterogeneous_ban)
+cmake -B "$repo/build-asan" -S "$repo" -DBANSIM_SANITIZE=ON \
+  -DBANSIM_WARNINGS_AS_ERRORS=ON
 cmake --build "$repo/build-asan" -j "$jobs" \
   --target "${sanitize_tests[@]}"
 for t in "${sanitize_tests[@]}"; do

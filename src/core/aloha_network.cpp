@@ -3,54 +3,46 @@
 namespace bansim::core {
 
 AlohaNetwork::AlohaNetwork(const AlohaNetworkConfig& config)
-    : config_{config}, channel_{simulator_, tracer_} {
-  sim::Rng skew_rng = sim::Rng::stream(config_.seed, "skew");
-  const double tol = config_.board.mcu.clock_tolerance;
+    : config_{config},
+      context_{config.seed},
+      channel_{context_},
+      nominal_costs_{os::CycleCostModel::platform_defaults()} {
+  CellPlan plan;
+  plan.seed = config_.seed;
+  plan.mac = MacKind::kAloha;
+  plan.aloha = config_.aloha;
+  plan.board = config_.board;
+  plan.fidelity = Fidelity::kReference;
+  plan.app = AppKind::kNone;
+  // Historical stream naming: the ALOHA baseline keys its MAC streams
+  // "aloha/<addr>" and staggers boots inside one payload interval.
+  plan.streams.mac_prefix = "aloha/";
+  plan.streams.key_streams_by_name = false;
+  plan.stagger = config_.payload_interval;
+  plan.roster.resize(config_.num_nodes);
 
-  bs_board_ = std::make_unique<hw::Board>(simulator_, tracer_, channel_, "bs",
-                                          config_.board,
-                                          skew_rng.uniform(-tol, tol));
-  bs_os_ = std::make_unique<os::NodeOs>(simulator_, tracer_, *bs_board_,
-                                        probe_, nullptr);
-  bs_mac_ = std::make_unique<mac::AlohaBaseStation>(simulator_, tracer_,
-                                                    *bs_os_, config_.aloha);
-
-  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
-    auto node = std::make_unique<Node>();
-    const auto address = static_cast<net::NodeId>(i + 1);
-    node->board = std::make_unique<hw::Board>(
-        simulator_, tracer_, channel_, "node" + std::to_string(address),
-        config_.board, skew_rng.uniform(-tol, tol));
-    node->node_os = std::make_unique<os::NodeOs>(simulator_, tracer_,
-                                                 *node->board, probe_, nullptr);
-    node->mac = std::make_unique<mac::AlohaNodeMac>(
-        simulator_, tracer_, *node->node_os, config_.aloha, address,
-        sim::Rng::stream(config_.seed, "aloha/" + std::to_string(address)));
-    nodes_.push_back(std::move(node));
-  }
+  cell_ = NetworkBuilder::build_cell(context_, channel_, plan, probe_,
+                                     nominal_costs_);
+  generators_.resize(cell_.nodes.size());
 }
 
 void AlohaNetwork::start() {
-  bs_mac_->start();
-  sim::Rng stagger = sim::Rng::stream(config_.seed, "stagger");
-  for (auto& node : nodes_) {
-    Node* raw = node.get();
-    const double offset_s =
-        stagger.uniform(0.0, config_.payload_interval.to_seconds());
-    simulator_.schedule_in(sim::Duration::from_seconds(offset_s), [this, raw] {
-      raw->mac->start();
-      raw->timer = raw->node_os->timers().start_periodic(
-          "app.generate", config_.payload_interval, [this, raw] {
-            ++raw->generated;
-            raw->mac->queue_payload(
-                std::vector<std::uint8_t>(config_.payload_bytes, 0xEC));
-          });
-    });
-  }
+  NetworkBuilder::start_cell(
+      context_, cell_, [this](std::size_t i, NodeStack& stack) {
+        stack.start();
+        Generator* gen = &generators_[i];
+        mac::AlohaNodeMac* node_mac = &stack.aloha_mac();
+        gen->timer = stack.node_os().timers().start_periodic(
+            "app.generate", config_.payload_interval, [this, gen, node_mac] {
+              ++gen->generated;
+              node_mac->queue_payload(
+                  std::vector<std::uint8_t>(config_.payload_bytes, 0xEC));
+            });
+      });
 }
 
 void AlohaNetwork::run_until(sim::TimePoint until) {
-  simulator_.run_until(until);
+  context_.simulator.run_until(until);
 }
 
 }  // namespace bansim::core

@@ -1,19 +1,20 @@
 // Assembly of a random-access (ALOHA) BAN for the MAC-comparison baseline:
 // the same boards, OS and channel as the TDMA network, with AlohaNodeMac /
 // AlohaBaseStation on top and a fixed-rate payload generator per node.
+//
+// The node stacks come from core::NetworkBuilder (MacKind::kAloha); the
+// only ALOHA-specific wiring left here is the periodic traffic generator
+// each node starts at its staggered boot instant.
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "core/fidelity.hpp"
-#include "hw/board.hpp"
+#include "core/network_builder.hpp"
+#include "core/node_stack.hpp"
 #include "mac/aloha_mac.hpp"
-#include "os/node_os.hpp"
 #include "phy/channel.hpp"
-#include "sim/rng.hpp"
-#include "sim/simulator.hpp"
-#include "sim/trace.hpp"
+#include "sim/context.hpp"
 
 namespace bansim::core {
 
@@ -34,38 +35,38 @@ class AlohaNetwork {
   void start();
   void run_until(sim::TimePoint until);
 
-  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] sim::SimContext& context() { return context_; }
+  [[nodiscard]] sim::Simulator& simulator() { return context_.simulator; }
   [[nodiscard]] phy::Channel& channel() { return channel_; }
-  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
-  [[nodiscard]] hw::Board& node_board(std::size_t i) { return *nodes_[i]->board; }
-  [[nodiscard]] mac::AlohaNodeMac& node_mac(std::size_t i) {
-    return *nodes_[i]->mac;
+  [[nodiscard]] std::size_t num_nodes() const { return cell_.nodes.size(); }
+  [[nodiscard]] hw::Board& node_board(std::size_t i) {
+    return cell_.nodes[i]->board();
   }
-  [[nodiscard]] mac::AlohaBaseStation& base_station() { return *bs_mac_; }
+  [[nodiscard]] mac::AlohaNodeMac& node_mac(std::size_t i) {
+    return cell_.nodes[i]->aloha_mac();
+  }
+  [[nodiscard]] mac::AlohaBaseStation& base_station() {
+    return cell_.bs->aloha_mac();
+  }
 
   /// Payloads generated per node so far.
   [[nodiscard]] std::uint64_t payloads_generated(std::size_t i) const {
-    return nodes_[i]->generated;
+    return generators_[i].generated;
   }
 
  private:
-  struct Node {
-    std::unique_ptr<hw::Board> board;
-    std::unique_ptr<os::NodeOs> node_os;
-    std::unique_ptr<mac::AlohaNodeMac> mac;
+  struct Generator {
     std::uint64_t generated{0};
     os::TimerService::TimerId timer{os::TimerService::kInvalidTimer};
   };
 
   AlohaNetworkConfig config_;
-  sim::Simulator simulator_;
-  sim::Tracer tracer_;
+  sim::SimContext context_;
   phy::Channel channel_;
   os::NullProbe probe_;
-  std::unique_ptr<hw::Board> bs_board_;
-  std::unique_ptr<os::NodeOs> bs_os_;
-  std::unique_ptr<mac::AlohaBaseStation> bs_mac_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  os::CycleCostModel nominal_costs_;
+  BuiltCell cell_;
+  std::vector<Generator> generators_;
 };
 
 }  // namespace bansim::core

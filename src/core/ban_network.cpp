@@ -4,116 +4,68 @@
 
 namespace bansim::core {
 
-namespace {
-
-std::string node_name(net::NodeId address) {
-  return "node" + std::to_string(address);
-}
-
-}  // namespace
-
-SensorNode::SensorNode(sim::Simulator& simulator, sim::Tracer& tracer,
-                       phy::Channel& channel, const BanConfig& config,
-                       net::NodeId address, double clock_skew,
-                       sim::Rng mac_rng, sim::Rng ecg_rng,
-                       os::ModelProbe& probe,
-                       const os::CycleCostModel* nominal_costs)
-    : address_{address},
-      ecg_{config.ecg, ecg_rng},
-      eeg_{config.eeg_signal,
-           config.seed ^ sim::fnv1a64("eeg/" + node_name(address))},
-      board_{simulator, tracer, channel, node_name(address),
-             apply_fidelity(config.board, config.fidelity), clock_skew},
-      os_{simulator, tracer, board_, probe, nominal_costs},
-      mac_{simulator, tracer, os_, config.tdma, address, mac_rng} {
-  // The biopotential front-end feeds the ECG waveform into channels 0 and 1
-  // (the "2-channel ECG" of Section 5.1); channel 1 sees the same cardiac
-  // source through a second electrode pair, at reduced amplitude.
-  board_.asic().set_channel_signal(
-      0, [this](sim::TimePoint t) { return ecg_.sample(t); });
-  board_.asic().set_channel_signal(1, [this](sim::TimePoint t) {
-    const double baseline = ecg_.config().baseline_volts;
-    return baseline + 0.8 * (ecg_.sample(t) - baseline);
-  });
-
-  switch (config.app) {
-    case AppKind::kEcgStreaming:
-      streaming_ = std::make_unique<apps::EcgStreamingApp>(
-          simulator, os_, mac_, config.streaming);
-      break;
-    case AppKind::kRpeak:
-      rpeak_ = std::make_unique<apps::RpeakApp>(simulator, os_, mac_,
-                                                config.rpeak);
-      break;
-    case AppKind::kEegMonitoring:
-      eeg_app_ = std::make_unique<apps::EegApp>(simulator, os_, mac_,
-                                                config.eeg, eeg_);
-      break;
-    case AppKind::kNone:
-      break;
-  }
-}
-
-void SensorNode::start() {
-  mac_.start();
-  if (streaming_) streaming_->start();
-  if (rpeak_) rpeak_->start();
-  if (eeg_app_) eeg_app_->start();
+CellPlan make_cell_plan(const BanConfig& config) {
+  CellPlan plan;
+  plan.seed = config.seed;
+  plan.mac = MacKind::kTdma;
+  plan.tdma = config.tdma;
+  plan.address_offset = config.address_offset;
+  plan.stagger = config.stagger;
+  plan.app = config.app;
+  plan.board = config.board;
+  plan.fidelity = config.fidelity;
+  plan.streaming = config.streaming;
+  plan.rpeak = config.rpeak;
+  plan.ecg = config.ecg;
+  plan.eeg = config.eeg;
+  plan.eeg_signal = config.eeg_signal;
+  plan.roster = config.roster;
+  if (plan.roster.empty()) plan.roster.resize(config.num_nodes);
+  return plan;
 }
 
 BanNetwork::BanNetwork(const BanConfig& config, os::ModelProbe* probe)
-    : config_{config}, simulator_{}, tracer_{},
-      channel_{simulator_, tracer_},
+    : config_{config},
+      context_{config.seed},
+      channel_{context_},
       probe_{probe != nullptr ? probe : &null_probe_},
       nominal_costs_{os::CycleCostModel::platform_defaults()} {
-  const os::CycleCostModel* nominal =
-      config_.fidelity == Fidelity::kModel ? &nominal_costs_ : nullptr;
+  cell_ = NetworkBuilder::build_cell(context_, channel_, make_cell_plan(config_),
+                                     *probe_, nominal_costs_);
 
-  // Per-component deterministic randomness: the same seed reproduces the
-  // same network, and the skew/ecg/mac streams are independent, so the
-  // model run (which zeroes tolerance) sees identical ECG and MAC draws.
-  sim::Rng skew_rng = sim::Rng::stream(config_.seed, "skew");
-  const double tol = apply_fidelity(config_.board, config_.fidelity)
-                         .mcu.clock_tolerance;
-
-  const double bs_skew = skew_rng.uniform(-tol, tol);
-  bs_board_ = std::make_unique<hw::Board>(
-      simulator_, tracer_, channel_, "bs",
-      apply_fidelity(config_.board, config_.fidelity), bs_skew);
-  bs_os_ = std::make_unique<os::NodeOs>(simulator_, tracer_, *bs_board_,
-                                        *probe_, nominal);
-  bs_mac_ = std::make_unique<mac::BaseStationMac>(simulator_, tracer_,
-                                                  *bs_os_, config_.tdma);
-  bs_mac_->set_data_handler([this](net::NodeId src,
-                                   std::span<const std::uint8_t> payload,
-                                   sim::TimePoint when) {
-    bs_app_.on_data(src, payload, when);
-    if (config_.app == AppKind::kEegMonitoring) {
-      auto [it, inserted] = eeg_collectors_.try_emplace(
-          src, apps::EegCollector{config_.eeg.channels});
-      it->second.on_payload(payload);
-    }
-  });
-  bs_app_.set_decode_beats(config_.app == AppKind::kRpeak);
-
-  nodes_.reserve(config_.num_nodes);
-  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
-    const auto address =
-        static_cast<net::NodeId>(config_.address_offset + i + 1);
-    const double skew = skew_rng.uniform(-tol, tol);
-    nodes_.push_back(std::make_unique<SensorNode>(
-        simulator_, tracer_, channel_, config_, address, skew,
-        sim::Rng::stream(config_.seed, "mac/" + node_name(address)),
-        sim::Rng::stream(config_.seed, "ecg/" + node_name(address)),
-        *probe_, nominal));
+  bool any_eeg = false;
+  bool any_rpeak = false;
+  for (const auto& node : cell_.nodes) {
+    any_eeg = any_eeg || node->app_kind() == AppKind::kEegMonitoring;
+    any_rpeak = any_rpeak || node->app_kind() == AppKind::kRpeak;
   }
+
+  cell_.bs->set_data_handler([this](net::NodeId src,
+                                    std::span<const std::uint8_t> payload,
+                                    sim::TimePoint when) {
+    cell_.bs->app().on_data(src, payload, when);
+    const auto it = eeg_collectors_.find(src);
+    if (it != eeg_collectors_.end()) it->second.on_payload(payload);
+  });
+  // EEG reassembly state exists only for the nodes that stream EEG; with a
+  // heterogeneous roster the other nodes' payloads bypass the collectors.
+  if (any_eeg) {
+    for (auto& node : cell_.nodes) {
+      if (node->app_kind() == AppKind::kEegMonitoring) {
+        eeg_collectors_.try_emplace(
+            node->address(),
+            apps::EegCollector{node->eeg_app()->config().channels});
+      }
+    }
+  }
+  cell_.bs->app().set_decode_beats(any_rpeak);
 
   if (config_.use_link_model) {
     // Channel ids follow construction order: bs = 0, node i = i+1, which
     // matches the position vector's convention.
     std::vector<phy::BodyPosition> positions =
         config_.body_positions.empty()
-            ? phy::standard_ban_layout(config_.num_nodes)
+            ? phy::standard_ban_layout(cell_.nodes.size())
             : config_.body_positions;
     link_model_ = std::make_unique<phy::LinkModel>(
         std::move(positions), config_.link_budget, config_.seed);
@@ -126,36 +78,22 @@ BanNetwork::BanNetwork(const BanConfig& config, os::ModelProbe* probe)
   }
 }
 
-void BanNetwork::start() {
-  bs_mac_->start();
-  sim::Rng stagger_rng = sim::Rng::stream(config_.seed, "stagger");
-  for (auto& node : nodes_) {
-    const double offset_s =
-        stagger_rng.uniform(0.0, config_.stagger.to_seconds());
-    simulator_.schedule_in(sim::Duration::from_seconds(offset_s),
-                           [n = node.get()] { n->start(); });
-  }
-}
+void BanNetwork::start() { NetworkBuilder::start_cell(context_, cell_); }
 
 void BanNetwork::run_until(sim::TimePoint until) {
-  simulator_.run_until(until);
+  context_.simulator.run_until(until);
 }
 
-bool BanNetwork::all_joined() const {
-  for (const auto& node : nodes_) {
-    if (!node->mac().joined()) return false;
-  }
-  return true;
-}
+bool BanNetwork::all_joined() const { return cell_.all_joined(); }
 
 bool BanNetwork::run_until_joined(sim::Duration settle,
                                   sim::TimePoint deadline) {
   const sim::Duration poll = sim::Duration::milliseconds(50);
   while (!all_joined()) {
-    if (simulator_.now() >= deadline) return false;
-    simulator_.run_until(simulator_.now() + poll);
+    if (context_.simulator.now() >= deadline) return false;
+    context_.simulator.run_until(context_.simulator.now() + poll);
   }
-  simulator_.run_until(simulator_.now() + settle);
+  context_.simulator.run_until(context_.simulator.now() + settle);
   return true;
 }
 
@@ -165,20 +103,7 @@ apps::EegCollector* BanNetwork::eeg_collector(net::NodeId node) {
 }
 
 std::vector<energy::NodeEnergy> BanNetwork::energy_snapshot() const {
-  std::vector<energy::NodeEnergy> out;
-  out.reserve(nodes_.size() + 1);
-  const sim::TimePoint now = simulator_.now();
-  for (const auto& node : nodes_) {
-    energy::NodeEnergy ne;
-    ne.node = node->name();
-    ne.components = node->board().breakdown(now);
-    out.push_back(std::move(ne));
-  }
-  energy::NodeEnergy bs;
-  bs.node = "bs";
-  bs.components = bs_board_->breakdown(now);
-  out.push_back(std::move(bs));
-  return out;
+  return cell_.energy_snapshot(context_.simulator.now());
 }
 
 }  // namespace bansim::core

@@ -1,47 +1,38 @@
 // BAN construction: a base station plus N biopotential sensor nodes on a
 // shared wireless channel — the paper's 5-node validation network in one
 // object.  This is the primary entry point of the library's public API.
+//
+// Node composition is delegated to core::NetworkBuilder: BanConfig's
+// network-wide fields are the defaults, and the optional `roster` of
+// NodeSpec entries overrides them per node, so one BAN can mix ECG
+// streamers, R-peak detectors and EEG monitors (a heterogeneous ward
+// network) without any wiring changes here.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/base_station_app.hpp"
-#include "apps/ecg_streaming_app.hpp"
-#include "apps/ecg_synthesizer.hpp"
-#include "apps/eeg_app.hpp"
-#include "apps/eeg_synthesizer.hpp"
-#include "apps/rpeak_app.hpp"
-#include "core/fidelity.hpp"
+#include "core/network_builder.hpp"
+#include "core/node_spec.hpp"
+#include "core/node_stack.hpp"
 #include "energy/energy_report.hpp"
-#include "hw/board.hpp"
-#include "mac/base_station_mac.hpp"
-#include "mac/node_mac.hpp"
-#include "os/node_os.hpp"
 #include "phy/channel.hpp"
 #include "phy/link_model.hpp"
-#include "sim/rng.hpp"
-#include "sim/simulator.hpp"
-#include "sim/trace.hpp"
+#include "sim/context.hpp"
 
 namespace bansim::core {
 
-/// Which application runs on the sensor nodes.
-enum class AppKind { kNone, kEcgStreaming, kRpeak, kEegMonitoring };
-
-[[nodiscard]] constexpr const char* to_string(AppKind k) {
-  switch (k) {
-    case AppKind::kNone: return "none";
-    case AppKind::kEcgStreaming: return "ecg_streaming";
-    case AppKind::kRpeak: return "rpeak";
-    case AppKind::kEegMonitoring: return "eeg_monitoring";
-  }
-  return "?";
-}
+/// A sensor node is one NodeStack; the historical name remains the public
+/// alias.
+using SensorNode = NodeStack;
 
 struct BanConfig {
+  /// Node count for a homogeneous network; ignored when `roster` is
+  /// non-empty (the roster length wins).
   std::size_t num_nodes{5};
   mac::TdmaConfig tdma{};
   AppKind app{AppKind::kEcgStreaming};
@@ -61,6 +52,11 @@ struct BanConfig {
   /// multiples of 0x100, which are base-station addresses.
   net::NodeId address_offset{0};
 
+  /// Per-node overrides; empty builds num_nodes default-spec nodes.  An
+  /// all-default roster of length num_nodes is bit-identical to the
+  /// homogeneous network.
+  std::vector<NodeSpec> roster{};
+
   /// Body-area link model: when enabled, every frame is subject to a
   /// per-link frame error probability from the path-loss/BER budget below
   /// (on top of collision corruption).  Off by default — the paper's
@@ -70,42 +66,11 @@ struct BanConfig {
   /// Device positions (index 0 = base station); empty selects
   /// phy::standard_ban_layout(num_nodes), which supports up to 6 nodes.
   std::vector<phy::BodyPosition> body_positions{};
-};
 
-/// One sensor node: hardware board, OS instance, MAC, signal source and
-/// the selected application.
-class SensorNode {
- public:
-  SensorNode(sim::Simulator& simulator, sim::Tracer& tracer,
-             phy::Channel& channel, const BanConfig& config,
-             net::NodeId address, double clock_skew, sim::Rng mac_rng,
-             sim::Rng ecg_rng, os::ModelProbe& probe,
-             const os::CycleCostModel* nominal_costs);
-
-  void start();
-
-  [[nodiscard]] const std::string& name() const { return board_.name(); }
-  [[nodiscard]] net::NodeId address() const { return address_; }
-  [[nodiscard]] hw::Board& board() { return board_; }
-  [[nodiscard]] const hw::Board& board() const { return board_; }
-  [[nodiscard]] os::NodeOs& node_os() { return os_; }
-  [[nodiscard]] mac::NodeMac& mac() { return mac_; }
-  [[nodiscard]] apps::EcgSynthesizer& ecg() { return ecg_; }
-  [[nodiscard]] apps::EegSynthesizer& eeg() { return eeg_; }
-  [[nodiscard]] apps::EcgStreamingApp* streaming_app() { return streaming_.get(); }
-  [[nodiscard]] apps::RpeakApp* rpeak_app() { return rpeak_.get(); }
-  [[nodiscard]] apps::EegApp* eeg_app() { return eeg_app_.get(); }
-
- private:
-  net::NodeId address_;
-  apps::EcgSynthesizer ecg_;
-  apps::EegSynthesizer eeg_;
-  hw::Board board_;
-  os::NodeOs os_;
-  mac::NodeMac mac_;
-  std::unique_ptr<apps::EcgStreamingApp> streaming_;
-  std::unique_ptr<apps::RpeakApp> rpeak_;
-  std::unique_ptr<apps::EegApp> eeg_app_;
+  /// Effective node count (roster length when a roster is given).
+  [[nodiscard]] std::size_t effective_nodes() const {
+    return roster.empty() ? num_nodes : roster.size();
+  }
 };
 
 class BanNetwork {
@@ -126,19 +91,26 @@ class BanNetwork {
   /// returns false if `deadline` passes first.
   bool run_until_joined(sim::Duration settle, sim::TimePoint deadline);
 
-  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
-  [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] sim::SimContext& context() { return context_; }
+  [[nodiscard]] sim::Simulator& simulator() { return context_.simulator; }
+  [[nodiscard]] sim::Tracer& tracer() { return context_.tracer; }
   [[nodiscard]] phy::Channel& channel() { return channel_; }
   [[nodiscard]] const BanConfig& config() const { return config_; }
 
-  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
-  [[nodiscard]] SensorNode& node(std::size_t i) { return *nodes_[i]; }
-  [[nodiscard]] const SensorNode& node(std::size_t i) const { return *nodes_[i]; }
-  [[nodiscard]] mac::BaseStationMac& base_station_mac() { return *bs_mac_; }
-  [[nodiscard]] apps::BaseStationApp& base_station_app() { return bs_app_; }
-  /// Per-node EEG reassembly/decoding (kEegMonitoring runs only).
+  [[nodiscard]] std::size_t num_nodes() const { return cell_.nodes.size(); }
+  [[nodiscard]] SensorNode& node(std::size_t i) { return *cell_.nodes[i]; }
+  [[nodiscard]] const SensorNode& node(std::size_t i) const {
+    return *cell_.nodes[i];
+  }
+  [[nodiscard]] mac::BaseStationMac& base_station_mac() {
+    return cell_.bs->tdma_mac();
+  }
+  [[nodiscard]] apps::BaseStationApp& base_station_app() {
+    return cell_.bs->app();
+  }
+  /// Per-node EEG reassembly/decoding (kEegMonitoring nodes only).
   [[nodiscard]] apps::EegCollector* eeg_collector(net::NodeId node);
-  [[nodiscard]] hw::Board& base_station_board() { return *bs_board_; }
+  [[nodiscard]] hw::Board& base_station_board() { return cell_.bs->board(); }
   /// Non-null when the config enabled the body-area link model.
   [[nodiscard]] const phy::LinkModel* link_model() const {
     return link_model_.get();
@@ -149,19 +121,18 @@ class BanNetwork {
 
  private:
   BanConfig config_;
-  sim::Simulator simulator_;
-  sim::Tracer tracer_;
+  sim::SimContext context_;
   phy::Channel channel_;
   os::NullProbe null_probe_;
   os::ModelProbe* probe_;
   os::CycleCostModel nominal_costs_;
   std::unique_ptr<phy::LinkModel> link_model_;
-  std::unique_ptr<hw::Board> bs_board_;
-  std::unique_ptr<os::NodeOs> bs_os_;
-  std::unique_ptr<mac::BaseStationMac> bs_mac_;
-  apps::BaseStationApp bs_app_;
+  BuiltCell cell_;
   std::map<net::NodeId, apps::EegCollector> eeg_collectors_;
-  std::vector<std::unique_ptr<SensorNode>> nodes_;
 };
+
+/// Translates a BanConfig into the builder's CellPlan (shared with
+/// MultiBan, which re-derives the stream names per cell).
+[[nodiscard]] CellPlan make_cell_plan(const BanConfig& config);
 
 }  // namespace bansim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <sstream>
+#include <vector>
 
 namespace bansim::core {
 
@@ -52,16 +53,93 @@ bool to_bool(const std::string& key, const std::string& value) {
 
 }  // namespace
 
+AppKind parse_app_kind(const std::string& token) {
+  const std::string v = lower(trim(token));
+  if (v == "none") return AppKind::kNone;
+  if (v == "ecg_streaming") return AppKind::kEcgStreaming;
+  if (v == "rpeak") return AppKind::kRpeak;
+  if (v == "eeg_monitoring") return AppKind::kEegMonitoring;
+  throw ConfigError("unknown app kind '" + token +
+                    "' (expected none | ecg_streaming | rpeak | "
+                    "eeg_monitoring)");
+}
+
+mac::TdmaVariant parse_tdma_variant(const std::string& token) {
+  const std::string v = lower(trim(token));
+  if (v == "static") return mac::TdmaVariant::kStatic;
+  if (v == "dynamic") return mac::TdmaVariant::kDynamic;
+  throw ConfigError("unknown tdma variant '" + token +
+                    "' (expected static | dynamic)");
+}
+
+Fidelity parse_fidelity(const std::string& token) {
+  const std::string v = lower(trim(token));
+  if (v == "reference") return Fidelity::kReference;
+  if (v == "model") return Fidelity::kModel;
+  throw ConfigError("unknown fidelity '" + token +
+                    "' (expected reference | model)");
+}
+
+namespace {
+
+/// One buffered `[node.K]` assignment; applied after the whole file is
+/// read so per-node overrides see the final global defaults.
+struct NodeAssignment {
+  std::size_t index;  ///< 1-based
+  std::string key;
+  std::string value;
+  int line_no;
+};
+
+void apply_node_key(NodeSpec& spec, const BanConfig& config,
+                    const NodeAssignment& a) {
+  const std::string scoped =
+      "node." + std::to_string(a.index) + "." + a.key;
+  if (a.key == "app") {
+    spec.app = parse_app_kind(a.value);
+  } else if (a.key == "address") {
+    spec.address = static_cast<net::NodeId>(to_int(scoped, a.value));
+  } else if (a.key == "clock_skew") {
+    spec.clock_skew = to_double(scoped, a.value);
+  } else if (a.key == "boot_ms") {
+    spec.boot_offset =
+        sim::Duration::from_milliseconds(to_double(scoped, a.value));
+  } else if (a.key == "fidelity") {
+    spec.fidelity = parse_fidelity(a.value);
+  } else if (a.key == "streaming.sample_rate_hz") {
+    if (!spec.streaming) spec.streaming = config.streaming;
+    spec.streaming->sample_rate_hz = to_double(scoped, a.value);
+  } else if (a.key == "streaming.payload_bytes") {
+    if (!spec.streaming) spec.streaming = config.streaming;
+    spec.streaming->payload_bytes =
+        static_cast<std::size_t>(to_int(scoped, a.value));
+  } else if (a.key == "rpeak.sample_rate_hz") {
+    if (!spec.rpeak) spec.rpeak = config.rpeak;
+    spec.rpeak->sample_rate_hz = to_double(scoped, a.value);
+  } else if (a.key == "ecg.heart_rate_bpm") {
+    if (!spec.ecg) spec.ecg = config.ecg;
+    spec.ecg->heart_rate_bpm = to_double(scoped, a.value);
+  } else {
+    throw ConfigError("line " + std::to_string(a.line_no) +
+                      ": unknown key '" + scoped + "'");
+  }
+}
+
+}  // namespace
+
 BanConfig parse_config(const std::string& text) {
   BanConfig config;
+  std::vector<NodeAssignment> node_assignments;
+  std::size_t max_node_index = 0;
+  bool nodes_set = false;
   // The static cycle is expressed directly in the file; remember it to
   // derive the slot width once max_slots is known.
   double static_cycle_ms = -1.0;
-  bool saw_variant_static = true;
 
   std::istringstream stream{text};
   std::string line;
   std::string section;
+  std::size_t current_node = 0;  ///< 1-based index when inside [node.K]
   int line_no = 0;
   while (std::getline(stream, line)) {
     ++line_no;
@@ -75,6 +153,22 @@ BanConfig parse_config(const std::string& text) {
                           ": malformed section header");
       }
       section = lower(trim(line.substr(1, line.size() - 2)));
+      current_node = 0;
+      if (section.rfind("node.", 0) == 0) {
+        const std::string index_token = section.substr(5);
+        try {
+          current_node = static_cast<std::size_t>(
+              to_int("node section index", index_token));
+        } catch (const ConfigError&) {
+          throw ConfigError("line " + std::to_string(line_no) +
+                            ": bad node section [" + section + "]");
+        }
+        if (current_node == 0) {
+          throw ConfigError("line " + std::to_string(line_no) +
+                            ": node sections are 1-based ([node.1], ...)");
+        }
+        max_node_index = std::max(max_node_index, current_node);
+      }
       continue;
     }
     const auto eq = line.find('=');
@@ -86,32 +180,22 @@ BanConfig parse_config(const std::string& text) {
     const std::string value = trim(line.substr(eq + 1));
     const std::string scoped = section + "." + key;
 
+    if (current_node > 0) {
+      node_assignments.push_back({current_node, key, value, line_no});
+      continue;
+    }
+
     if (scoped == "network.nodes") {
       config.num_nodes = static_cast<std::size_t>(to_int(scoped, value));
+      nodes_set = true;
     } else if (scoped == "network.seed") {
       config.seed = static_cast<std::uint64_t>(to_int(scoped, value));
     } else if (scoped == "network.stagger_ms") {
       config.stagger = sim::Duration::from_milliseconds(to_double(scoped, value));
     } else if (scoped == "network.app") {
-      const std::string app = lower(value);
-      if (app == "none") {
-        config.app = AppKind::kNone;
-      } else if (app == "ecg_streaming") {
-        config.app = AppKind::kEcgStreaming;
-      } else if (app == "rpeak") {
-        config.app = AppKind::kRpeak;
-      } else if (app == "eeg_monitoring") {
-        config.app = AppKind::kEegMonitoring;
-      } else {
-        throw ConfigError("unknown app: " + value);
-      }
+      config.app = parse_app_kind(value);
     } else if (scoped == "tdma.variant") {
-      saw_variant_static = lower(value) == "static";
-      if (!saw_variant_static && lower(value) != "dynamic") {
-        throw ConfigError("unknown tdma variant: " + value);
-      }
-      config.tdma.variant = saw_variant_static ? mac::TdmaVariant::kStatic
-                                               : mac::TdmaVariant::kDynamic;
+      config.tdma.variant = parse_tdma_variant(value);
     } else if (scoped == "tdma.cycle_ms") {
       static_cycle_ms = to_double(scoped, value);
     } else if (scoped == "tdma.slot_ms") {
@@ -175,13 +259,29 @@ BanConfig parse_config(const std::string& text) {
       return derived;
     }();
   }
+
+  // Resolve the roster last so [node.K] overrides see the final globals no
+  // matter where the sections appear in the file.
+  if (max_node_index > 0) {
+    if (nodes_set && max_node_index > config.num_nodes) {
+      throw ConfigError("[node." + std::to_string(max_node_index) +
+                        "] exceeds network.nodes = " +
+                        std::to_string(config.num_nodes));
+    }
+    const std::size_t count =
+        nodes_set ? config.num_nodes : max_node_index;
+    config.roster.assign(count, NodeSpec{});
+    for (const NodeAssignment& a : node_assignments) {
+      apply_node_key(config.roster[a.index - 1], config, a);
+    }
+  }
   return config;
 }
 
 std::string serialize_config(const BanConfig& config) {
   std::ostringstream out;
   out << "[network]\n";
-  out << "nodes = " << config.num_nodes << "\n";
+  out << "nodes = " << config.effective_nodes() << "\n";
   out << "seed = " << config.seed << "\n";
   out << "stagger_ms = " << config.stagger.to_milliseconds() << "\n";
   out << "app = " << to_string(config.app) << "\n\n";
@@ -227,6 +327,30 @@ std::string serialize_config(const BanConfig& config) {
       << "\n";
   out << "shadowing_sigma_db = " << config.link_budget.shadowing_sigma_db
       << "\n";
+
+  for (std::size_t i = 0; i < config.roster.size(); ++i) {
+    const NodeSpec& spec = config.roster[i];
+    out << "\n[node." << (i + 1) << "]\n";
+    if (spec.app) out << "app = " << to_string(*spec.app) << "\n";
+    if (spec.address != 0) out << "address = " << spec.address << "\n";
+    if (spec.clock_skew) out << "clock_skew = " << *spec.clock_skew << "\n";
+    if (spec.boot_offset) {
+      out << "boot_ms = " << spec.boot_offset->to_milliseconds() << "\n";
+    }
+    if (spec.fidelity) out << "fidelity = " << to_string(*spec.fidelity) << "\n";
+    if (spec.streaming) {
+      out << "streaming.sample_rate_hz = " << spec.streaming->sample_rate_hz
+          << "\n";
+      out << "streaming.payload_bytes = " << spec.streaming->payload_bytes
+          << "\n";
+    }
+    if (spec.rpeak) {
+      out << "rpeak.sample_rate_hz = " << spec.rpeak->sample_rate_hz << "\n";
+    }
+    if (spec.ecg) {
+      out << "ecg.heart_rate_bpm = " << spec.ecg->heart_rate_bpm << "\n";
+    }
+  }
   return out.str();
 }
 

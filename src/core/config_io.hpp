@@ -22,8 +22,16 @@
 //   enabled = false
 //   tx_power_dbm = -5
 //
-// Unknown keys are reported as errors so typos do not silently become
-// defaults.  parse/serialize round-trip.
+//   ; Optional per-node overrides (1-based index).  Any [node.K] section
+//   ; switches the network to roster mode: node K starts from the global
+//   ; defaults above and overrides only the keys it lists.
+//   [node.2]
+//   app = rpeak
+//   rpeak.sample_rate_hz = 250
+//
+// Unknown keys and unknown enum tokens are reported as hard errors, with
+// the offending token named, so typos do not silently become defaults.
+// parse/serialize round-trip.
 #pragma once
 
 #include <stdexcept>
@@ -39,10 +47,19 @@ class ConfigError : public std::runtime_error {
       : std::runtime_error(message) {}
 };
 
-/// Parses INI text into a BanConfig (starting from defaults).
+// Enum parsing, shared by the file parser and the CLI so every entry
+// point rejects unknown tokens the same way.  Each throws ConfigError
+// naming the offending token and the accepted values.
+[[nodiscard]] AppKind parse_app_kind(const std::string& token);
+[[nodiscard]] mac::TdmaVariant parse_tdma_variant(const std::string& token);
+[[nodiscard]] Fidelity parse_fidelity(const std::string& token);
+
+/// Parses INI text into a BanConfig (starting from defaults).  [node.K]
+/// sections fill config.roster; global keys may appear before or after
+/// them (the roster is resolved once the whole file is read).
 [[nodiscard]] BanConfig parse_config(const std::string& text);
 
-/// Serializes the fields parse_config understands.
+/// Serializes the fields parse_config understands, including the roster.
 [[nodiscard]] std::string serialize_config(const BanConfig& config);
 
 }  // namespace bansim::core

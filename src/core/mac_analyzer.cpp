@@ -76,7 +76,7 @@ MacAnalysis analyze_mac(BanNetwork& network,
   bool have_last = false;
   for (const auto& record : records) {
     if (record.category != sim::TraceCategory::kMac) continue;
-    if (record.node != "bs") continue;
+    if (record.node() != "bs") continue;
     if (record.message.rfind("SB beacon", 0) != 0) continue;
     if (record.when < t0) continue;
     if (have_last) {

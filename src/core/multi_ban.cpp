@@ -1,11 +1,13 @@
 #include "core/multi_ban.hpp"
 
 #include <cassert>
+#include <string>
 
 namespace bansim::core {
 
 MultiBan::MultiBan(std::vector<BanConfig> cells)
-    : channel_{simulator_, tracer_},
+    : context_{cells.empty() ? 1 : cells.front().seed},
+      channel_{context_},
       nominal_costs_{os::CycleCostModel::platform_defaults()} {
   for (std::size_t c = 0; c < cells.size(); ++c) {
     for (std::size_t other = 0; other < c; ++other) {
@@ -14,65 +16,39 @@ MultiBan::MultiBan(std::vector<BanConfig> cells)
     }
     auto cell = std::make_unique<Cell>();
     cell->config = cells[c];
-    const BanConfig& cfg = cell->config;
-    const os::CycleCostModel* nominal =
-        cfg.fidelity == Fidelity::kModel ? &nominal_costs_ : nullptr;
 
-    sim::Rng skew_rng =
-        sim::Rng::stream(cfg.seed, "skew/cell" + std::to_string(c));
-    const double tol =
-        apply_fidelity(cfg.board, cfg.fidelity).mcu.clock_tolerance;
+    CellPlan plan = make_cell_plan(cell->config);
+    const std::string suffix = std::to_string(c);
+    plan.bs_name = "bs" + suffix;
+    plan.streams.skew = "skew/cell" + suffix;
+    plan.streams.stagger = "stagger/" + suffix;
+    plan.streams.mac_prefix = "mac/cell" + suffix + "/";
+    plan.streams.signal_prefix = "ecg/cell" + suffix + "/";
+    plan.streams.key_streams_by_name = false;
 
-    cell->bs_board = std::make_unique<hw::Board>(
-        simulator_, tracer_, channel_, "bs" + std::to_string(c),
-        apply_fidelity(cfg.board, cfg.fidelity), skew_rng.uniform(-tol, tol));
-    cell->bs_os = std::make_unique<os::NodeOs>(simulator_, tracer_,
-                                               *cell->bs_board, probe_,
-                                               nominal);
-    cell->bs_mac = std::make_unique<mac::BaseStationMac>(
-        simulator_, tracer_, *cell->bs_os, cfg.tdma);
-    auto* app = &cell->bs_app;
-    cell->bs_mac->set_data_handler(
+    cell->built = NetworkBuilder::build_cell(context_, channel_, plan, probe_,
+                                             nominal_costs_);
+    auto* app = &cell->built.bs->app();
+    cell->built.bs->set_data_handler(
         [app](net::NodeId src, std::span<const std::uint8_t> payload,
               sim::TimePoint when) { app->on_data(src, payload, when); });
-
-    for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
-      const auto address =
-          static_cast<net::NodeId>(cfg.address_offset + i + 1);
-      cell->nodes.push_back(std::make_unique<SensorNode>(
-          simulator_, tracer_, channel_, cfg, address,
-          skew_rng.uniform(-tol, tol),
-          sim::Rng::stream(cfg.seed, "mac/cell" + std::to_string(c) + "/" +
-                                         std::to_string(address)),
-          sim::Rng::stream(cfg.seed, "ecg/cell" + std::to_string(c) + "/" +
-                                         std::to_string(address)),
-          probe_, nominal));
-    }
     cells_.push_back(std::move(cell));
   }
 }
 
 void MultiBan::start() {
-  for (std::size_t c = 0; c < cells_.size(); ++c) {
-    cells_[c]->bs_mac->start();
-    sim::Rng stagger =
-        sim::Rng::stream(cells_[c]->config.seed, "stagger/" + std::to_string(c));
-    for (auto& node : cells_[c]->nodes) {
-      const double offset_s =
-          stagger.uniform(0.0, cells_[c]->config.stagger.to_seconds());
-      simulator_.schedule_in(sim::Duration::from_seconds(offset_s),
-                             [n = node.get()] { n->start(); });
-    }
+  for (auto& cell : cells_) {
+    NetworkBuilder::start_cell(context_, cell->built);
   }
 }
 
-void MultiBan::run_until(sim::TimePoint until) { simulator_.run_until(until); }
+void MultiBan::run_until(sim::TimePoint until) {
+  context_.simulator.run_until(until);
+}
 
 bool MultiBan::all_joined() const {
   for (const auto& cell : cells_) {
-    for (const auto& node : cell->nodes) {
-      if (!node->mac().joined()) return false;
-    }
+    if (!cell->built.all_joined()) return false;
   }
   return true;
 }
@@ -80,10 +56,10 @@ bool MultiBan::all_joined() const {
 bool MultiBan::run_until_joined(sim::Duration settle, sim::TimePoint deadline) {
   const sim::Duration poll = sim::Duration::milliseconds(50);
   while (!all_joined()) {
-    if (simulator_.now() >= deadline) return false;
-    simulator_.run_until(simulator_.now() + poll);
+    if (context_.simulator.now() >= deadline) return false;
+    context_.simulator.run_until(context_.simulator.now() + poll);
   }
-  simulator_.run_until(simulator_.now() + settle);
+  context_.simulator.run_until(context_.simulator.now() + settle);
   return true;
 }
 

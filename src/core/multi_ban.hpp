@@ -4,12 +4,18 @@
 // and data of one cell are overheard (and, without coordination, collided
 // with) by the other; the PAN filtering in the MAC keeps the cells
 // logically separate while the channel keeps them physically coupled.
+//
+// Each cell is assembled by core::NetworkBuilder from the cell's
+// BanConfig; the only MultiBan-specific wiring is the per-cell RNG stream
+// suffixing ("skew/cell0", "mac/cell0/…") that keeps co-located cells on
+// independent streams even when they share a seed.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/ban_network.hpp"
+#include "core/network_builder.hpp"
 
 namespace bansim::core {
 
@@ -25,34 +31,36 @@ class MultiBan {
   [[nodiscard]] bool all_joined() const;
   bool run_until_joined(sim::Duration settle, sim::TimePoint deadline);
 
-  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] sim::SimContext& context() { return context_; }
+  [[nodiscard]] sim::Simulator& simulator() { return context_.simulator; }
   [[nodiscard]] phy::Channel& channel() { return channel_; }
   [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
   [[nodiscard]] std::size_t num_nodes(std::size_t cell) const {
-    return cells_[cell]->nodes.size();
+    return cells_[cell]->built.nodes.size();
   }
   [[nodiscard]] SensorNode& node(std::size_t cell, std::size_t i) {
-    return *cells_[cell]->nodes[i];
+    return *cells_[cell]->built.nodes[i];
   }
   [[nodiscard]] mac::BaseStationMac& base_station_mac(std::size_t cell) {
-    return *cells_[cell]->bs_mac;
+    return cells_[cell]->built.bs->tdma_mac();
   }
   [[nodiscard]] apps::BaseStationApp& base_station_app(std::size_t cell) {
-    return cells_[cell]->bs_app;
+    return cells_[cell]->built.bs->app();
+  }
+
+  /// Per-node component energy snapshot of one cell (nodes, then bs).
+  [[nodiscard]] std::vector<energy::NodeEnergy> energy_snapshot(
+      std::size_t cell) const {
+    return cells_[cell]->built.energy_snapshot(context_.simulator.now());
   }
 
  private:
   struct Cell {
     BanConfig config;
-    std::unique_ptr<hw::Board> bs_board;
-    std::unique_ptr<os::NodeOs> bs_os;
-    std::unique_ptr<mac::BaseStationMac> bs_mac;
-    apps::BaseStationApp bs_app;
-    std::vector<std::unique_ptr<SensorNode>> nodes;
+    BuiltCell built;
   };
 
-  sim::Simulator simulator_;
-  sim::Tracer tracer_;
+  sim::SimContext context_;
   phy::Channel channel_;
   os::NullProbe probe_;
   os::CycleCostModel nominal_costs_;

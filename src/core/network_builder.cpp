@@ -1,0 +1,121 @@
+#include "core/network_builder.hpp"
+
+#include <utility>
+
+#include "sim/rng.hpp"
+
+namespace bansim::core {
+
+bool BuiltCell::all_joined() const {
+  for (const auto& node : nodes) {
+    if (!node->joined()) return false;
+  }
+  return true;
+}
+
+std::vector<energy::NodeEnergy> BuiltCell::energy_snapshot(
+    sim::TimePoint now) const {
+  std::vector<energy::NodeEnergy> out;
+  out.reserve(nodes.size() + 1);
+  for (const auto& node : nodes) out.push_back(node->energy(now));
+  out.push_back(bs->energy(now));
+  return out;
+}
+
+BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
+                                     phy::Channel& channel,
+                                     const CellPlan& plan,
+                                     os::ModelProbe& probe,
+                                     const os::CycleCostModel& nominal_costs) {
+  BuiltCell cell;
+  cell.seed = plan.seed;
+  cell.stagger_stream = plan.streams.stagger;
+  cell.stagger_window = plan.stagger;
+
+  // Per-component deterministic randomness: the same seed reproduces the
+  // same network, and the skew/signal/mac streams are independent, so a
+  // model-fidelity run (which zeroes tolerance) sees identical signal and
+  // MAC draws.
+  sim::Rng skew_rng = sim::Rng::stream(plan.seed, plan.streams.skew);
+
+  const hw::BoardParams bs_board = apply_fidelity(plan.board, plan.fidelity);
+  const double bs_tol = bs_board.mcu.clock_tolerance;
+  const os::CycleCostModel* bs_nominal =
+      plan.fidelity == Fidelity::kModel ? &nominal_costs : nullptr;
+  const double bs_skew = skew_rng.uniform(-bs_tol, bs_tol);
+  cell.bs = std::make_unique<BaseStationStack>(
+      context, channel, plan.bs_name, bs_board, bs_skew, plan.mac, plan.tdma,
+      plan.aloha, probe, bs_nominal);
+
+  cell.nodes.reserve(plan.roster.size());
+  cell.boot_offsets.reserve(plan.roster.size());
+  for (std::size_t i = 0; i < plan.roster.size(); ++i) {
+    const NodeSpec& spec = plan.roster[i];
+
+    NodeStackInit init;
+    init.mac = plan.mac;
+    init.app = spec.app.value_or(plan.app);
+    init.tdma = plan.tdma;
+    init.aloha = plan.aloha;
+    init.streaming = spec.streaming.value_or(plan.streaming);
+    init.rpeak = spec.rpeak.value_or(plan.rpeak);
+    init.ecg = spec.ecg.value_or(plan.ecg);
+    init.eeg = spec.eeg.value_or(plan.eeg);
+    init.eeg_signal = spec.eeg_signal.value_or(plan.eeg_signal);
+
+    const Fidelity fidelity = spec.fidelity.value_or(plan.fidelity);
+    init.board =
+        apply_fidelity(spec.board.value_or(plan.board), fidelity);
+
+    // Always consume the skew stream, even when the spec pins the value:
+    // the draw positions of the remaining nodes must not shift.
+    const double tol = init.board.mcu.clock_tolerance;
+    const double drawn_skew = skew_rng.uniform(-tol, tol);
+    init.clock_skew = spec.clock_skew.value_or(drawn_skew);
+
+    init.address =
+        spec.address != 0
+            ? spec.address
+            : static_cast<net::NodeId>(plan.address_offset + i + 1);
+    init.name = "node" + std::to_string(init.address);
+    init.eeg_seed = plan.seed ^ sim::fnv1a64("eeg/" + init.name);
+
+    const std::string stream_key = plan.streams.key_streams_by_name
+                                       ? init.name
+                                       : std::to_string(init.address);
+    sim::Rng mac_rng =
+        sim::Rng::stream(plan.seed, plan.streams.mac_prefix + stream_key);
+    sim::Rng signal_rng =
+        sim::Rng::stream(plan.seed, plan.streams.signal_prefix + stream_key);
+
+    const os::CycleCostModel* nominal =
+        fidelity == Fidelity::kModel ? &nominal_costs : nullptr;
+    cell.nodes.push_back(std::make_unique<NodeStack>(
+        context, channel, init, mac_rng, signal_rng, probe, nominal));
+    cell.boot_offsets.push_back(spec.boot_offset);
+  }
+  return cell;
+}
+
+void NetworkBuilder::start_cell(sim::SimContext& context, BuiltCell& cell,
+                                NodeStarter starter) {
+  cell.bs->start();
+  sim::Rng stagger_rng = sim::Rng::stream(cell.seed, cell.stagger_stream);
+  for (std::size_t i = 0; i < cell.nodes.size(); ++i) {
+    // As with skew: draw for every node so pinned offsets don't shift the
+    // draws of later nodes.
+    const double drawn_s =
+        stagger_rng.uniform(0.0, cell.stagger_window.to_seconds());
+    const sim::Duration offset = cell.boot_offsets[i].value_or(
+        sim::Duration::from_seconds(drawn_s));
+    NodeStack* stack = cell.nodes[i].get();
+    if (starter) {
+      context.simulator.schedule_in(
+          offset, [starter, i, stack] { starter(i, *stack); });
+    } else {
+      context.simulator.schedule_in(offset, [stack] { stack->start(); });
+    }
+  }
+}
+
+}  // namespace bansim::core

@@ -1,0 +1,136 @@
+#include "core/node_stack.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace bansim::core {
+
+NodeStack::NodeStack(sim::SimContext& context, phy::Channel& channel,
+                     const NodeStackInit& init, sim::Rng mac_rng,
+                     sim::Rng signal_rng, os::ModelProbe& probe,
+                     const os::CycleCostModel* nominal_costs)
+    : address_{init.address},
+      app_kind_{init.app},
+      mac_kind_{init.mac},
+      ecg_{init.ecg, signal_rng},
+      eeg_{init.eeg_signal, init.eeg_seed},
+      board_{context, channel, init.name, init.board, init.clock_skew},
+      os_{context, board_, probe, nominal_costs} {
+  if (mac_kind_ == MacKind::kTdma) {
+    tdma_mac_ = std::make_unique<mac::NodeMac>(context, os_, init.tdma,
+                                               address_, mac_rng);
+  } else {
+    aloha_mac_ = std::make_unique<mac::AlohaNodeMac>(context, os_, init.aloha,
+                                                     address_, mac_rng);
+  }
+
+  // The biopotential front-end feeds the ECG waveform into channels 0 and 1
+  // (the "2-channel ECG" of Section 5.1); channel 1 sees the same cardiac
+  // source through a second electrode pair, at reduced amplitude.
+  board_.asic().set_channel_signal(
+      0, [this](sim::TimePoint t) { return ecg_.sample(t); });
+  board_.asic().set_channel_signal(1, [this](sim::TimePoint t) {
+    const double baseline = ecg_.config().baseline_volts;
+    return baseline + 0.8 * (ecg_.sample(t) - baseline);
+  });
+
+  if (tdma_mac_) {
+    switch (app_kind_) {
+      case AppKind::kEcgStreaming:
+        streaming_ = std::make_unique<apps::EcgStreamingApp>(
+            context.simulator, os_, *tdma_mac_, init.streaming);
+        break;
+      case AppKind::kRpeak:
+        rpeak_ = std::make_unique<apps::RpeakApp>(context.simulator, os_,
+                                                  *tdma_mac_, init.rpeak);
+        break;
+      case AppKind::kEegMonitoring:
+        eeg_app_ = std::make_unique<apps::EegApp>(context.simulator, os_,
+                                                  *tdma_mac_, init.eeg, eeg_);
+        break;
+      case AppKind::kNone:
+        break;
+    }
+  }
+}
+
+void NodeStack::start() {
+  if (tdma_mac_) tdma_mac_->start();
+  if (aloha_mac_) aloha_mac_->start();
+  if (streaming_) streaming_->start();
+  if (rpeak_) rpeak_->start();
+  if (eeg_app_) eeg_app_->start();
+}
+
+mac::NodeMac& NodeStack::mac() {
+  assert(tdma_mac_ && "stack runs the ALOHA MAC");
+  return *tdma_mac_;
+}
+
+mac::AlohaNodeMac& NodeStack::aloha_mac() {
+  assert(aloha_mac_ && "stack runs the TDMA MAC");
+  return *aloha_mac_;
+}
+
+bool NodeStack::joined() const {
+  return tdma_mac_ ? tdma_mac_->joined() : true;
+}
+
+energy::NodeEnergy NodeStack::energy(sim::TimePoint now) const {
+  energy::NodeEnergy out;
+  out.node = board_.name();
+  out.components = board_.breakdown(now);
+  return out;
+}
+
+BaseStationStack::BaseStationStack(sim::SimContext& context,
+                                   phy::Channel& channel,
+                                   const std::string& name,
+                                   const hw::BoardParams& board,
+                                   double clock_skew, MacKind mac,
+                                   const mac::TdmaConfig& tdma,
+                                   const mac::AlohaConfig& aloha,
+                                   os::ModelProbe& probe,
+                                   const os::CycleCostModel* nominal_costs)
+    : mac_kind_{mac},
+      board_{context, channel, name, board, clock_skew},
+      os_{context, board_, probe, nominal_costs} {
+  if (mac_kind_ == MacKind::kTdma) {
+    tdma_mac_ = std::make_unique<mac::BaseStationMac>(context, os_, tdma);
+  } else {
+    aloha_mac_ = std::make_unique<mac::AlohaBaseStation>(context, os_, aloha);
+  }
+}
+
+void BaseStationStack::start() {
+  if (tdma_mac_) tdma_mac_->start();
+  if (aloha_mac_) aloha_mac_->start();
+}
+
+mac::BaseStationMac& BaseStationStack::tdma_mac() {
+  assert(tdma_mac_ && "base station runs the ALOHA MAC");
+  return *tdma_mac_;
+}
+
+mac::AlohaBaseStation& BaseStationStack::aloha_mac() {
+  assert(aloha_mac_ && "base station runs the TDMA MAC");
+  return *aloha_mac_;
+}
+
+void BaseStationStack::set_data_handler(
+    mac::BaseStationMac::DataHandler handler) {
+  if (tdma_mac_) {
+    tdma_mac_->set_data_handler(std::move(handler));
+  } else {
+    aloha_mac_->set_data_handler(std::move(handler));
+  }
+}
+
+energy::NodeEnergy BaseStationStack::energy(sim::TimePoint now) const {
+  energy::NodeEnergy out;
+  out.node = board_.name();
+  out.components = board_.breakdown(now);
+  return out;
+}
+
+}  // namespace bansim::core

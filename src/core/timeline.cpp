@@ -34,7 +34,7 @@ std::string render_timeline(const std::vector<sim::TraceRecord>& records,
     const sim::Duration offset = record.when - options.start;
     if (offset >= options.window) continue;
     const auto bin = static_cast<std::size_t>(offset.divided_by(options.bin));
-    auto [it, inserted] = rows.try_emplace(record.node, std::string(bins, '.'));
+    auto [it, inserted] = rows.try_emplace(record.node(), std::string(bins, '.'));
     if (bin < it->second.size()) it->second[bin] = symbol;
   }
 

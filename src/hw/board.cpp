@@ -2,15 +2,15 @@
 
 namespace bansim::hw {
 
-Board::Board(sim::Simulator& simulator, sim::Tracer& tracer,
-             phy::Channel& channel, std::string node_name,
-             const BoardParams& params, double clock_skew)
+Board::Board(sim::SimContext& context, phy::Channel& channel,
+             std::string node_name, const BoardParams& params,
+             double clock_skew)
     : name_{std::move(node_name)},
-      mcu_{simulator, tracer, name_, params.mcu, clock_skew},
-      radio_{simulator, tracer, channel, name_, params.radio, params.phy},
-      adc_{simulator, params.adc},
-      asic_{simulator, params.asic},
-      timer_{simulator, mcu_} {
+      mcu_{context, name_, params.mcu, clock_skew},
+      radio_{context, channel, name_, params.radio, params.phy},
+      adc_{context.simulator, params.adc},
+      asic_{context.simulator, params.asic},
+      timer_{context.simulator, mcu_} {
   // The ADC samples whatever the ASIC front-end presents.
   adc_.set_input([this](std::uint32_t adc_channel) {
     return asic_.read_channel(adc_channel);

@@ -15,6 +15,7 @@
 #include "hw/sensor_asic.hpp"
 #include "hw/timer_unit.hpp"
 #include "phy/channel.hpp"
+#include "sim/context.hpp"
 
 namespace bansim::hw {
 
@@ -30,7 +31,7 @@ struct BoardParams {
 class Board {
  public:
   /// `clock_skew` is this node's DCO frequency error (e.g. +1.3e-4).
-  Board(sim::Simulator& simulator, sim::Tracer& tracer, phy::Channel& channel,
+  Board(sim::SimContext& context, phy::Channel& channel,
         std::string node_name, const BoardParams& params, double clock_skew);
 
   [[nodiscard]] const std::string& name() const { return name_; }

@@ -25,9 +25,10 @@ std::vector<energy::PowerState> mcu_states(const McuParams& p) {
 
 }  // namespace
 
-Mcu::Mcu(sim::Simulator& simulator, sim::Tracer& tracer, std::string node_name,
+Mcu::Mcu(sim::SimContext& context, std::string node_name,
          const McuParams& params, double clock_skew)
-    : simulator_{simulator}, tracer_{tracer}, node_{std::move(node_name)},
+    : simulator_{context.simulator}, tracer_{context.tracer},
+      node_{std::move(node_name)}, trace_node_{tracer_.intern(node_)},
       params_{params}, clock_skew_{clock_skew},
       meter_{"mcu", params.supply_volts, mcu_states(params)} {}
 
@@ -48,8 +49,10 @@ sim::Duration Mcu::enter(McuMode mode) {
   if (mode == mode_) return sim::Duration::zero();
   const bool waking = mode == McuMode::kActive;
   meter_.transition(static_cast<int>(mode), simulator_.now());
-  tracer_.emit(simulator_.now(), sim::TraceCategory::kMcu, node_,
-               std::string("mcu -> ") + to_string(mode));
+  if (tracer_.enabled(sim::TraceCategory::kMcu)) {
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kMcu, trace_node_,
+                 std::string("mcu -> ") + to_string(mode));
+  }
   mode_ = mode;
   if (waking) {
     ++wakeups_;

@@ -14,6 +14,7 @@
 
 #include "energy/energy_meter.hpp"
 #include "hw/params.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -32,8 +33,8 @@ enum class McuMode : int {
 
 class Mcu {
  public:
-  Mcu(sim::Simulator& simulator, sim::Tracer& tracer, std::string node_name,
-      const McuParams& params, double clock_skew);
+  Mcu(sim::SimContext& context, std::string node_name, const McuParams& params,
+      double clock_skew);
 
   /// Converts a nominal cycle count into wall time on *this* device's
   /// (skewed) clock.
@@ -71,6 +72,7 @@ class Mcu {
   sim::Simulator& simulator_;
   sim::Tracer& tracer_;
   std::string node_;
+  sim::TraceNodeId trace_node_;
   McuParams params_;
   double clock_skew_;
   McuMode mode_{McuMode::kActive};

@@ -38,12 +38,13 @@ std::vector<energy::PowerState> radio_states(const RadioParams& p) {
 
 }  // namespace
 
-RadioNrf2401::RadioNrf2401(sim::Simulator& simulator, sim::Tracer& tracer,
-                           phy::Channel& channel, std::string node_name,
-                           const RadioParams& params,
+RadioNrf2401::RadioNrf2401(sim::SimContext& context, phy::Channel& channel,
+                           std::string node_name, const RadioParams& params,
                            const phy::PhyConfig& phy_config)
-    : simulator_{simulator}, tracer_{tracer}, channel_{channel},
-      node_{std::move(node_name)}, params_{params}, phy_config_{phy_config},
+    : simulator_{context.simulator}, tracer_{context.tracer},
+      channel_{channel}, node_{std::move(node_name)},
+      trace_node_{tracer_.intern(node_)}, params_{params},
+      phy_config_{phy_config},
       meter_{"radio", params.supply_volts, radio_states(params)} {
   channel_id_ = channel_.attach(*this);
 }
@@ -56,9 +57,11 @@ sim::Duration RadioNrf2401::spi_time(std::size_t bytes) const {
 void RadioNrf2401::enter(RadioState next) {
   if (next == state_) return;
   meter_.transition(static_cast<int>(next), simulator_.now());
-  tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, node_,
-               std::string("radio ") + to_string(state_) + " -> " +
-                   to_string(next));
+  if (tracer_.enabled(sim::TraceCategory::kRadio)) {
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
+                 std::string("radio ") + to_string(state_) + " -> " +
+                     to_string(next));
+  }
   state_ = next;
 }
 
@@ -139,7 +142,7 @@ void RadioNrf2401::on_frame_end(const phy::AirFrame& frame, bool corrupted) {
     // Collision garbled the frame: the hardware CRC engine rejects it and
     // the MCU never learns it existed.
     ++stats_.rx_crc_dropped;
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, node_,
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
                  "frame dropped by hardware CRC");
     return;
   }
@@ -153,7 +156,7 @@ void RadioNrf2401::on_frame_end(const phy::AirFrame& frame, bool corrupted) {
     // Overheard: RX energy was spent, but the hardware address filter stops
     // the frame here (Section 4.2, "Overhearing").
     ++stats_.rx_addr_filtered;
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, node_,
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
                  "frame filtered by hardware address check (overheard)");
     return;
   }

@@ -26,6 +26,7 @@
 #include "net/packet.hpp"
 #include "phy/air_frame.hpp"
 #include "phy/channel.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -68,9 +69,9 @@ class RadioNrf2401 final : public phy::MediumListener {
     std::function<void(std::size_t frame_bytes)> on_clockout_start;
   };
 
-  RadioNrf2401(sim::Simulator& simulator, sim::Tracer& tracer,
-               phy::Channel& channel, std::string node_name,
-               const RadioParams& params, const phy::PhyConfig& phy_config);
+  RadioNrf2401(sim::SimContext& context, phy::Channel& channel,
+               std::string node_name, const RadioParams& params,
+               const phy::PhyConfig& phy_config);
 
   void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
   void set_local_address(net::NodeId address) { address_ = address; }
@@ -109,6 +110,7 @@ class RadioNrf2401 final : public phy::MediumListener {
   sim::Tracer& tracer_;
   phy::Channel& channel_;
   std::string node_;
+  sim::TraceNodeId trace_node_;
   RadioParams params_;
   phy::PhyConfig phy_config_;
   Callbacks callbacks_;

@@ -2,11 +2,11 @@
 
 namespace bansim::mac {
 
-AlohaNodeMac::AlohaNodeMac(sim::Simulator& simulator, sim::Tracer& tracer,
-                           os::NodeOs& node_os, const AlohaConfig& config,
-                           net::NodeId self, sim::Rng rng)
-    : simulator_{simulator}, tracer_{tracer}, os_{node_os}, config_{config},
-      self_{self}, rng_{rng} {
+AlohaNodeMac::AlohaNodeMac(sim::SimContext& context, os::NodeOs& node_os,
+                           const AlohaConfig& config, net::NodeId self,
+                           sim::Rng rng)
+    : simulator_{context.simulator}, tracer_{context.tracer}, os_{node_os},
+      config_{config}, self_{self}, rng_{rng} {
   os_.radio().radio().set_local_address(self_);
   os_.radio().set_receive_handler(
       [this](const net::Packet& p) { on_packet(p); });
@@ -114,10 +114,11 @@ void AlohaNodeMac::on_ack_timeout() {
       [this] { attempt(); });
 }
 
-AlohaBaseStation::AlohaBaseStation(sim::Simulator& simulator,
-                                   sim::Tracer& tracer, os::NodeOs& node_os,
+AlohaBaseStation::AlohaBaseStation(sim::SimContext& context,
+                                   os::NodeOs& node_os,
                                    const AlohaConfig& config)
-    : simulator_{simulator}, tracer_{tracer}, os_{node_os}, config_{config} {
+    : simulator_{context.simulator}, tracer_{context.tracer}, os_{node_os},
+      config_{config} {
   os_.radio().radio().set_local_address(net::kBaseStationId);
   os_.radio().set_receive_handler(
       [this](const net::Packet& p) { on_packet(p); });

@@ -22,6 +22,7 @@
 #include "mac/tdma_config.hpp"
 #include "net/packet.hpp"
 #include "os/node_os.hpp"
+#include "sim/context.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -50,9 +51,8 @@ struct AlohaNodeStats {
 /// Sensor-node side.
 class AlohaNodeMac {
  public:
-  AlohaNodeMac(sim::Simulator& simulator, sim::Tracer& tracer,
-               os::NodeOs& node_os, const AlohaConfig& config,
-               net::NodeId self, sim::Rng rng);
+  AlohaNodeMac(sim::SimContext& context, os::NodeOs& node_os,
+               const AlohaConfig& config, net::NodeId self, sim::Rng rng);
 
   void start();
   void queue_payload(std::vector<std::uint8_t> payload);
@@ -90,8 +90,8 @@ class AlohaBaseStation {
   using DataHandler = std::function<void(
       net::NodeId, std::span<const std::uint8_t>, sim::TimePoint)>;
 
-  AlohaBaseStation(sim::Simulator& simulator, sim::Tracer& tracer,
-                   os::NodeOs& node_os, const AlohaConfig& config);
+  AlohaBaseStation(sim::SimContext& context, os::NodeOs& node_os,
+                   const AlohaConfig& config);
 
   void set_data_handler(DataHandler handler) { handler_ = std::move(handler); }
   void start();

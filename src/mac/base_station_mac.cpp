@@ -5,9 +5,11 @@
 
 namespace bansim::mac {
 
-BaseStationMac::BaseStationMac(sim::Simulator& simulator, sim::Tracer& tracer,
-                               os::NodeOs& node_os, const TdmaConfig& config)
-    : simulator_{simulator}, tracer_{tracer}, os_{node_os}, config_{config} {
+BaseStationMac::BaseStationMac(sim::SimContext& context, os::NodeOs& node_os,
+                               const TdmaConfig& config)
+    : simulator_{context.simulator}, tracer_{context.tracer},
+      trace_node_{tracer_.intern(node_os.node_name())}, os_{node_os},
+      config_{config} {
   if (config_.variant == TdmaVariant::kStatic) {
     slot_owners_.assign(config_.max_slots, kFreeSlot);
     silent_cycles_.assign(config_.max_slots, 0);
@@ -66,8 +68,7 @@ void BaseStationMac::begin_cycle() {
 
   os_.scheduler().post("bs.emit_beacon", 380, [this] {
     net::Packet beacon = make_beacon();
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac,
-                 os_.node_name(),
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                  "SB beacon seq=" + std::to_string(beacon.header.seq) +
                      " slots=" + std::to_string(slot_owners_.size()) +
                      " cycle=" + current_cycle().to_string());
@@ -104,7 +105,7 @@ void BaseStationMac::reclaim_silent_slots() {
   for (std::size_t i = slot_owners_.size(); i-- > 0;) {
     if (slot_owners_[i] == kFreeSlot) continue;
     if (++silent_cycles_[i] <= config_.reclaim_after_cycles) continue;
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                  "reclaim slot " + std::to_string(i) + " from node " +
                      std::to_string(slot_owners_[i]));
     ++stats_.slots_reclaimed;
@@ -186,8 +187,7 @@ void BaseStationMac::handle_slot_request(const net::Packet& packet) {
       slot_owners_[wanted] = requester;
       silent_cycles_[wanted] = 0;
       ++stats_.slots_granted;
-      tracer_.emit(simulator_.now(), sim::TraceCategory::kMac,
-                   os_.node_name(),
+      tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                    "grant slot " + std::to_string(wanted) + " to node " +
                        std::to_string(requester));
       send_grant(wanted);
@@ -204,7 +204,7 @@ void BaseStationMac::handle_slot_request(const net::Packet& packet) {
     slot_owners_.push_back(requester);
     silent_cycles_.push_back(0);
     ++stats_.slots_granted;
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                  "new slot " + std::to_string(slot_owners_.size() - 1) +
                      " for node " + std::to_string(requester) + ", cycle -> " +
                      current_cycle().to_string());

@@ -19,6 +19,7 @@
 #include "mac/tdma_config.hpp"
 #include "net/packet.hpp"
 #include "os/node_os.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -42,8 +43,8 @@ class BaseStationMac {
   using DataHandler = std::function<void(
       net::NodeId, std::span<const std::uint8_t>, sim::TimePoint)>;
 
-  BaseStationMac(sim::Simulator& simulator, sim::Tracer& tracer,
-                 os::NodeOs& node_os, const TdmaConfig& config);
+  BaseStationMac(sim::SimContext& context, os::NodeOs& node_os,
+                 const TdmaConfig& config);
 
   void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
 
@@ -76,6 +77,7 @@ class BaseStationMac {
 
   sim::Simulator& simulator_;
   sim::Tracer& tracer_;
+  sim::TraceNodeId trace_node_;
   os::NodeOs& os_;
   TdmaConfig config_;
   DataHandler data_handler_;

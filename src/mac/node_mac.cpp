@@ -17,11 +17,11 @@ const char* to_string(NodeMacState s) {
   return "?";
 }
 
-NodeMac::NodeMac(sim::Simulator& simulator, sim::Tracer& tracer,
-                 os::NodeOs& node_os, const TdmaConfig& config,
-                 net::NodeId self, sim::Rng rng)
-    : simulator_{simulator}, tracer_{tracer}, os_{node_os}, config_{config},
-      self_{self}, rng_{rng},
+NodeMac::NodeMac(sim::SimContext& context, os::NodeOs& node_os,
+                 const TdmaConfig& config, net::NodeId self, sim::Rng rng)
+    : simulator_{context.simulator}, tracer_{context.tracer},
+      trace_node_{tracer_.intern(node_os.node_name())}, os_{node_os},
+      config_{config}, self_{self}, rng_{rng},
       bs_address_{TdmaConfig::bs_address(config.pan_id)} {
   assert(self_ != bs_address_ && self_ != net::kBroadcastId &&
          self_ != kFreeSlot);
@@ -44,7 +44,7 @@ void NodeMac::enter_search() {
     timeout_timer_ = os::TimerService::kInvalidTimer;
   }
   if (!os_.radio().listening()) os_.radio().start_listen();
-  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                "searching for beacon");
 }
 
@@ -124,7 +124,7 @@ void NodeMac::process_beacon(const net::Packet& packet,
                                 ? NodeMacState::kSearching
                                 : state_);
   if (state_ != before) {
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                  std::string("state ") + to_string(before) + " -> " +
                      to_string(state_));
   }
@@ -245,8 +245,7 @@ void NodeMac::send_slot_request(sim::TimePoint cycle_start) {
       req.header.seq = data_seq_++;
       req.payload = {wanted};
       ++stats_.slot_requests_sent;
-      tracer_.emit(simulator_.now(), sim::TraceCategory::kMac,
-                   os_.node_name(),
+      tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                    "SSR (slot " + std::to_string(wanted) + ")");
       os_.radio().send(req, [this] {
         if (!config_.fast_grant) return;
@@ -278,7 +277,7 @@ void NodeMac::process_grant(const net::Packet& packet) {
 
   my_slot_ = grant->slot_index;
   state_ = NodeMacState::kJoined;
-  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                "fast grant: slot " + std::to_string(my_slot_));
 
   // In the static variant the granted slot may still lie ahead inside the
@@ -345,8 +344,7 @@ void NodeMac::transmit_queued() {
         data.payload = payload;
         ++stats_.data_sent;
         if (config_.ack_data && retries_ > 0) ++stats_.retransmissions;
-        tracer_.emit(simulator_.now(), sim::TraceCategory::kMac,
-                     os_.node_name(),
+        tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                      "Si data tx slot=" + std::to_string(my_slot_) + " len=" +
                          std::to_string(data.payload.size()));
         os_.radio().send(data, [this] {
@@ -397,7 +395,7 @@ void NodeMac::on_beacon_timeout() {
   // Dead reckoning: assume the beacon fired exactly on schedule and plan
   // the cycle from the expectation.
   last_cycle_start_ = last_cycle_start_ + cycle_;
-  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, os_.node_name(),
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                "beacon missed (" + std::to_string(missed_) +
                    "), dead reckoning");
   schedule_cycle(last_cycle_start_);

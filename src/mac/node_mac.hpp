@@ -24,6 +24,7 @@
 #include "mac/tdma_config.hpp"
 #include "net/packet.hpp"
 #include "os/node_os.hpp"
+#include "sim/context.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -55,7 +56,7 @@ struct NodeMacStats {
 
 class NodeMac {
  public:
-  NodeMac(sim::Simulator& simulator, sim::Tracer& tracer, os::NodeOs& node_os,
+  NodeMac(sim::SimContext& context, os::NodeOs& node_os,
           const TdmaConfig& config, net::NodeId self, sim::Rng rng);
 
   /// Powers the radio and begins searching for the network.
@@ -102,6 +103,7 @@ class NodeMac {
 
   sim::Simulator& simulator_;
   sim::Tracer& tracer_;
+  sim::TraceNodeId trace_node_;
   os::NodeOs& os_;
   TdmaConfig config_;
   net::NodeId self_;

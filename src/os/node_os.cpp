@@ -2,14 +2,15 @@
 
 namespace bansim::os {
 
-NodeOs::NodeOs(sim::Simulator& simulator, sim::Tracer& tracer,
-               hw::Board& board, ModelProbe& probe,
+NodeOs::NodeOs(sim::SimContext& context, hw::Board& board, ModelProbe& probe,
                const CycleCostModel* nominal_costs)
     : board_{board},
       power_{},
-      scheduler_{simulator, tracer, board.mcu(), power_, board.name(), probe,
+      scheduler_{context, board.mcu(), power_, board.name(), probe,
                  nominal_costs},
-      timers_{simulator, board.mcu(), board.timer(), scheduler_, power_},
-      radio_driver_{simulator, board.radio(), scheduler_, probe, board.name()} {}
+      timers_{context.simulator, board.mcu(), board.timer(), scheduler_,
+              power_},
+      radio_driver_{context.simulator, board.radio(), scheduler_, probe,
+                    board.name()} {}
 
 }  // namespace bansim::os

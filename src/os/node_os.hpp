@@ -13,6 +13,7 @@
 #include "os/radio_driver.hpp"
 #include "os/task_scheduler.hpp"
 #include "os/timer_service.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -22,8 +23,8 @@ class NodeOs {
  public:
   /// `nominal_costs` non-null selects estimation-model task accounting
   /// (see TaskScheduler); null is the reference platform.
-  NodeOs(sim::Simulator& simulator, sim::Tracer& tracer, hw::Board& board,
-         ModelProbe& probe, const CycleCostModel* nominal_costs = nullptr);
+  NodeOs(sim::SimContext& context, hw::Board& board, ModelProbe& probe,
+         const CycleCostModel* nominal_costs = nullptr);
 
   [[nodiscard]] hw::Board& board() { return board_; }
   [[nodiscard]] TaskScheduler& scheduler() { return scheduler_; }

@@ -2,12 +2,13 @@
 
 namespace bansim::os {
 
-TaskScheduler::TaskScheduler(sim::Simulator& simulator, sim::Tracer& tracer,
-                             hw::Mcu& mcu, PowerManager& power,
-                             std::string node_name, ModelProbe& probe,
+TaskScheduler::TaskScheduler(sim::SimContext& context, hw::Mcu& mcu,
+                             PowerManager& power, std::string node_name,
+                             ModelProbe& probe,
                              const CycleCostModel* nominal_costs)
-    : simulator_{simulator}, tracer_{tracer}, mcu_{mcu}, power_{power},
-      node_{std::move(node_name)}, probe_{probe},
+    : simulator_{context.simulator}, tracer_{context.tracer}, mcu_{mcu},
+      power_{power}, node_{std::move(node_name)},
+      trace_node_{tracer_.intern(node_)}, probe_{probe},
       nominal_costs_{nominal_costs} {}
 
 void TaskScheduler::post(std::string name, std::uint64_t cycles,
@@ -58,9 +59,11 @@ void TaskScheduler::dispatch_next() {
   }
 
   probe_.on_task(node_, entry.name, simulator_.now());
-  tracer_.emit(simulator_.now(), sim::TraceCategory::kOs, node_,
-               (entry.is_interrupt ? "isr " : "task ") + entry.name + " (" +
-                   std::to_string(cycles) + " cyc)");
+  if (tracer_.enabled(sim::TraceCategory::kOs)) {
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kOs, trace_node_,
+                 (entry.is_interrupt ? "isr " : "task ") + entry.name + " (" +
+                     std::to_string(cycles) + " cyc)");
+  }
 
   const sim::Duration busy = latency + mcu_.cycles_to_time(cycles);
   simulator_.schedule_in(busy, [this, body = std::move(entry.body)] {

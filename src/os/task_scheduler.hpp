@@ -23,6 +23,7 @@
 #include "os/cycle_cost_model.hpp"
 #include "os/power_manager.hpp"
 #include "os/probe.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -34,8 +35,8 @@ class TaskScheduler {
   /// when non-null, every task is charged the table's nominal cycles
   /// instead of the caller-supplied actual count (PowerTOSSIM-style
   /// basic-block accounting).  Pass nullptr for the reference platform.
-  TaskScheduler(sim::Simulator& simulator, sim::Tracer& tracer, hw::Mcu& mcu,
-                PowerManager& power, std::string node_name, ModelProbe& probe,
+  TaskScheduler(sim::SimContext& context, hw::Mcu& mcu, PowerManager& power,
+                std::string node_name, ModelProbe& probe,
                 const CycleCostModel* nominal_costs = nullptr);
 
   /// Posts a task.  `cycles` is the actual cost of this execution (may be
@@ -66,6 +67,7 @@ class TaskScheduler {
   hw::Mcu& mcu_;
   PowerManager& power_;
   std::string node_;
+  sim::TraceNodeId trace_node_;
   ModelProbe& probe_;
   const CycleCostModel* nominal_costs_;
   std::deque<Entry> queue_;

@@ -5,8 +5,8 @@
 
 namespace bansim::phy {
 
-Channel::Channel(sim::Simulator& simulator, sim::Tracer& tracer)
-    : simulator_{simulator}, tracer_{tracer} {}
+Channel::Channel(sim::SimContext& context)
+    : simulator_{context.simulator}, tracer_{context.tracer} {}
 
 std::uint32_t Channel::attach(MediumListener& listener) {
   listeners_.push_back(&listener);
@@ -44,9 +44,11 @@ void Channel::detect_collisions() {
         if (!fa.corrupted || !fb.corrupted) ++collisions_;
         fa.corrupted = true;
         fb.corrupted = true;
-        tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel, "",
-                     "collision between tx" + std::to_string(fa.tx_id) +
-                         " and tx" + std::to_string(fb.tx_id));
+        if (tracer_.enabled(sim::TraceCategory::kChannel)) {
+          tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel, "",
+                       "collision between tx" + std::to_string(fa.tx_id) +
+                           " and tx" + std::to_string(fb.tx_id));
+        }
       }
     }
   }
@@ -66,10 +68,12 @@ void Channel::transmit(std::uint32_t tx_id, std::vector<std::uint8_t> bytes,
   in_flight_.push_back(frame);
   detect_collisions();
 
-  tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel, "",
-               "frame on air from tx" + std::to_string(tx_id) + " (" +
-                   std::to_string(frame.bytes.size()) + " B, " +
-                   duration.to_string() + ")");
+  if (tracer_.enabled(sim::TraceCategory::kChannel)) {
+    tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel, "",
+                 "frame on air from tx" + std::to_string(tx_id) + " (" +
+                     std::to_string(frame.bytes.size()) + " B, " +
+                     duration.to_string() + ")");
+  }
 
   // Frame-start notification after propagation.
   simulator_.schedule_in(propagation_, [this, key] {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "phy/air_frame.hpp"
+#include "sim/context.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -39,7 +40,7 @@ class MediumListener {
 
 class Channel {
  public:
-  Channel(sim::Simulator& simulator, sim::Tracer& tracer);
+  explicit Channel(sim::SimContext& context);
 
   /// Registers a listener; the returned id names it in the link matrix and
   /// as AirFrame::tx_id.

@@ -19,10 +19,20 @@ const char* to_string(TraceCategory c) {
   return "?";
 }
 
+const std::string& TraceRecord::node() const {
+  static const std::string empty;
+  return node_name != nullptr ? *node_name : empty;
+}
+
 void StdoutSink::consume(const TraceRecord& record) {
   std::printf("%12.6f ms [%-7s] %-8s %s\n", record.when.to_milliseconds(),
-              to_string(record.category), record.node.c_str(),
+              to_string(record.category), record.node().c_str(),
               record.message.c_str());
+}
+
+Tracer::Tracer() {
+  enabled_.fill(false);
+  intern("");  // id 0: the anonymous/global node
 }
 
 void Tracer::attach(std::shared_ptr<TraceSink> sink,
@@ -31,11 +41,27 @@ void Tracer::attach(std::shared_ptr<TraceSink> sink,
   for (TraceCategory c : categories) set_enabled(c, true);
 }
 
-void Tracer::emit(TimePoint when, TraceCategory category, std::string node,
+TraceNodeId Tracer::intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<TraceNodeId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view{names_.back()}, id);
+  return id;
+}
+
+void Tracer::emit(TimePoint when, TraceCategory category, TraceNodeId node,
                   std::string message) {
   if (!enabled(category)) return;
-  TraceRecord record{when, category, std::move(node), std::move(message)};
+  TraceRecord record{when, category, node, std::move(message),
+                     &names_[node]};
   for (auto& sink : sinks_) sink->consume(record);
+}
+
+void Tracer::emit(TimePoint when, TraceCategory category,
+                  std::string_view node, std::string message) {
+  if (!enabled(category)) return;
+  emit(when, category, intern(node), std::move(message));
 }
 
 }  // namespace bansim::sim

@@ -3,13 +3,18 @@
 // Models emit timestamped records into a Tracer; sinks decide what happens
 // to them (discarded, printed, retained in memory for tests and for the
 // TDMA-timeline figures).  Tracing is designed to be cheap when nobody
-// listens: a category check is one array load.
+// listens: a category check is one array load, and node names are interned
+// once at component construction so hot-path emission never allocates for
+// the node field.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -31,12 +36,23 @@ enum class TraceCategory : std::uint8_t {
 
 [[nodiscard]] const char* to_string(TraceCategory c);
 
-/// One trace record.
+/// Interned node-name handle.  Id 0 is always the anonymous/global node "".
+using TraceNodeId = std::uint32_t;
+
+/// One trace record.  The node name lives in the originating Tracer's
+/// intern table; records (and copies of them, e.g. in a MemorySink) remain
+/// valid as long as that Tracer does.
 struct TraceRecord {
   TimePoint when;
   TraceCategory category{TraceCategory::kKernel};
-  std::string node;     ///< emitting node id, empty for global events
+  TraceNodeId node_id{0};
   std::string message;  ///< human-readable payload
+
+  /// Emitting node name, empty for global events.
+  [[nodiscard]] const std::string& node() const;
+
+  // Set by Tracer::emit; points into the Tracer's intern table.
+  const std::string* node_name{nullptr};
 };
 
 /// Destination of trace records.
@@ -66,7 +82,7 @@ class StdoutSink final : public TraceSink {
 /// Category-filtered fan-out of trace records to registered sinks.
 class Tracer {
  public:
-  Tracer() { enabled_.fill(false); }
+  Tracer();
 
   /// Registers a sink and enables the categories it wants.
   void attach(std::shared_ptr<TraceSink> sink,
@@ -81,13 +97,34 @@ class Tracer {
     return enabled_[static_cast<std::size_t>(category)];
   }
 
-  /// Emits a record to all sinks if the category is enabled.
-  void emit(TimePoint when, TraceCategory category, std::string node,
+  /// Interns `name`, returning a stable handle; the same name always maps
+  /// to the same id.  Components intern their node name once at
+  /// construction and pass the handle to emit().
+  TraceNodeId intern(std::string_view name);
+
+  /// The name behind an interned handle.
+  [[nodiscard]] const std::string& node_name(TraceNodeId id) const {
+    return names_[id];
+  }
+
+  /// Emits a record to all sinks if the category is enabled.  The interned
+  /// overload is the hot path: no allocation for the node field.
+  void emit(TimePoint when, TraceCategory category, TraceNodeId node,
+            std::string message);
+
+  /// Convenience overload for call sites without a pre-interned handle
+  /// (tests, one-off emissions); interns on the fly.
+  void emit(TimePoint when, TraceCategory category, std::string_view node,
             std::string message);
 
  private:
   std::array<bool, static_cast<std::size_t>(TraceCategory::kCount)> enabled_{};
   std::vector<std::shared_ptr<TraceSink>> sinks_;
+  // Interned names.  std::deque keeps element addresses stable, so the
+  // string_view keys of index_ and the node_name pointers handed to records
+  // survive growth.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, TraceNodeId> index_;
 };
 
 }  // namespace bansim::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include <cmath>
 
 #include "hw/adc12.hpp"
@@ -91,10 +93,10 @@ TEST(SensorAsic, ConstantPowerEnergy) {
 }
 
 TEST(Board, ComposesComponentsAndWiresAdcToAsic) {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
-  phy::Channel channel{simulator, tracer};
-  Board board{simulator, tracer, channel, "node1", BoardParams{}, 0.0};
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  phy::Channel channel{context};
+  Board board{context, channel, "node1", BoardParams{}, 0.0};
   EXPECT_EQ(board.name(), "node1");
 
   board.asic().set_channel_signal(2, [](TimePoint) { return 1.5; });
@@ -105,10 +107,10 @@ TEST(Board, ComposesComponentsAndWiresAdcToAsic) {
 }
 
 TEST(Board, BreakdownHasAllComponents) {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
-  phy::Channel channel{simulator, tracer};
-  Board board{simulator, tracer, channel, "node1", BoardParams{}, 0.0};
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  phy::Channel channel{context};
+  Board board{context, channel, "node1", BoardParams{}, 0.0};
   simulator.schedule_in(1_s, [] {});
   simulator.run();
   const auto rows = board.breakdown(simulator.now());

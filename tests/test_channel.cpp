@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include <vector>
 
 #include "phy/air_frame.hpp"
@@ -32,9 +34,10 @@ class Spy final : public MediumListener {
 };
 
 struct ChannelFixture : ::testing::Test {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
-  Channel channel{simulator, tracer};
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  sim::Tracer& tracer = context.tracer;
+  Channel channel{context};
   Spy a, b, c;
   std::uint32_t ia{0}, ib{0}, ic{0};
 

@@ -121,6 +121,91 @@ TEST(ConfigIo, SerializeParseRoundTrip) {
                    original.link_budget.tx_power_dbm);
 }
 
+TEST(ConfigIo, EnumParsersNameTheOffendingToken) {
+  EXPECT_EQ(parse_app_kind("rpeak"), AppKind::kRpeak);
+  EXPECT_EQ(parse_tdma_variant("dynamic"), mac::TdmaVariant::kDynamic);
+  EXPECT_EQ(parse_fidelity("model"), Fidelity::kModel);
+  try {
+    (void)parse_app_kind("ecg_streamign");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string{e.what()}.find("ecg_streamign"), std::string::npos);
+  }
+  // The CLI historically coerced any non-"dynamic" token to static; the
+  // shared parser must reject typos instead.
+  EXPECT_THROW((void)parse_tdma_variant("statik"), ConfigError);
+  EXPECT_THROW((void)parse_fidelity("reel"), ConfigError);
+}
+
+TEST(ConfigIo, NodeSectionsFillTheRoster) {
+  const BanConfig cfg = parse_config(R"(
+    [network]
+    nodes = 4
+    app = ecg_streaming
+    [node.2]
+    app = rpeak
+    rpeak.sample_rate_hz = 250
+    boot_ms = 3
+    [node.3]
+    clock_skew = -1e-4
+    fidelity = model
+  )");
+  ASSERT_EQ(cfg.roster.size(), 4u);
+  EXPECT_EQ(cfg.effective_nodes(), 4u);
+  EXPECT_FALSE(cfg.roster[0].app.has_value());  // inherits the default
+  ASSERT_TRUE(cfg.roster[1].app.has_value());
+  EXPECT_EQ(*cfg.roster[1].app, AppKind::kRpeak);
+  ASSERT_TRUE(cfg.roster[1].rpeak.has_value());
+  EXPECT_DOUBLE_EQ(cfg.roster[1].rpeak->sample_rate_hz, 250.0);
+  ASSERT_TRUE(cfg.roster[1].boot_offset.has_value());
+  EXPECT_EQ(*cfg.roster[1].boot_offset, 3_ms);
+  ASSERT_TRUE(cfg.roster[2].clock_skew.has_value());
+  EXPECT_DOUBLE_EQ(*cfg.roster[2].clock_skew, -1e-4);
+  ASSERT_TRUE(cfg.roster[2].fidelity.has_value());
+  EXPECT_EQ(*cfg.roster[2].fidelity, Fidelity::kModel);
+}
+
+TEST(ConfigIo, RosterLengthFromLargestIndexWithoutExplicitNodes) {
+  const BanConfig cfg = parse_config("[node.3]\napp = rpeak\n");
+  EXPECT_EQ(cfg.roster.size(), 3u);
+  EXPECT_EQ(cfg.effective_nodes(), 3u);
+}
+
+TEST(ConfigIo, NodeIndexBeyondExplicitCountIsAnError) {
+  EXPECT_THROW(parse_config("[network]\nnodes = 2\n[node.5]\napp = rpeak\n"),
+               ConfigError);
+  EXPECT_THROW(parse_config("[node.0]\napp = rpeak\n"), ConfigError);
+  EXPECT_THROW(parse_config("[node.x]\napp = rpeak\n"), ConfigError);
+  EXPECT_THROW(parse_config("[node.1]\nbogus_key = 1\n"), ConfigError);
+}
+
+TEST(ConfigIo, RosterRoundTrip) {
+  BanConfig original;
+  original.num_nodes = 3;
+  original.seed = 7;
+  original.roster.resize(3);
+  original.roster[1].app = AppKind::kRpeak;
+  original.roster[1].rpeak = original.rpeak;
+  original.roster[1].rpeak->sample_rate_hz = 300.0;
+  original.roster[2].clock_skew = 2.5e-5;
+  original.roster[2].boot_offset = sim::Duration::milliseconds(7);
+  original.roster[2].fidelity = Fidelity::kModel;
+
+  const BanConfig back = parse_config(serialize_config(original));
+  ASSERT_EQ(back.roster.size(), 3u);
+  EXPECT_FALSE(back.roster[0].app.has_value());
+  ASSERT_TRUE(back.roster[1].app.has_value());
+  EXPECT_EQ(*back.roster[1].app, AppKind::kRpeak);
+  ASSERT_TRUE(back.roster[1].rpeak.has_value());
+  EXPECT_DOUBLE_EQ(back.roster[1].rpeak->sample_rate_hz, 300.0);
+  ASSERT_TRUE(back.roster[2].clock_skew.has_value());
+  EXPECT_DOUBLE_EQ(*back.roster[2].clock_skew, 2.5e-5);
+  ASSERT_TRUE(back.roster[2].boot_offset.has_value());
+  EXPECT_EQ(*back.roster[2].boot_offset, 7_ms);
+  ASSERT_TRUE(back.roster[2].fidelity.has_value());
+  EXPECT_EQ(*back.roster[2].fidelity, Fidelity::kModel);
+}
+
 TEST(ConfigIo, ParsedConfigActuallyRuns) {
   BanConfig cfg = parse_config(R"(
     [network]

@@ -3,6 +3,8 @@
 // invariants that every higher layer silently relies on.
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include <map>
 #include <vector>
 
@@ -97,13 +99,13 @@ class RadioFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RadioFuzz, LegalCommandStormKeepsInvariants) {
   Rng rng{GetParam()};
-  sim::Simulator simulator;
-  sim::Tracer tracer;
-  phy::Channel channel{simulator, tracer};
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  phy::Channel channel{context};
   hw::RadioParams params;
   phy::PhyConfig phy_config;
-  hw::RadioNrf2401 a{simulator, tracer, channel, "a", params, phy_config};
-  hw::RadioNrf2401 b{simulator, tracer, channel, "b", params, phy_config};
+  hw::RadioNrf2401 a{context, channel, "a", params, phy_config};
+  hw::RadioNrf2401 b{context, channel, "b", params, phy_config};
   a.set_local_address(1);
   b.set_local_address(2);
 
@@ -186,14 +188,14 @@ class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SchedulerFuzz, RandomPostingPreservesAccounting) {
   Rng rng{GetParam()};
-  sim::Simulator simulator;
-  sim::Tracer tracer;
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
   hw::McuParams params;
-  hw::Mcu mcu{simulator, tracer, "n", params, 0.0};
+  hw::Mcu mcu{context, "n", params, 0.0};
   os::PowerManager power;
   power.register_peripheral("timer", os::ClockConstraint::kSmclk);
   os::NullProbe probe;
-  os::TaskScheduler scheduler{simulator, tracer, mcu, power, "n", probe};
+  os::TaskScheduler scheduler{context, mcu, power, "n", probe};
 
   std::uint64_t expected_cycles = 0;
   std::uint64_t posted = 0;

@@ -1,0 +1,193 @@
+// Golden-value pinning for the SimContext/NodeStack/NetworkBuilder
+// refactor: every number here was captured from the pre-refactor tree
+// (seed composition code) and must be reproduced EXACTLY — `==` on
+// doubles, no tolerance.  The RNG stream layout (named streams, draw
+// order, per-node skew/stagger draws) is part of the public determinism
+// contract; any change that shifts a single draw shows up here first.
+//
+// Windows are short (5 s) so the whole suite stays cheap; the values
+// cover both TDMA variants, both apps, both fidelities, per-node
+// snapshots, the ALOHA baseline and a two-cell coexistence run.
+#include <gtest/gtest.h>
+
+#include "core/aloha_network.hpp"
+#include "core/bansim.hpp"
+#include "core/multi_ban.hpp"
+#include "core/paper_experiments.hpp"
+
+namespace bansim::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+ScenarioResult run_golden(BanConfig config, Fidelity fidelity) {
+  config.fidelity = fidelity;
+  MeasurementProtocol protocol;
+  protocol.measure = Duration::seconds(5);
+  return run_scenario(config, protocol);
+}
+
+struct GoldenRow {
+  double radio_mj;
+  double mcu_mj;
+  double asic_mj;
+  std::uint64_t packets;
+};
+
+void expect_row(const ScenarioResult& r, const GoldenRow& want) {
+  EXPECT_TRUE(r.joined);
+  EXPECT_EQ(r.radio_mj, want.radio_mj);
+  EXPECT_EQ(r.mcu_mj, want.mcu_mj);
+  EXPECT_EQ(r.asic_mj, want.asic_mj);
+  EXPECT_EQ(r.data_packets, want.packets);
+}
+
+TEST(GoldenEnergy, EcgStatic30) {
+  PaperSetup setup;
+  const BanConfig cfg =
+      streaming_static_config(setup, Duration::milliseconds(30));
+  expect_row(run_golden(cfg, Fidelity::kReference),
+             {35.626988186675206, 14.013109779087998, 52.500000000000007,
+              167});
+  expect_row(run_golden(cfg, Fidelity::kModel),
+             {38.057575936889599, 13.625614309999998, 52.500000000000007,
+              166});
+}
+
+TEST(GoldenEnergy, EcgDynamic5Slots) {
+  PaperSetup setup;
+  const BanConfig cfg = streaming_dynamic_config(setup, 5);
+  expect_row(run_golden(cfg, Fidelity::kReference),
+             {18.791883681983997, 11.627069907824001, 52.500000000000007,
+              84});
+  expect_row(run_golden(cfg, Fidelity::kModel),
+             {19.883508915199993, 11.433161250000003, 52.500000000000007,
+              84});
+}
+
+TEST(GoldenEnergy, RpeakStatic120) {
+  PaperSetup setup;
+  const BanConfig cfg = rpeak_static_config(setup, Duration::milliseconds(120));
+  expect_row(run_golden(cfg, Fidelity::kReference),
+             {9.4124740137567944, 14.061014718519999, 52.500000000000007, 12});
+  expect_row(run_golden(cfg, Fidelity::kModel),
+             {7.9129459098816, 13.73884498, 52.500000000000007, 12});
+}
+
+TEST(GoldenEnergy, RpeakDynamic3Slots) {
+  PaperSetup setup;
+  const BanConfig cfg = rpeak_dynamic_config(setup, 3);
+  expect_row(run_golden(cfg, Fidelity::kReference),
+             {24.380208638419198, 14.154354884655994, 52.5, 13});
+  expect_row(run_golden(cfg, Fidelity::kModel),
+             {25.760258508902396, 13.840800890000001, 52.5, 14});
+}
+
+TEST(GoldenEnergy, PerNodeSnapshotOfFiveNodeEcgNetwork) {
+  PaperSetup setup;
+  BanNetwork net{streaming_static_config(setup, Duration::milliseconds(30))};
+  net.start();
+  ASSERT_TRUE(net.run_until_joined(Duration::seconds(1),
+                                   TimePoint::zero() + Duration::seconds(30)));
+  net.run_until(net.simulator().now() + Duration::seconds(5));
+
+  const struct {
+    const char* node;
+    double total;
+  } want[] = {
+      {"node1", 0.1259631816041816},   {"node2", 0.12864915742064681},
+      {"node3", 0.12784695463841839},  {"node4", 0.12763253980885519},
+      {"node5", 0.12526439082913279},  {"bs", 0.49432756199387679},
+  };
+  const auto snapshot = net.energy_snapshot();
+  ASSERT_EQ(snapshot.size(), 6u);
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].node, want[i].node);
+    EXPECT_EQ(snapshot[i].total_joules(), want[i].total) << snapshot[i].node;
+  }
+  // One fully pinned component split.
+  EXPECT_EQ(snapshot[0].component_joules("mcu"), 0.017184053881959999);
+  EXPECT_EQ(snapshot[0].component_joules("radio"), 0.044729127722221595);
+  EXPECT_EQ(snapshot[0].component_joules("asic"), 0.06405000000000001);
+}
+
+TEST(GoldenEnergy, AlohaBaselineBoardTotals) {
+  AlohaNetworkConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.payload_interval = Duration::milliseconds(200);
+  cfg.seed = 9;
+  AlohaNetwork net{cfg};
+  net.start();
+  net.run_until(TimePoint::zero() + Duration::seconds(5));
+
+  const struct {
+    double total;
+    std::uint64_t sent;
+  } want[] = {
+      {0.06503000213656801, 24},  {0.066461656317330406, 39},
+      {0.06465474591890441, 24},  {0.066853653074381597, 42},
+      {0.064669489972385197, 24},
+  };
+  ASSERT_EQ(net.num_nodes(), 5u);
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    double total = 0;
+    for (const auto& c : net.node_board(i).breakdown(net.simulator().now())) {
+      total += c.joules;
+    }
+    EXPECT_EQ(total, want[i].total) << "node" << i;
+    EXPECT_EQ(net.node_mac(i).stats().data_sent, want[i].sent) << "node" << i;
+  }
+}
+
+TEST(GoldenEnergy, MultiBanCoexistencePerNodeTotals) {
+  auto cell = [](std::uint8_t pan, net::NodeId offset, int cycle_ms) {
+    BanConfig cfg;
+    cfg.num_nodes = 3;
+    cfg.tdma =
+        mac::TdmaConfig::static_plan(Duration::milliseconds(cycle_ms), 5);
+    cfg.tdma.pan_id = pan;
+    cfg.address_offset = offset;
+    cfg.app = AppKind::kEcgStreaming;
+    cfg.streaming.sample_rate_hz = 6000.0 / cycle_ms;
+    cfg.seed = 77 + pan;
+    return cfg;
+  };
+  MultiBan net{{cell(1, 0, 30), cell(2, 100, 60)}};
+  net.start();
+  ASSERT_TRUE(net.run_until_joined(Duration::milliseconds(500),
+                                   TimePoint::zero() + Duration::seconds(30)));
+  net.run_until(net.simulator().now() + Duration::seconds(5));
+
+  const double want[2][3] = {
+      {0.17318972373117802, 0.17163197963310001, 0.17270097465688483},
+      {0.22684708000117521, 0.22731155495588118, 0.22562166905933756},
+  };
+  ASSERT_EQ(net.num_cells(), 2u);
+  for (std::size_t c = 0; c < net.num_cells(); ++c) {
+    ASSERT_EQ(net.num_nodes(c), 3u);
+    for (std::size_t i = 0; i < net.num_nodes(c); ++i) {
+      double total = 0;
+      for (const auto& comp :
+           net.node(c, i).board().breakdown(net.simulator().now())) {
+        total += comp.joules;
+      }
+      EXPECT_EQ(total, want[c][i]) << "cell" << c << " node" << i;
+    }
+  }
+}
+
+// The roster is the refactor's new surface: an all-default roster of the
+// same length must compose a bit-identical network to the homogeneous
+// config (same streams drawn in the same order).
+TEST(GoldenEnergy, AllDefaultRosterIsBitIdenticalToHomogeneous) {
+  PaperSetup setup;
+  BanConfig cfg = streaming_static_config(setup, Duration::milliseconds(30));
+  cfg.roster.resize(cfg.num_nodes);  // explicit, all-default roster
+  expect_row(run_golden(cfg, Fidelity::kReference),
+             {35.626988186675206, 14.013109779087998, 52.500000000000007,
+              167});
+}
+
+}  // namespace
+}  // namespace bansim::core

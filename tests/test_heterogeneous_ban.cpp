@@ -1,0 +1,153 @@
+// Heterogeneous-BAN regression: one TDMA cell mixing raw ECG streamers,
+// on-node R-peak detectors and an EEG monitor, composed from a parsed
+// INI roster the way bansim_cli does it.  This is the end-to-end test of
+// the NodeSpec/NodeStack/NetworkBuilder composition path: every node
+// kind joins the same cell, the base station demultiplexes their very
+// different traffic, and the whole thing is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bansim.hpp"
+#include "core/config_io.hpp"
+
+namespace bansim::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+constexpr const char* kMixedWard = R"(
+  [network]
+  nodes = 5
+  seed = 42
+  app = ecg_streaming
+
+  [tdma]
+  variant = static
+  max_slots = 5
+  cycle_ms = 30
+
+  [streaming]
+  sample_rate_hz = 205
+
+  [node.2]
+  app = rpeak
+  rpeak.sample_rate_hz = 250
+
+  [node.4]
+  app = rpeak
+)";
+
+/// Runs the parsed ward for `seconds` past join; returns the network so
+/// tests can inspect BS-side state.
+std::unique_ptr<BanNetwork> run_ward(const std::string& ini, int seconds) {
+  auto network = std::make_unique<BanNetwork>(parse_config(ini));
+  network->start();
+  EXPECT_TRUE(network->run_until_joined(
+      Duration::seconds(1), TimePoint::zero() + Duration::seconds(30)));
+  network->run_until(network->simulator().now() + Duration::seconds(seconds));
+  return network;
+}
+
+TEST(HeterogeneousBan, MixedEcgRpeakWardJoinsAndDelivers) {
+  auto network = run_ward(kMixedWard, 10);
+  ASSERT_EQ(network->num_nodes(), 5u);
+  EXPECT_TRUE(network->all_joined());
+
+  // Roster kinds landed on the right stacks.
+  EXPECT_EQ(network->node(0).app_kind(), AppKind::kEcgStreaming);
+  EXPECT_EQ(network->node(1).app_kind(), AppKind::kRpeak);
+  EXPECT_EQ(network->node(2).app_kind(), AppKind::kEcgStreaming);
+  EXPECT_EQ(network->node(3).app_kind(), AppKind::kRpeak);
+  EXPECT_EQ(network->node(4).app_kind(), AppKind::kEcgStreaming);
+
+  // Every node delivered data to the base station.
+  const auto& traffic = network->base_station_app().per_node();
+  ASSERT_EQ(traffic.size(), 5u);
+  for (net::NodeId addr = 1; addr <= 5; ++addr) {
+    ASSERT_TRUE(traffic.count(addr)) << "node address " << addr;
+    EXPECT_GT(traffic.at(addr).packets, 0u) << "node address " << addr;
+  }
+
+  // Streamers ship every sample; detectors only ship beat events, so
+  // their packet rates sit far apart.
+  const std::uint64_t streamer_packets = traffic.at(1).packets;
+  const std::uint64_t detector_packets = traffic.at(2).packets;
+  EXPECT_GT(streamer_packets, 5 * detector_packets);
+
+  // Beat events decode, and only from the R-peak addresses.
+  const auto& beats = network->base_station_app().beats();
+  EXPECT_GT(beats.size(), 5u);  // ~75 bpm over 10 s, two detectors
+  for (const auto& [addr, when] : beats) {
+    EXPECT_TRUE(addr == 2 || addr == 4) << "beat from node " << addr;
+  }
+
+  // All five radios burned energy, and the sparse detectors burned less
+  // radio than the streamers sharing their cell.
+  const auto snapshot = network->energy_snapshot();
+  ASSERT_EQ(snapshot.size(), 6u);  // 5 nodes + bs
+  for (const auto& node : snapshot) {
+    EXPECT_GT(node.total_joules(), 0.0) << node.node;
+  }
+  EXPECT_LT(snapshot[1].component_joules("radio"),
+            snapshot[0].component_joules("radio"));
+  EXPECT_LT(snapshot[3].component_joules("radio"),
+            snapshot[2].component_joules("radio"));
+}
+
+TEST(HeterogeneousBan, ThreeAppKindsShareOneCell) {
+  const std::string ini = std::string{kMixedWard} +
+                          "\n[node.5]\napp = eeg_monitoring\n";
+  auto network = run_ward(ini, 10);
+  EXPECT_EQ(network->node(4).app_kind(), AppKind::kEegMonitoring);
+
+  // The EEG node's fragments reassemble into decoded blocks at the BS.
+  apps::EegCollector* collector = network->eeg_collector(5);
+  ASSERT_NE(collector, nullptr);
+  EXPECT_GT(collector->blocks_decoded(), 0u);
+  EXPECT_EQ(collector->decode_failures(), 0u);
+  // No collector exists for the non-EEG nodes.
+  EXPECT_EQ(network->eeg_collector(1), nullptr);
+  EXPECT_EQ(network->eeg_collector(2), nullptr);
+
+  // Beat decoding still works next to EEG traffic (EEG fragments are
+  // never 5 bytes, so they cannot alias as beat events).
+  const auto& beats = network->base_station_app().beats();
+  EXPECT_GT(beats.size(), 5u);
+  for (const auto& [addr, when] : beats) {
+    EXPECT_TRUE(addr == 2 || addr == 4) << "beat from node " << addr;
+  }
+}
+
+TEST(HeterogeneousBan, MixedWardIsDeterministic) {
+  auto a = run_ward(kMixedWard, 5);
+  auto b = run_ward(kMixedWard, 5);
+  const auto sa = a->energy_snapshot();
+  const auto sb = b->energy_snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].node, sb[i].node);
+    EXPECT_EQ(sa[i].total_joules(), sb[i].total_joules()) << sa[i].node;
+  }
+  EXPECT_EQ(a->base_station_app().total_packets(),
+            b->base_station_app().total_packets());
+  EXPECT_EQ(a->base_station_app().beats().size(),
+            b->base_station_app().beats().size());
+}
+
+// Per-node fidelity: the whole cell at reference except one node running
+// the estimator's simplified hardware model — the refactor made fidelity
+// a per-spec knob, so both kinds must coexist in one cell.
+TEST(HeterogeneousBan, PerNodeFidelityOverrideRuns) {
+  const std::string ini = std::string{kMixedWard} +
+                          "\n[node.3]\nfidelity = model\n";
+  auto network = run_ward(ini, 5);
+  EXPECT_TRUE(network->all_joined());
+  const auto& traffic = network->base_station_app().per_node();
+  ASSERT_TRUE(traffic.count(3));
+  EXPECT_GT(traffic.at(3).packets, 0u);
+}
+
+}  // namespace
+}  // namespace bansim::core

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include "hw/mcu.hpp"
 #include "hw/timer_unit.hpp"
 #include "sim/simulator.hpp"
@@ -13,34 +15,35 @@ using sim::Duration;
 using sim::TimePoint;
 
 struct McuFixture : ::testing::Test {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  sim::Tracer& tracer = context.tracer;
   McuParams params;
 };
 
 TEST_F(McuFixture, StartsActive) {
-  Mcu mcu{simulator, tracer, "n", params, 0.0};
+  Mcu mcu{context, "n", params, 0.0};
   EXPECT_EQ(mcu.mode(), McuMode::kActive);
   EXPECT_EQ(mcu.wakeups(), 0u);
 }
 
 TEST_F(McuFixture, CyclesToTimeAtNominalClock) {
-  Mcu mcu{simulator, tracer, "n", params, 0.0};
+  Mcu mcu{context, "n", params, 0.0};
   // 8000 cycles at 8 MHz = 1 ms.
   EXPECT_EQ(mcu.cycles_to_time(8000), 1_ms);
   EXPECT_EQ(mcu.cycles_to_time(0), Duration::zero());
 }
 
 TEST_F(McuFixture, CyclesToTimeStretchesWithSkew) {
-  Mcu fast{simulator, tracer, "n", params, -1e-3};
-  Mcu slow{simulator, tracer, "n", params, +1e-3};
+  Mcu fast{context, "n", params, -1e-3};
+  Mcu slow{context, "n", params, +1e-3};
   EXPECT_LT(fast.cycles_to_time(8'000'000), 1000_ms);
   EXPECT_GT(slow.cycles_to_time(8'000'000), 1000_ms);
   EXPECT_EQ(slow.cycles_to_time(8'000'000), Duration::from_milliseconds(1001.0));
 }
 
 TEST_F(McuFixture, LocalTrueConversionsInvert) {
-  Mcu mcu{simulator, tracer, "n", params, 1.7e-3};
+  Mcu mcu{context, "n", params, 1.7e-3};
   for (std::int64_t ms : {1, 10, 100, 5000}) {
     const Duration d = Duration::milliseconds(ms);
     const Duration roundtrip = mcu.true_to_local(mcu.local_to_true(d));
@@ -50,7 +53,7 @@ TEST_F(McuFixture, LocalTrueConversionsInvert) {
 }
 
 TEST_F(McuFixture, WakeupLatencyOnlyOnLpmExit) {
-  Mcu mcu{simulator, tracer, "n", params, 0.0};
+  Mcu mcu{context, "n", params, 0.0};
   EXPECT_EQ(mcu.enter(McuMode::kLpm1), Duration::zero());
   EXPECT_EQ(mcu.enter(McuMode::kActive), params.wakeup_latency);
   EXPECT_EQ(mcu.wakeups(), 1u);
@@ -60,7 +63,7 @@ TEST_F(McuFixture, WakeupLatencyOnlyOnLpmExit) {
 }
 
 TEST_F(McuFixture, MeterTracksResidency) {
-  Mcu mcu{simulator, tracer, "n", params, 0.0};
+  Mcu mcu{context, "n", params, 0.0};
   simulator.schedule_in(10_ms, [&] { mcu.enter(McuMode::kLpm1); });
   simulator.schedule_in(30_ms, [&] { mcu.enter(McuMode::kActive); });
   simulator.schedule_in(40_ms, [] {});
@@ -80,7 +83,7 @@ TEST_F(McuFixture, ModeNames) {
 }
 
 TEST_F(McuFixture, TimerUnitFiresAfterLocalDelay) {
-  Mcu mcu{simulator, tracer, "n", params, 0.0};
+  Mcu mcu{context, "n", params, 0.0};
   TimerUnit unit{simulator, mcu};
   TimePoint fired;
   unit.set_alarm(5_ms, [&] { fired = simulator.now(); });
@@ -92,7 +95,7 @@ TEST_F(McuFixture, TimerUnitFiresAfterLocalDelay) {
 }
 
 TEST_F(McuFixture, TimerUnitAppliesSkew) {
-  Mcu mcu{simulator, tracer, "n", params, 2e-3};  // +0.2 % slow clock
+  Mcu mcu{context, "n", params, 2e-3};  // +0.2 % slow clock
   TimerUnit unit{simulator, mcu};
   TimePoint fired;
   unit.set_alarm(100_ms, [&] { fired = simulator.now(); });
@@ -102,7 +105,7 @@ TEST_F(McuFixture, TimerUnitAppliesSkew) {
 }
 
 TEST_F(McuFixture, TimerUnitRearmReplacesPending) {
-  Mcu mcu{simulator, tracer, "n", params, 0.0};
+  Mcu mcu{context, "n", params, 0.0};
   TimerUnit unit{simulator, mcu};
   int fired = 0;
   unit.set_alarm(5_ms, [&] { fired = 1; });
@@ -113,7 +116,7 @@ TEST_F(McuFixture, TimerUnitRearmReplacesPending) {
 }
 
 TEST_F(McuFixture, TimerUnitCancel) {
-  Mcu mcu{simulator, tracer, "n", params, 0.0};
+  Mcu mcu{context, "n", params, 0.0};
   TimerUnit unit{simulator, mcu};
   bool fired = false;
   unit.set_alarm(5_ms, [&] { fired = true; });

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include <optional>
 #include <vector>
 
@@ -24,13 +26,14 @@ net::Packet make_data(net::NodeId dest, net::NodeId src, std::size_t len) {
 }
 
 struct RadioFixture : ::testing::Test {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
-  phy::Channel channel{simulator, tracer};
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  sim::Tracer& tracer = context.tracer;
+  phy::Channel channel{context};
   RadioParams params;
   phy::PhyConfig phy;
-  RadioNrf2401 tx{simulator, tracer, channel, "tx", params, phy};
-  RadioNrf2401 rx{simulator, tracer, channel, "rx", params, phy};
+  RadioNrf2401 tx{context, channel, "tx", params, phy};
+  RadioNrf2401 rx{context, channel, "rx", params, phy};
 
   std::vector<net::Packet> received;
   int send_done{0};
@@ -131,7 +134,7 @@ TEST_F(RadioFixture, BroadcastPassesAddressFilter) {
 }
 
 TEST_F(RadioFixture, CollisionDropsFrameInHardware) {
-  RadioNrf2401 tx2{simulator, tracer, channel, "tx2", params, phy};
+  RadioNrf2401 tx2{context, channel, "tx2", params, phy};
   tx2.set_local_address(3);
   power_both();
   tx2.power_up();

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include <vector>
 
 #include "os/node_os.hpp"
@@ -45,16 +47,17 @@ class RecordingProbe final : public ModelProbe {
 };
 
 struct DriverFixture : ::testing::Test {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
-  phy::Channel channel{simulator, tracer};
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  sim::Tracer& tracer = context.tracer;
+  phy::Channel channel{context};
   hw::BoardParams params;
   RecordingProbe probe;
-  hw::Board board{simulator, tracer, channel, "n1", params, 0.0};
-  hw::Board peer_board{simulator, tracer, channel, "n2", params, 0.0};
-  NodeOs node{simulator, tracer, board, probe};
+  hw::Board board{context, channel, "n1", params, 0.0};
+  hw::Board peer_board{context, channel, "n2", params, 0.0};
+  NodeOs node{context, board, probe};
   NullProbe null_probe;
-  NodeOs peer{simulator, tracer, peer_board, null_probe};
+  NodeOs peer{context, peer_board, null_probe};
 
   void init_both() {
     board.radio().set_local_address(1);

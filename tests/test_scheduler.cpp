@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include <vector>
 
 #include "os/cycle_cost_model.hpp"
@@ -16,13 +18,14 @@ using sim::Duration;
 using sim::TimePoint;
 
 struct SchedulerFixture : ::testing::Test {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  sim::Tracer& tracer = context.tracer;
   hw::McuParams params;
-  hw::Mcu mcu{simulator, tracer, "n", params, 0.0};
+  hw::Mcu mcu{context, "n", params, 0.0};
   PowerManager power;
   NullProbe probe;
-  TaskScheduler scheduler{simulator, tracer, mcu, power, "n", probe};
+  TaskScheduler scheduler{context, mcu, power, "n", probe};
 
   SchedulerFixture() {
     // Keep the idle mode at LPM1 like the BAN firmware (timer running).
@@ -104,7 +107,7 @@ TEST_F(SchedulerFixture, BodyPostingKeepsRunning) {
 TEST_F(SchedulerFixture, NominalCostModeChargesTableValue) {
   CycleCostModel table;
   table.set("calibrated", 16000);  // 2 ms at 8 MHz
-  TaskScheduler model_sched{simulator, tracer, mcu,  power,
+  TaskScheduler model_sched{context, mcu,  power,
                             "n",       probe,  &table};
   TimePoint done;
   model_sched.post("calibrated", 4000 /*actual, ignored*/, [&] {
@@ -116,7 +119,7 @@ TEST_F(SchedulerFixture, NominalCostModeChargesTableValue) {
 
 TEST_F(SchedulerFixture, NominalCostModeFallsBackForUnknownTasks) {
   CycleCostModel table;
-  TaskScheduler model_sched{simulator, tracer, mcu,  power,
+  TaskScheduler model_sched{context, mcu,  power,
                             "n",       probe,  &table};
   TimePoint done;
   model_sched.post("unknown", 8000, [&] { done = simulator.now(); });
@@ -153,7 +156,7 @@ class RecordingProbe final : public ModelProbe {
 
 TEST_F(SchedulerFixture, ProbeSeesTaskNames) {
   RecordingProbe recorder;
-  TaskScheduler sched{simulator, tracer, mcu, power, "n", recorder};
+  TaskScheduler sched{context, mcu, power, "n", recorder};
   sched.post("alpha", 10, nullptr);
   sched.post("beta", 10, nullptr);
   simulator.run();

@@ -15,8 +15,22 @@ TimePoint at(std::int64_t ms) {
   return TimePoint::zero() + Duration::milliseconds(ms);
 }
 
-TraceRecord mac(std::int64_t ms, std::string node, std::string message) {
-  return {at(ms), TraceCategory::kMac, std::move(node), std::move(message)};
+/// Shared intern table for hand-built records; lives for the whole test
+/// binary so record node_name pointers stay valid.
+sim::Tracer& intern_tracer() {
+  static sim::Tracer tracer;
+  return tracer;
+}
+
+TraceRecord make_record(std::int64_t ms, TraceCategory category,
+                        std::string_view node, std::string message) {
+  const sim::TraceNodeId id = intern_tracer().intern(node);
+  return {at(ms), category, id, std::move(message),
+          &intern_tracer().node_name(id)};
+}
+
+TraceRecord mac(std::int64_t ms, std::string_view node, std::string message) {
+  return make_record(ms, TraceCategory::kMac, node, std::move(message));
 }
 
 TEST(Timeline, PlacesSymbolsAtTheRightBins) {
@@ -50,7 +64,7 @@ TEST(Timeline, IgnoresOutOfWindowAndNonMacRecords) {
   std::vector<TraceRecord> records = {
       mac(5, "bs", "SB beacon seq=0"),
       mac(500, "bs", "SB beacon seq=1"),  // beyond window
-      {at(6), TraceCategory::kRadio, "bs", "SB beacon imitation"},
+      make_record(6, TraceCategory::kRadio, "bs", "SB beacon imitation"),
       mac(7, "bs", "unrelated message"),
   };
   TimelineOptions options;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/context.hpp"
+
 #include <vector>
 
 namespace bansim::os {
@@ -12,8 +14,9 @@ using sim::Duration;
 using sim::TimePoint;
 
 struct TimerServiceFixture : ::testing::Test {
-  sim::Simulator simulator;
-  sim::Tracer tracer;
+  sim::SimContext context;
+  sim::Simulator& simulator = context.simulator;
+  sim::Tracer& tracer = context.tracer;
   hw::McuParams params;
   double skew{0.0};
 
@@ -25,16 +28,15 @@ struct TimerServiceFixture : ::testing::Test {
     TaskScheduler scheduler;
     TimerService timers;
 
-    Stack(sim::Simulator& simulator, sim::Tracer& tracer,
-          const hw::McuParams& params, double skew)
-        : mcu{simulator, tracer, "n", params, skew},
-          unit{simulator, mcu},
-          scheduler{simulator, tracer, mcu, power, "n", probe},
-          timers{simulator, mcu, unit, scheduler, power} {}
+    Stack(sim::SimContext& context, const hw::McuParams& params, double skew)
+        : mcu{context, "n", params, skew},
+          unit{context.simulator, mcu},
+          scheduler{context, mcu, power, "n", probe},
+          timers{context.simulator, mcu, unit, scheduler, power} {}
   };
 
   Stack make(double node_skew = 0.0) {
-    return Stack{simulator, tracer, params, node_skew};
+    return Stack{context, params, node_skew};
   }
 };
 

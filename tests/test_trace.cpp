@@ -31,7 +31,7 @@ TEST(Tracer, EmitReachesSinkWhenEnabled) {
   ASSERT_EQ(sink->records().size(), 1u);
   const TraceRecord& r = sink->records().front();
   EXPECT_EQ(r.when, TimePoint::zero() + 5_ms);
-  EXPECT_EQ(r.node, "node1");
+  EXPECT_EQ(r.node(), "node1");
   EXPECT_EQ(r.message, "hello");
   EXPECT_EQ(r.category, TraceCategory::kMac);
 }
@@ -58,7 +58,7 @@ TEST(Tracer, SetEnabledTogglesAtRuntime) {
 
 TEST(Tracer, MemorySinkClear) {
   MemorySink sink;
-  sink.consume({TimePoint::zero(), TraceCategory::kKernel, "", "m"});
+  sink.consume({TimePoint::zero(), TraceCategory::kKernel, 0, "m", nullptr});
   EXPECT_EQ(sink.records().size(), 1u);
   sink.clear();
   EXPECT_TRUE(sink.records().empty());
