@@ -2,9 +2,14 @@
 //
 // The paper's motivation for an OS-level (rather than instruction-level)
 // model is simulation speed at network scale (Section 2).  This bench
-// measures raw event-kernel throughput and how wall-clock cost of a full
-// BAN simulation scales with node count and with simulated time.
+// measures raw event-kernel throughput (schedule/fire churn, cancel-heavy
+// churn exercising the lazy-prune path) and how wall-clock cost of a full
+// BAN simulation scales with node count, simulated time, and tracing.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "core/bansim.hpp"
 
@@ -13,24 +18,31 @@ namespace {
 using namespace bansim;
 using sim::Duration;
 
-/// Raw kernel: schedule/execute churn with a self-rescheduling event chain.
+/// Self-rescheduling chain link.  Trivially copyable and 24 bytes, so the
+/// kernel stores it in the slot arena's inline buffer: one schedule is one
+/// heap-key push plus a small memcpy, no allocation.
+struct ChainTick {
+  sim::Simulator* simulator;
+  std::uint64_t* fired;
+  std::uint64_t target;
+
+  void operator()() const {
+    if (++*fired < target) {
+      simulator->schedule_in(Duration::microseconds(1), *this);
+    }
+  }
+};
+
+/// Raw kernel: schedule/execute churn with self-rescheduling event chains.
 void BM_KernelEventChurn(benchmark::State& state) {
   const auto chain_count = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     sim::Simulator simulator;
     std::uint64_t fired = 0;
     const std::uint64_t target = chain_count * 1000;
-    // Each executed event re-arms itself until the global budget drains;
-    // `tick` outlives run(), so capturing it by reference is safe.
-    std::function<void()> tick;
-    tick = [&simulator, &tick, &fired, target] {
-      ++fired;
-      if (fired < target) {
-        simulator.schedule_in(sim::Duration::microseconds(1), tick);
-      }
-    };
     for (std::size_t i = 0; i < chain_count; ++i) {
-      simulator.schedule_in(sim::Duration::microseconds(1), tick);
+      simulator.schedule_in(Duration::microseconds(1),
+                            ChainTick{&simulator, &fired, target});
     }
     simulator.run();
     benchmark::DoNotOptimize(fired);
@@ -40,6 +52,36 @@ void BM_KernelEventChurn(benchmark::State& state) {
 }
 
 BENCHMARK(BM_KernelEventChurn)->Arg(1)->Arg(8)->Arg(64);
+
+/// Schedule/cancel churn: most handles are cancelled before firing, so the
+/// heap fills with dead keys that the lazy-prune path must skip.  This is
+/// the MAC's steady-state pattern (guard timers and ACK timeouts are
+/// usually cancelled by the event they guard against).
+void BM_KernelScheduleCancelChurn(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventHandle> handles(batch);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t fired = 0;
+    for (int round = 0; round < 100; ++round) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        handles[i] = simulator.schedule_in(
+            Duration::microseconds(static_cast<std::int64_t>(i + 1)),
+            [&fired] { ++fired; });
+      }
+      // Cancel three out of four before they fire; survivors run.
+      for (std::size_t i = 0; i < batch; ++i) {
+        if (i % 4 != 0) handles[i].cancel();
+      }
+      simulator.run();
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100 *
+                          static_cast<std::int64_t>(batch));
+}
+
+BENCHMARK(BM_KernelScheduleCancelChurn)->Arg(16)->Arg(256);
 
 /// Full-stack scaling with network size (dynamic TDMA admits any count).
 void BM_BanScaling_Nodes(benchmark::State& state) {
@@ -77,6 +119,35 @@ void BM_BanScaling_SimTime(benchmark::State& state) {
 }
 
 BENCHMARK(BM_BanScaling_SimTime)->Arg(1)->Arg(10)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+/// Tracing cost on the full stack: the tracing-off case is the sweep/bench
+/// default and must pay only the category check per call site (deferred
+/// formatting); the tracing-on case bounds what enabling a sink costs.
+void BM_BanFullStack_Tracing(benchmark::State& state) {
+  const bool tracing_on = state.range(0) != 0;
+  core::PaperSetup setup;
+  core::BanConfig cfg =
+      core::streaming_static_config(setup, Duration::milliseconds(30));
+  for (auto _ : state) {
+    core::BanNetwork network{cfg};
+    std::shared_ptr<sim::MemorySink> sink;
+    if (tracing_on) {
+      sink = std::make_shared<sim::MemorySink>();
+      network.context().tracer.attach(
+          sink, {sim::TraceCategory::kOs, sim::TraceCategory::kMcu,
+                 sim::TraceCategory::kRadio, sim::TraceCategory::kChannel,
+                 sim::TraceCategory::kMac});
+    }
+    network.start();
+    network.run_until(sim::TimePoint::zero() + Duration::seconds(2));
+    benchmark::DoNotOptimize(network.simulator().events_executed());
+    if (sink) benchmark::DoNotOptimize(sink->records().size());
+  }
+  state.SetLabel(tracing_on ? "tracing_on" : "tracing_off");
+}
+
+BENCHMARK(BM_BanFullStack_Tracing)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build (warnings are errors) + full test
-# suite, then an ASan/UBSan build of the memory-sensitive regression
+# suite, an ASan/UBSan build of the memory-sensitive regression
 # surfaces (fragment reassembly, energy-meter bounds, event-queue slot
-# arena, scenario runner, heterogeneous-roster BAN composition).
+# arena + inline-callback closures, simulator loop, scenario runner,
+# heterogeneous-roster BAN composition), then a Release build of the
+# kernel bench as a smoke test so the bench targets can't bitrot
+# silently.
 #
 # usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -17,7 +20,7 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo "== tier 1: ASan/UBSan regression subset =="
 sanitize_tests=(test_delta_fragment test_energy_meter test_event_queue
-                test_scenario_runner test_heterogeneous_ban)
+                test_simulator test_scenario_runner test_heterogeneous_ban)
 cmake -B "$repo/build-asan" -S "$repo" -DBANSIM_SANITIZE=ON \
   -DBANSIM_WARNINGS_AS_ERRORS=ON
 cmake --build "$repo/build-asan" -j "$jobs" \
@@ -26,5 +29,13 @@ for t in "${sanitize_tests[@]}"; do
   echo "-- $t (asan) --"
   "$repo/build-asan/tests/$t" --gtest_brief=1
 done
+
+echo "== tier 1: Release bench smoke =="
+cmake -B "$repo/build-bench" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build-bench" -j "$jobs" --target bench_kernel_scaling
+# (plain double: the bundled benchmark predates "0.01s"-style suffixes)
+"$repo/build-bench/bench/bench_kernel_scaling" \
+  --benchmark_min_time=0.01 >/dev/null
+echo "bench smoke: OK"
 
 echo "tier 1: OK"

@@ -32,6 +32,14 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
   cell.stagger_stream = plan.streams.stagger;
   cell.stagger_window = plan.stagger;
 
+  // Warm up the kernel before any component constructs: each stack keeps a
+  // small constellation of timers/ISRs/frame deliveries in flight, and
+  // every component interns its node name once.  Reserving here keeps cell
+  // construction and boot staggering from growing the arena incrementally.
+  const std::size_t stacks = plan.roster.size() + 1;  // nodes + base station
+  context.simulator.reserve_events(16 * stacks);
+  context.tracer.reserve(stacks + 1);  // node names + the global ""
+
   // Per-component deterministic randomness: the same seed reproduces the
   // same network, and the skew/signal/mac streams are independent, so a
   // model-fidelity run (which zeroes tolerance) sees identical signal and

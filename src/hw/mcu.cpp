@@ -49,10 +49,8 @@ sim::Duration Mcu::enter(McuMode mode) {
   if (mode == mode_) return sim::Duration::zero();
   const bool waking = mode == McuMode::kActive;
   meter_.transition(static_cast<int>(mode), simulator_.now());
-  if (tracer_.enabled(sim::TraceCategory::kMcu)) {
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kMcu, trace_node_,
-                 std::string("mcu -> ") + to_string(mode));
-  }
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMcu, trace_node_,
+               [&](sim::TraceMessage& m) { m << "mcu -> " << to_string(mode); });
   mode_ = mode;
   if (waking) {
     ++wakeups_;

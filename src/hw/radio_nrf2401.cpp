@@ -57,11 +57,11 @@ sim::Duration RadioNrf2401::spi_time(std::size_t bytes) const {
 void RadioNrf2401::enter(RadioState next) {
   if (next == state_) return;
   meter_.transition(static_cast<int>(next), simulator_.now());
-  if (tracer_.enabled(sim::TraceCategory::kRadio)) {
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
-                 std::string("radio ") + to_string(state_) + " -> " +
-                     to_string(next));
-  }
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
+               [&](sim::TraceMessage& m) {
+                 m << "radio " << to_string(state_) << " -> "
+                   << to_string(next);
+               });
   state_ = next;
 }
 
@@ -143,7 +143,7 @@ void RadioNrf2401::on_frame_end(const phy::AirFrame& frame, bool corrupted) {
     // the MCU never learns it existed.
     ++stats_.rx_crc_dropped;
     tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
-                 "frame dropped by hardware CRC");
+                 [](sim::TraceMessage& m) { m << "frame dropped by hardware CRC"; });
     return;
   }
   auto packet = net::Packet::deserialize(frame.bytes);
@@ -157,7 +157,9 @@ void RadioNrf2401::on_frame_end(const phy::AirFrame& frame, bool corrupted) {
     // the frame here (Section 4.2, "Overhearing").
     ++stats_.rx_addr_filtered;
     tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
-                 "frame filtered by hardware address check (overheard)");
+                 [](sim::TraceMessage& m) {
+                   m << "frame filtered by hardware address check (overheard)";
+                 });
     return;
   }
 

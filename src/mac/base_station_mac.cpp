@@ -69,9 +69,11 @@ void BaseStationMac::begin_cycle() {
   os_.scheduler().post("bs.emit_beacon", 380, [this] {
     net::Packet beacon = make_beacon();
     tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                 "SB beacon seq=" + std::to_string(beacon.header.seq) +
-                     " slots=" + std::to_string(slot_owners_.size()) +
-                     " cycle=" + current_cycle().to_string());
+                 [&](sim::TraceMessage& m) {
+                   m << "SB beacon seq=" << beacon.header.seq
+                     << " slots=" << slot_owners_.size()
+                     << " cycle=" << current_cycle();
+                 });
     os_.radio().send(beacon, [this] {
       // Beacon is gone: listen for the whole remainder of the cycle — the
       // ES/contention window and every data slot (the "R" region).
@@ -106,8 +108,10 @@ void BaseStationMac::reclaim_silent_slots() {
     if (slot_owners_[i] == kFreeSlot) continue;
     if (++silent_cycles_[i] <= config_.reclaim_after_cycles) continue;
     tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                 "reclaim slot " + std::to_string(i) + " from node " +
-                     std::to_string(slot_owners_[i]));
+                 [&](sim::TraceMessage& m) {
+                   m << "reclaim slot " << i << " from node "
+                     << slot_owners_[i];
+                 });
     ++stats_.slots_reclaimed;
     if (config_.variant == TdmaVariant::kStatic) {
       slot_owners_[i] = kFreeSlot;
@@ -188,8 +192,9 @@ void BaseStationMac::handle_slot_request(const net::Packet& packet) {
       silent_cycles_[wanted] = 0;
       ++stats_.slots_granted;
       tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                   "grant slot " + std::to_string(wanted) + " to node " +
-                       std::to_string(requester));
+                   [&](sim::TraceMessage& m) {
+                     m << "grant slot " << wanted << " to node " << requester;
+                   });
       send_grant(wanted);
     } else {
       ++stats_.requests_rejected;
@@ -205,9 +210,10 @@ void BaseStationMac::handle_slot_request(const net::Packet& packet) {
     silent_cycles_.push_back(0);
     ++stats_.slots_granted;
     tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                 "new slot " + std::to_string(slot_owners_.size() - 1) +
-                     " for node " + std::to_string(requester) + ", cycle -> " +
-                     current_cycle().to_string());
+                 [&](sim::TraceMessage& m) {
+                   m << "new slot " << slot_owners_.size() - 1 << " for node "
+                     << requester << ", cycle -> " << current_cycle();
+                 });
     send_grant(static_cast<std::uint8_t>(slot_owners_.size() - 1));
   }
 }

@@ -45,7 +45,7 @@ void NodeMac::enter_search() {
   }
   if (!os_.radio().listening()) os_.radio().start_listen();
   tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-               "searching for beacon");
+               [](sim::TraceMessage& m) { m << "searching for beacon"; });
 }
 
 void NodeMac::queue_payload(std::vector<std::uint8_t> payload) {
@@ -125,8 +125,10 @@ void NodeMac::process_beacon(const net::Packet& packet,
                                 : state_);
   if (state_ != before) {
     tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                 std::string("state ") + to_string(before) + " -> " +
-                     to_string(state_));
+                 [&](sim::TraceMessage& m) {
+                   m << "state " << to_string(before) << " -> "
+                     << to_string(state_);
+                 });
   }
 
   // Anchor the cycle at the instant the beacon's first bit hit the air.
@@ -246,7 +248,9 @@ void NodeMac::send_slot_request(sim::TimePoint cycle_start) {
       req.payload = {wanted};
       ++stats_.slot_requests_sent;
       tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                   "SSR (slot " + std::to_string(wanted) + ")");
+                   [&](sim::TraceMessage& m) {
+                     m << "SSR (slot " << wanted << ")";
+                   });
       os_.radio().send(req, [this] {
         if (!config_.fast_grant) return;
         // Keep the receiver open briefly: the base station answers an
@@ -278,7 +282,9 @@ void NodeMac::process_grant(const net::Packet& packet) {
   my_slot_ = grant->slot_index;
   state_ = NodeMacState::kJoined;
   tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-               "fast grant: slot " + std::to_string(my_slot_));
+               [&](sim::TraceMessage& m) {
+                 m << "fast grant: slot " << my_slot_;
+               });
 
   // In the static variant the granted slot may still lie ahead inside the
   // current cycle; use it.  (Dynamic grants extend the cycle beyond the
@@ -345,8 +351,10 @@ void NodeMac::transmit_queued() {
         ++stats_.data_sent;
         if (config_.ack_data && retries_ > 0) ++stats_.retransmissions;
         tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                     "Si data tx slot=" + std::to_string(my_slot_) + " len=" +
-                         std::to_string(data.payload.size()));
+                     [&](sim::TraceMessage& m) {
+                       m << "Si data tx slot=" << my_slot_
+                         << " len=" << data.payload.size();
+                     });
         os_.radio().send(data, [this] {
           if (!config_.ack_data) return;
           // Hold the receiver open for the in-slot acknowledgement.
@@ -396,8 +404,9 @@ void NodeMac::on_beacon_timeout() {
   // the cycle from the expectation.
   last_cycle_start_ = last_cycle_start_ + cycle_;
   tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-               "beacon missed (" + std::to_string(missed_) +
-                   "), dead reckoning");
+               [&](sim::TraceMessage& m) {
+                 m << "beacon missed (" << missed_ << "), dead reckoning";
+               });
   schedule_cycle(last_cycle_start_);
 }
 

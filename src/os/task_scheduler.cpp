@@ -59,11 +59,11 @@ void TaskScheduler::dispatch_next() {
   }
 
   probe_.on_task(node_, entry.name, simulator_.now());
-  if (tracer_.enabled(sim::TraceCategory::kOs)) {
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kOs, trace_node_,
-                 (entry.is_interrupt ? "isr " : "task ") + entry.name + " (" +
-                     std::to_string(cycles) + " cyc)");
-  }
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kOs, trace_node_,
+               [&](sim::TraceMessage& m) {
+                 m << (entry.is_interrupt ? "isr " : "task ") << entry.name
+                   << " (" << cycles << " cyc)";
+               });
 
   const sim::Duration busy = latency + mcu_.cycles_to_time(cycles);
   simulator_.schedule_in(busy, [this, body = std::move(entry.body)] {

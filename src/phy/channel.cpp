@@ -44,11 +44,11 @@ void Channel::detect_collisions() {
         if (!fa.corrupted || !fb.corrupted) ++collisions_;
         fa.corrupted = true;
         fb.corrupted = true;
-        if (tracer_.enabled(sim::TraceCategory::kChannel)) {
-          tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel, "",
-                       "collision between tx" + std::to_string(fa.tx_id) +
-                           " and tx" + std::to_string(fb.tx_id));
-        }
+        tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel,
+                     sim::TraceNodeId{0}, [&](sim::TraceMessage& m) {
+                       m << "collision between tx" << fa.tx_id << " and tx"
+                         << fb.tx_id;
+                     });
       }
     }
   }
@@ -68,12 +68,11 @@ void Channel::transmit(std::uint32_t tx_id, std::vector<std::uint8_t> bytes,
   in_flight_.push_back(frame);
   detect_collisions();
 
-  if (tracer_.enabled(sim::TraceCategory::kChannel)) {
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel, "",
-                 "frame on air from tx" + std::to_string(tx_id) + " (" +
-                     std::to_string(frame.bytes.size()) + " B, " +
-                     duration.to_string() + ")");
-  }
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel,
+               sim::TraceNodeId{0}, [&](sim::TraceMessage& m) {
+                 m << "frame on air from tx" << tx_id << " ("
+                   << frame.bytes.size() << " B, " << duration << ")";
+               });
 
   // Frame-start notification after propagation.
   simulator_.schedule_in(propagation_, [this, key] {

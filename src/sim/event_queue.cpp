@@ -1,64 +1,27 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-
 namespace bansim::sim {
 
-EventHandle EventQueue::schedule(TimePoint when, EventAction action) {
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+// schedule/pop/prune are defined inline in the header (hot path); only the
+// cold setup/teardown members live here.
+
+void EventQueue::reserve(std::size_t events) {
+  heap_.reserve(events);
+  free_slots_.reserve(events);
+  if (slots_.size() < events) {
+    // Grow the arena eagerly and free-list the new slots (in reverse, so
+    // lower-numbered slots are claimed first, matching on-demand growth).
+    slots_.reserve(events);
+    const auto first = static_cast<std::uint32_t>(slots_.size());
+    slots_.resize(events);
+    for (auto slot = static_cast<std::uint32_t>(events); slot-- > first;) {
+      free_slots_.push_back(slot);
+    }
   }
-  Slot& s = slots_[slot];
-  s.alive = true;
-  heap_.push(Entry{when, seq_++, std::move(action), slot, s.generation});
-  ++live_;
-  return EventHandle{this, slot, s.generation};
-}
-
-void EventQueue::prune() const {
-  // Entries whose slot generation moved on were cancelled (their slot was
-  // released eagerly, so live_ is already adjusted); just drop them.
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    const Slot& s = slots_[top.slot];
-    if (s.generation == top.generation && s.alive) break;
-    heap_.pop();
-  }
-}
-
-bool EventQueue::empty() const {
-  prune();
-  return heap_.empty();
-}
-
-TimePoint EventQueue::next_time() const {
-  prune();
-  assert(!heap_.empty() && "next_time() on empty queue");
-  return heap_.top().when;
-}
-
-std::pair<TimePoint, EventAction> EventQueue::pop() {
-  prune();
-  assert(!heap_.empty() && "pop() on empty queue");
-  // priority_queue::top() is const&; the entry is moved out via const_cast,
-  // which is safe because the element is popped immediately after and the
-  // heap ordering does not depend on the moved-from members.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  TimePoint when = top.when;
-  EventAction action = std::move(top.action);
-  release_slot(top.slot);
-  heap_.pop();
-  --live_;
-  return {when, std::move(action)};
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
   for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
     if (slots_[slot].alive) release_slot(slot);
   }

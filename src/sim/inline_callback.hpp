@@ -1,0 +1,172 @@
+// Allocation-free closure storage for the event kernel.
+//
+// InlineCallback replaces std::function<void()> as the kernel's EventAction.
+// The captured state lives in a fixed 64-byte buffer inside the object, so
+// scheduling an event never touches the heap: the closure is move-constructed
+// straight into the EventQueue's slot arena.  The type is move-only (unlike
+// std::function it can hold move-only captures such as unique_ptr), and the
+// per-type dispatch is a single static ops-table pointer, so an empty
+// callback is two words of zero and a move is a memcpy-sized relocation.
+//
+// Closures whose captures exceed the inline capacity do not compile — the
+// converting constructor is constrained on the capture fitting, which keeps
+// the "no allocation on the schedule path" guarantee honest at compile time.
+// The rare genuinely-large closure opts into a heap allocation explicitly
+// with InlineCallback::boxed(fn).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bansim::sim {
+
+class InlineCallback {
+ public:
+  /// Inline capture capacity.  Sized for the kernel's real closures (a
+  /// `this` pointer plus a handful of values or one std::function being
+  /// forwarded across a layer boundary) while keeping a heap-arena slot
+  /// comfortably within a cache line pair.
+  static constexpr std::size_t kInlineBytes = 64;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when F's decayed type can live in the inline buffer.
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineBytes &&
+      alignof(std::decay_t<F>) <= kInlineAlign;
+
+  InlineCallback() noexcept = default;
+
+  /// Implicit conversion from any void() callable whose captures fit
+  /// inline, so `schedule_in(d, [this]{ ... })` reads exactly as before.
+  /// Callables that are too large are rejected at compile time; use
+  /// boxed() to opt into a heap allocation for them.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&> &&
+             fits_inline<F>)
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event closures are relocated during heap maintenance and "
+                  "must be nothrow-move-constructible");
+    ::new (storage()) Fn(std::forward<F>(f));
+    ops_ = &kOps<Fn>;
+  }
+
+  /// Explicit heap-fallback escape hatch for closures too large for the
+  /// inline buffer: the callable is moved onto the heap and the inline
+  /// buffer holds only the owning pointer.
+  template <typename F>
+  [[nodiscard]] static InlineCallback boxed(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "boxed() requires a void() callable");
+    return InlineCallback{
+        BoxedThunk<Fn>{std::make_unique<Fn>(std::forward<F>(f))}};
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroys the held callable (if any); the callback becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  /// Invokes the held callable.  Precondition: non-empty.
+  void operator()() { ops_->invoke(storage()); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// nullptr means "trivially relocatable": moving is a memcpy of the
+    /// inline buffer, with no per-type call.
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// nullptr means trivially destructible: destruction is a no-op.
+    void (*destroy)(void* self) noexcept;
+  };
+
+  /// Trivially copyable + trivially destructible captures (the common case:
+  /// a `this` pointer plus a few scalars) skip the per-type relocate/destroy
+  /// indirect calls entirely — that is two fewer indirect branches on every
+  /// schedule/pop cycle.
+  template <typename Fn>
+  static constexpr bool kTrivial =
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops kOps{
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      kTrivial<Fn> ? nullptr
+                   : +[](void* dst, void* src) noexcept {
+                       ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+                       static_cast<Fn*>(src)->~Fn();
+                     },
+      kTrivial<Fn> ? nullptr
+                   : +[](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  /// Heap indirection used by boxed(); itself trivially small, so it goes
+  /// through the normal inline path.
+  template <typename Fn>
+  struct BoxedThunk {
+    std::unique_ptr<Fn> fn;
+    void operator()() { (*fn)(); }
+  };
+
+  void steal(InlineCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(storage(), other.storage());
+      } else {
+        // Trivial capture: the whole fixed-size buffer copies in a handful
+        // of vector moves, cheaper and branch-friendlier than an indirect
+        // call sized to the exact capture.  The bytes past the capture are
+        // indeterminate but never interpreted — std::byte has no trap
+        // representations, so copying them is harmless.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+        std::memcpy(buffer_, other.buffer_, kInlineBytes);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void* storage() noexcept { return static_cast<void*>(buffer_); }
+
+  alignas(kInlineAlign) std::byte buffer_[kInlineBytes];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace bansim::sim

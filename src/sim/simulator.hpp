@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -52,6 +51,10 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+  /// Pre-sizes the pending-event set for `events` concurrent events (see
+  /// EventQueue::reserve); called by network builders before cell warm-up.
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
 
   /// Discards all pending events and resets the clock to zero.
   void reset();

@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace bansim::sim {
@@ -17,6 +18,52 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kCount: break;
   }
   return "?";
+}
+
+TraceMessage& TraceMessage::operator<<(double value) {
+  char tmp[32];
+  const int n = std::snprintf(tmp, sizeof tmp, "%g", value);
+  if (n > 0) *this << std::string_view{tmp, static_cast<std::size_t>(n)};
+  return *this;
+}
+
+namespace {
+
+/// Mirrors time.cpp's render_ns unit choice, but into a caller buffer.
+void render_ns_into(TraceMessage& out, std::int64_t ns) {
+  const double a = std::abs(static_cast<double>(ns));
+  const char* unit = nullptr;
+  double scaled = 0.0;
+  if (a >= 1e9) {
+    unit = "s";
+    scaled = static_cast<double>(ns) * 1e-9;
+  } else if (a >= 1e6) {
+    unit = "ms";
+    scaled = static_cast<double>(ns) * 1e-6;
+  } else if (a >= 1e3) {
+    unit = "us";
+    scaled = static_cast<double>(ns) * 1e-3;
+  }
+  char tmp[48];
+  int n;
+  if (unit != nullptr) {
+    n = std::snprintf(tmp, sizeof tmp, "%.3f %s", scaled, unit);
+  } else {
+    n = std::snprintf(tmp, sizeof tmp, "%lld ns", static_cast<long long>(ns));
+  }
+  if (n > 0) out << std::string_view{tmp, static_cast<std::size_t>(n)};
+}
+
+}  // namespace
+
+TraceMessage& TraceMessage::operator<<(Duration d) {
+  render_ns_into(*this, d.ticks());
+  return *this;
+}
+
+TraceMessage& TraceMessage::operator<<(TimePoint t) {
+  render_ns_into(*this, t.ticks());
+  return *this;
 }
 
 const std::string& TraceRecord::node() const {
@@ -50,18 +97,11 @@ TraceNodeId Tracer::intern(std::string_view name) {
   return id;
 }
 
-void Tracer::emit(TimePoint when, TraceCategory category, TraceNodeId node,
-                  std::string message) {
-  if (!enabled(category)) return;
-  TraceRecord record{when, category, node, std::move(message),
+void Tracer::dispatch(TimePoint when, TraceCategory category, TraceNodeId node,
+                      std::string_view message) {
+  TraceRecord record{when, category, node, std::string{message},
                      &names_[node]};
   for (auto& sink : sinks_) sink->consume(record);
-}
-
-void Tracer::emit(TimePoint when, TraceCategory category,
-                  std::string_view node, std::string message) {
-  if (!enabled(category)) return;
-  emit(when, category, intern(node), std::move(message));
 }
 
 }  // namespace bansim::sim

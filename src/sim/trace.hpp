@@ -3,17 +3,24 @@
 // Models emit timestamped records into a Tracer; sinks decide what happens
 // to them (discarded, printed, retained in memory for tests and for the
 // TDMA-timeline figures).  Tracing is designed to be cheap when nobody
-// listens: a category check is one array load, and node names are interned
-// once at component construction so hot-path emission never allocates for
-// the node field.
+// listens: a category check is one array load, node names are interned once
+// at component construction, and hot call sites use the *deferred* emit
+// overload — they pass a message-building callable that is only invoked
+// when the category is enabled, so a tracing-off run formats nothing and
+// allocates nothing.  When tracing is on, messages are composed in a
+// fixed-capacity TraceMessage buffer (integers and times formatted without
+// heap temporaries) and copied into the record once.
 #pragma once
 
 #include <array>
+#include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +45,57 @@ enum class TraceCategory : std::uint8_t {
 
 /// Interned node-name handle.  Id 0 is always the anonymous/global node "".
 using TraceNodeId = std::uint32_t;
+
+/// Fixed-capacity message builder for the deferred emit path.  Everything
+/// is formatted into an internal char buffer with to_chars-style
+/// primitives, so composing the common "state -> idle (42 cyc)" messages
+/// performs no heap allocation.  Messages longer than the capacity are
+/// truncated (traces are human-readable, not a wire format).
+class TraceMessage {
+ public:
+  static constexpr std::size_t kCapacity = 160;
+
+  TraceMessage& operator<<(std::string_view s) {
+    append(s.data(), s.size());
+    return *this;
+  }
+
+  TraceMessage& operator<<(char c) {
+    if (size_ < kCapacity) buf_[size_++] = c;
+    return *this;
+  }
+
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, char> &&
+             !std::is_same_v<T, bool>)
+  TraceMessage& operator<<(T value) {
+    char tmp[24];
+    const auto [end, ec] = std::to_chars(tmp, tmp + sizeof tmp, value);
+    if (ec == std::errc{}) append(tmp, static_cast<std::size_t>(end - tmp));
+    return *this;
+  }
+
+  TraceMessage& operator<<(double value);
+
+  /// Renders with the same auto-chosen unit as Duration::to_string()
+  /// ("1.500 ms"), but into the fixed buffer.
+  TraceMessage& operator<<(Duration d);
+  TraceMessage& operator<<(TimePoint t);
+
+  [[nodiscard]] std::string_view view() const { return {buf_, size_}; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void append(const char* data, std::size_t n) {
+    const std::size_t room = kCapacity - size_;
+    if (n > room) n = room;
+    std::memcpy(buf_ + size_, data, n);
+    size_ += n;
+  }
+
+  char buf_[kCapacity];
+  std::size_t size_{0};
+};
 
 /// One trace record.  The node name lives in the originating Tracer's
 /// intern table; records (and copies of them, e.g. in a MemorySink) remain
@@ -102,22 +160,61 @@ class Tracer {
   /// construction and pass the handle to emit().
   TraceNodeId intern(std::string_view name);
 
+  /// Pre-sizes the intern table for `names` distinct node names, so cell
+  /// construction doesn't rehash it incrementally during warm-up.
+  void reserve(std::size_t names) { index_.reserve(names); }
+
   /// The name behind an interned handle.
   [[nodiscard]] const std::string& node_name(TraceNodeId id) const {
     return names_[id];
   }
 
-  /// Emits a record to all sinks if the category is enabled.  The interned
-  /// overload is the hot path: no allocation for the node field.
+  /// Deferred-formatting emit: the hot path.  `build` is only invoked when
+  /// the category is enabled, so call sites pay one branch — no message
+  /// formatting, no allocation — in the (default) tracing-off case:
+  ///
+  ///   tracer.emit(now, TraceCategory::kMac, trace_node_,
+  ///               [&](sim::TraceMessage& m) { m << "slot " << slot; });
+  template <typename BuildFn>
+    requires std::is_invocable_v<BuildFn&, TraceMessage&>
   void emit(TimePoint when, TraceCategory category, TraceNodeId node,
-            std::string message);
+            BuildFn&& build) {
+    if (!enabled(category)) return;
+    TraceMessage message;
+    build(message);
+    dispatch(when, category, node, message.view());
+  }
 
-  /// Convenience overload for call sites without a pre-interned handle
-  /// (tests, one-off emissions); interns on the fly.
+  /// Deferred emit for call sites without a pre-interned handle.
+  template <typename BuildFn>
+    requires std::is_invocable_v<BuildFn&, TraceMessage&>
   void emit(TimePoint when, TraceCategory category, std::string_view node,
-            std::string message);
+            BuildFn&& build) {
+    if (!enabled(category)) return;
+    TraceMessage message;
+    build(message);
+    dispatch(when, category, intern(node), message.view());
+  }
+
+  /// Eager overload for pre-built messages (tests, cold paths).
+  void emit(TimePoint when, TraceCategory category, TraceNodeId node,
+            std::string_view message) {
+    if (!enabled(category)) return;
+    dispatch(when, category, node, message);
+  }
+
+  /// Eager overload that also interns on the fly.
+  void emit(TimePoint when, TraceCategory category, std::string_view node,
+            std::string_view message) {
+    if (!enabled(category)) return;
+    dispatch(when, category, intern(node), message);
+  }
 
  private:
+  /// Builds the record and fans it out.  Precondition: category enabled.
+  void dispatch(TimePoint when, TraceCategory category, TraceNodeId node,
+                std::string_view message);
+
   std::array<bool, static_cast<std::size_t>(TraceCategory::kCount)> enabled_{};
   std::vector<std::shared_ptr<TraceSink>> sinks_;
   // Interned names.  std::deque keeps element addresses stable, so the

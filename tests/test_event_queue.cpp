@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace bansim::sim {
@@ -164,6 +169,221 @@ TEST(EventQueue, SlotArenaRecyclesInsteadOfGrowing) {
   EXPECT_EQ(q.slot_capacity(), 1u);
   EXPECT_EQ(q.scheduled_total(), 1000u);
   EXPECT_TRUE(q.empty());
+}
+
+// Counts live instances of a captured object so tests can assert exactly
+// when the kernel constructs and destroys closure state.
+struct LifeProbe {
+  int* constructed;
+  int* destroyed;
+
+  LifeProbe(int* c, int* d) : constructed{c}, destroyed{d} { ++*constructed; }
+  LifeProbe(const LifeProbe& o) noexcept
+      : constructed{o.constructed}, destroyed{o.destroyed} {
+    ++*constructed;
+  }
+  LifeProbe(LifeProbe&& o) noexcept
+      : constructed{o.constructed}, destroyed{o.destroyed} {
+    ++*constructed;
+  }
+  LifeProbe& operator=(const LifeProbe&) = delete;
+  LifeProbe& operator=(LifeProbe&&) = delete;
+  ~LifeProbe() { ++*destroyed; }
+};
+
+// A callable too large for the inline buffer: must be rejected at compile
+// time on the implicit path and accepted through the boxed() escape hatch.
+struct OversizedCallable {
+  std::array<std::byte, InlineCallback::kInlineBytes + 64> blob{};
+  int* hits{nullptr};
+  void operator()() const { ++*hits; }
+};
+
+struct SmallCallable {
+  void operator()() const {}
+};
+
+struct OveralignedCallable {
+  alignas(2 * InlineCallback::kInlineAlign) std::byte data[8]{};
+  void operator()() const {}
+};
+
+static_assert(std::is_constructible_v<InlineCallback, SmallCallable>,
+              "small callables must convert implicitly");
+static_assert(!std::is_constructible_v<InlineCallback, OversizedCallable>,
+              "captures larger than the inline buffer must not compile");
+static_assert(!std::is_constructible_v<InlineCallback, OveralignedCallable>,
+              "captures over-aligned beyond max_align_t must not compile");
+static_assert(!std::is_copy_constructible_v<InlineCallback> &&
+                  !std::is_copy_assignable_v<InlineCallback>,
+              "InlineCallback is move-only");
+
+TEST(InlineCallback, EmptyByDefaultAndAfterReset) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  int hits = 0;
+  cb = InlineCallback{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb.reset();
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(InlineCallback, MoveTransfersTheClosure) {
+  int hits = 0;
+  InlineCallback a{[&hits] { ++hits; }};
+  InlineCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, HoldsMoveOnlyCaptures) {
+  auto value = std::make_unique<int>(41);
+  int result = 0;
+  InlineCallback cb{[value = std::move(value), &result] { result = *value + 1; }};
+  cb();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(InlineCallback, DestroysCaptureExactlyOnce) {
+  int constructed = 0;
+  int destroyed = 0;
+  {
+    InlineCallback cb{[probe = LifeProbe{&constructed, &destroyed}] {
+      (void)probe;
+    }};
+    InlineCallback moved{std::move(cb)};
+    moved = InlineCallback{};  // move-assign over: destroys the closure
+    EXPECT_EQ(constructed, destroyed);
+  }
+  EXPECT_GT(constructed, 0);
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(InlineCallback, BoxedEscapeHatchForLargeClosures) {
+  int hits = 0;
+  OversizedCallable big;
+  big.hits = &hits;
+  InlineCallback cb = InlineCallback::boxed(big);
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventQueue, MoveOnlyCaptureRunsThroughTheArena) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  q.schedule(at(1), [payload = std::move(payload), &seen] { seen = *payload; });
+  q.pop().second();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventQueue, CancelDestroysCapturedStateEagerly) {
+  int constructed = 0;
+  int destroyed = 0;
+  EventQueue q;
+  EventHandle h = q.schedule(
+      at(1), [probe = LifeProbe{&constructed, &destroyed}] { (void)probe; });
+  EXPECT_LT(destroyed, constructed);  // the scheduled copy is alive
+  h.cancel();
+  // Cancellation must free the capture immediately (lazy pruning only
+  // applies to the heap key), so resources pinned by closures don't linger.
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(EventQueue, ClearDestroysCapturedState) {
+  int constructed = 0;
+  int destroyed = 0;
+  EventQueue q;
+  for (int i = 0; i < 4; ++i) {
+    q.schedule(at(i), [probe = LifeProbe{&constructed, &destroyed}] {
+      (void)probe;
+    });
+  }
+  q.clear();
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(EventQueue, PopBalancesConstructionAndDestruction) {
+  int constructed = 0;
+  int destroyed = 0;
+  EventQueue q;
+  q.schedule(at(1), [probe = LifeProbe{&constructed, &destroyed}] {
+    (void)probe;
+  });
+  {
+    auto [when, action] = q.pop();
+    EXPECT_EQ(when, at(1));
+    action();
+    EXPECT_LT(destroyed, constructed);  // closure alive while invocable
+  }
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(EventQueue, SelfRescheduleFromInsideInvocation) {
+  // The closure is moved out of the arena before it runs, so an event may
+  // schedule (even into its own recycled slot) from inside its invocation.
+  EventQueue q;
+  int fired = 0;
+  struct Rearm {
+    EventQueue* q;
+    int* fired;
+    TimePoint when;
+    void operator()() const {
+      if (++*fired < 5) {
+        q->schedule(when + Duration::milliseconds(1), Rearm{q, fired, when});
+      }
+    }
+  };
+  q.schedule(at(1), Rearm{&q, &fired, at(1)});
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.slot_capacity(), 1u);  // the chain reused one slot
+}
+
+TEST(EventQueue, ClearThenRescheduleDoesNotAliasRecycledSlots) {
+  EventQueue q;
+  bool stale_ran = false;
+  std::vector<EventHandle> stale;
+  for (int i = 0; i < 3; ++i) {
+    stale.push_back(q.schedule(at(i), [&stale_ran] { stale_ran = true; }));
+  }
+  q.clear();
+  // The replacements recycle the cleared slots; stale handles must neither
+  // report pending nor cancel the new occupants.
+  int fresh_ran = 0;
+  for (int i = 0; i < 3; ++i) {
+    q.schedule(at(10 + i), [&fresh_ran] { ++fresh_ran; });
+  }
+  for (auto& h : stale) {
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+  }
+  EXPECT_EQ(q.size(), 3u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(stale_ran);
+  EXPECT_EQ(fresh_ran, 3);
+  EXPECT_EQ(q.slot_capacity(), 3u);
+}
+
+TEST(EventQueue, ReservePresizesArenaWithoutChangingBehaviour) {
+  EventQueue q;
+  q.reserve(32);
+  EXPECT_EQ(q.slot_capacity(), 32u);
+  EXPECT_TRUE(q.empty());
+  std::vector<int> order;
+  for (int i = 9; i >= 0; --i) {
+    q.schedule(at(i), [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.slot_capacity(), 32u);  // no growth past the reservation
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  q.reserve(8);  // never shrinks
+  EXPECT_EQ(q.slot_capacity(), 32u);
 }
 
 TEST(EventQueue, InterleavedCancelAndPopKeepsOrder) {

@@ -2,6 +2,36 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+// Counting global allocator: lets the zero-allocation tests below verify
+// that the deferred emit path really never touches the heap while tracing
+// is disabled.  Replacing the global operator new affects this test binary
+// only.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace bansim::sim {
 namespace {
 
@@ -68,6 +98,95 @@ TEST(Tracer, CategoryNames) {
   EXPECT_STREQ(to_string(TraceCategory::kRadio), "radio");
   EXPECT_STREQ(to_string(TraceCategory::kMac), "mac");
   EXPECT_STREQ(to_string(TraceCategory::kEnergy), "energy");
+}
+
+TEST(TraceMessage, ComposesTextNumbersAndTimes) {
+  TraceMessage m;
+  m << "state " << -3 << " -> " << 42u << ' ' << 2.5 << " in "
+    << Duration::microseconds(1500);
+  EXPECT_EQ(m.view(), "state -3 -> 42 2.5 in 1.500 ms");
+}
+
+TEST(TraceMessage, MatchesDurationToString) {
+  for (const Duration d :
+       {Duration::nanoseconds(950), Duration::microseconds(12),
+        Duration::milliseconds(7), Duration::seconds(3)}) {
+    TraceMessage m;
+    m << d;
+    EXPECT_EQ(std::string{m.view()}, d.to_string());
+  }
+  TraceMessage m;
+  m << (TimePoint::zero() + Duration::milliseconds(1));
+  EXPECT_EQ(std::string{m.view()},
+            (TimePoint::zero() + Duration::milliseconds(1)).to_string());
+}
+
+TEST(TraceMessage, TruncatesAtCapacityInsteadOfGrowing) {
+  TraceMessage m;
+  const std::string long_text(3 * TraceMessage::kCapacity, 'x');
+  m << long_text << 12345;
+  EXPECT_EQ(m.size(), TraceMessage::kCapacity);
+  EXPECT_EQ(m.view(), std::string(TraceMessage::kCapacity, 'x'));
+}
+
+TEST(TraceMessage, FormattingAllocatesNothing) {
+  const std::size_t before = g_allocations.load();
+  TraceMessage m;
+  m << "state -> " << 17 << " (" << Duration::microseconds(250) << ", "
+    << 0.125 << ")";
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(m.view(), "state -> 17 (250.000 us, 0.125)");
+}
+
+TEST(Tracer, LazyEmitReachesSinkWhenEnabled) {
+  Tracer t;
+  auto sink = std::make_shared<MemorySink>();
+  t.attach(sink, {TraceCategory::kMac});
+  const TraceNodeId node = t.intern("node3");
+  t.emit(TimePoint::zero() + 5_ms, TraceCategory::kMac, node,
+         [](TraceMessage& m) { m << "slot " << 4; });
+  ASSERT_EQ(sink->records().size(), 1u);
+  EXPECT_EQ(sink->records().front().message, "slot 4");
+  EXPECT_EQ(sink->records().front().node(), "node3");
+}
+
+TEST(Tracer, LazyEmitByNameInternsOnlyWhenEnabled) {
+  Tracer t;
+  auto sink = std::make_shared<MemorySink>();
+  t.attach(sink, {TraceCategory::kApp});
+  t.emit(TimePoint::zero(), TraceCategory::kApp, "oneoff",
+         [](TraceMessage& m) { m << "x"; });
+  ASSERT_EQ(sink->records().size(), 1u);
+  EXPECT_EQ(sink->records().front().node(), "oneoff");
+}
+
+TEST(Tracer, DisabledLazyEmitNeverInvokesTheBuilderOrAllocates) {
+  Tracer t;  // every category disabled: the sweep/bench default
+  const TraceNodeId node = t.intern("node1");
+  int builds = 0;
+  const std::size_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    t.emit(TimePoint::zero(), TraceCategory::kMac, node,
+           [&](TraceMessage& m) {
+             ++builds;
+             m << "state -> " << i;
+           });
+    t.emit(TimePoint::zero(), TraceCategory::kRadio, node,
+           [&](TraceMessage& m) {
+             ++builds;
+             m << "radio " << i << " -> " << i + 1;
+           });
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(builds, 0);
+}
+
+TEST(Tracer, ReservePreservesInterning) {
+  Tracer t;
+  t.reserve(64);
+  const TraceNodeId a = t.intern("node1");
+  EXPECT_EQ(t.intern("node1"), a);
+  EXPECT_EQ(t.node_name(a), "node1");
 }
 
 }  // namespace
