@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Long-running differential fuzz soak: sweeps seed chunks through
+# bansim_check until interrupted (or until --chunks N chunks are done),
+# stopping at the first failure — the binary has already printed the
+# offending seed and its minimized config at that point.
+#
+# usage: scripts/fuzz_soak.sh [--start SEED] [--chunk SEEDS] [--chunks N]
+#                             [--jobs N]
+#
+# Examples:
+#   scripts/fuzz_soak.sh                       # soak forever from seed 1
+#   scripts/fuzz_soak.sh --start 10000 --chunks 5
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+start=1
+chunk=500
+chunks=0      # 0 = run until interrupted
+jobs=0        # 0 = all hardware threads
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --start)  start=$2; shift 2 ;;
+    --chunk)  chunk=$2; shift 2 ;;
+    --chunks) chunks=$2; shift 2 ;;
+    --jobs)   jobs=$2; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$repo/build" -S "$repo" -DBANSIM_WARNINGS_AS_ERRORS=ON
+cmake --build "$repo/build" -j "$(nproc)" --target bansim_check_cli
+check="$repo/build/tests/bansim_check"
+
+done_chunks=0
+seed=$start
+while :; do
+  echo "== fuzz soak: seeds $seed..$((seed + chunk - 1)) =="
+  if ! "$check" --start "$seed" --seeds "$chunk" --jobs "$jobs"; then
+    echo "fuzz soak: FAILED in chunk starting at seed $seed (see above)" >&2
+    exit 1
+  fi
+  seed=$((seed + chunk))
+  done_chunks=$((done_chunks + 1))
+  if [[ "$chunks" -gt 0 && "$done_chunks" -ge "$chunks" ]]; then
+    break
+  fi
+done
+echo "fuzz soak: OK ($done_chunks chunk(s), $((done_chunks * chunk)) seeds)"

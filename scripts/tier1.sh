@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build (warnings are errors) + full test
-# suite, an ASan/UBSan build of the memory-sensitive regression
-# surfaces (fragment reassembly, energy-meter bounds, event-queue slot
-# arena + inline-callback closures, simulator loop, scenario runner,
-# heterogeneous-roster BAN composition), then a Release build of the
-# kernel bench as a smoke test so the bench targets can't bitrot
-# silently.
+# suite (which includes the fuzz_smoke invariant battery), an
+# ASan/UBSan build of the memory-sensitive regression surfaces
+# (fragment reassembly, energy-meter bounds, event-queue slot arena +
+# inline-callback closures, simulator loop, scenario runner,
+# heterogeneous-roster BAN composition, invariant monitor) plus a small
+# sanitized fuzz run, then a Release build of the kernel bench as a
+# smoke test so the bench targets can't bitrot silently.
 #
 # usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -16,19 +17,28 @@ repo=$(cd "$(dirname "$0")/.." && pwd)
 echo "== tier 1: build + ctest =="
 cmake -B "$repo/build" -S "$repo" -DBANSIM_WARNINGS_AS_ERRORS=ON
 cmake --build "$repo/build" -j "$jobs"
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+if ! ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"; then
+  echo "tier 1: ctest FAILED." >&2
+  echo "If fuzz_smoke failed, the log above names the offending seed(s)" >&2
+  echo "and the minimized config; replay one interactively with" >&2
+  echo "  $repo/build/tests/bansim_check --seed <seed>" >&2
+  exit 1
+fi
 
 echo "== tier 1: ASan/UBSan regression subset =="
 sanitize_tests=(test_delta_fragment test_energy_meter test_event_queue
-                test_simulator test_scenario_runner test_heterogeneous_ban)
+                test_simulator test_scenario_runner test_heterogeneous_ban
+                test_invariant_monitor)
 cmake -B "$repo/build-asan" -S "$repo" -DBANSIM_SANITIZE=ON \
   -DBANSIM_WARNINGS_AS_ERRORS=ON
 cmake --build "$repo/build-asan" -j "$jobs" \
-  --target "${sanitize_tests[@]}"
+  --target "${sanitize_tests[@]}" bansim_check_cli
 for t in "${sanitize_tests[@]}"; do
   echo "-- $t (asan) --"
   "$repo/build-asan/tests/$t" --gtest_brief=1
 done
+echo "-- bansim_check (asan, 10 seeds) --"
+"$repo/build-asan/tests/bansim_check" --seeds 10
 
 echo "== tier 1: Release bench smoke =="
 cmake -B "$repo/build-bench" -S "$repo" -DCMAKE_BUILD_TYPE=Release

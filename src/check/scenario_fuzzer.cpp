@@ -1,0 +1,282 @@
+#include "check/scenario_fuzzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "check/invariant_monitor.hpp"
+#include "core/config_io.hpp"
+#include "sim/rng.hpp"
+#include "sim/scenario_runner.hpp"
+
+namespace bansim::check {
+
+namespace {
+
+/// Everything evaluate() needs from one simulation.
+struct RunOutput {
+  bool joined{false};
+  std::vector<energy::NodeEnergy> energies;
+  std::uint64_t monitor_violations{0};
+  std::string monitor_report;
+};
+
+std::vector<double> flatten(const std::vector<energy::NodeEnergy>& nodes) {
+  std::vector<double> flat;
+  for (const auto& n : nodes) {
+    for (const auto& c : n.components) {
+      flat.push_back(c.joules);
+      for (const auto& [state, joules] : c.per_state) flat.push_back(joules);
+    }
+  }
+  return flat;
+}
+
+RunOutput run_config(const core::BanConfig& config, bool monitored,
+                     const FuzzOptions& opt) {
+  core::BanNetwork network{config};
+  std::optional<InvariantMonitor> monitor;
+  if (monitored) {
+    monitor.emplace(network.context());
+    monitor->watch_network(network);
+  }
+  network.start();
+  RunOutput out;
+  out.joined = network.run_until_joined(
+      opt.settle, sim::TimePoint::zero() + opt.join_deadline);
+  network.run_until(network.simulator().now() + opt.measure);
+  if (monitor) {
+    monitor->final_audit(network.simulator().now());
+    out.monitor_violations = monitor->total_violations();
+    out.monitor_report = monitor->report();
+  }
+  out.energies = network.energy_snapshot();
+  return out;
+}
+
+}  // namespace
+
+core::BanConfig make_fuzz_config(std::uint64_t seed) {
+  sim::Rng rng = sim::Rng::stream(seed, "fuzz/config");
+  core::BanConfig config;
+  config.seed = seed;
+
+  const int nodes = rng.uniform_int(1, 6);
+  config.num_nodes = static_cast<std::size_t>(nodes);
+
+  if (rng.chance(0.5)) {
+    config.tdma.variant = mac::TdmaVariant::kStatic;
+    config.tdma.max_slots =
+        static_cast<std::uint8_t>(rng.uniform_int(nodes, 6));
+  } else {
+    config.tdma.variant = mac::TdmaVariant::kDynamic;
+    config.tdma.max_slots = 0;
+  }
+  config.tdma.slot = sim::Duration::from_milliseconds(rng.uniform(5.0, 15.0));
+  config.tdma.pan_id = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  config.tdma.fast_grant = rng.chance(0.7);
+  config.tdma.ack_data = rng.chance(0.3);
+  config.tdma.radio_power_down = rng.chance(0.3);
+
+  config.stagger = sim::Duration::from_milliseconds(rng.uniform(5.0, 80.0));
+  if (rng.chance(0.25)) {
+    config.address_offset =
+        static_cast<net::NodeId>(rng.uniform_int(0, 200));
+  }
+
+  config.roster.resize(config.num_nodes);
+  for (auto& spec : config.roster) {
+    const double draw = rng.uniform(0.0, 1.0);
+    if (draw < 0.50) {
+      spec.app = core::AppKind::kEcgStreaming;
+    } else if (draw < 0.75) {
+      spec.app = core::AppKind::kRpeak;
+    } else if (draw < 0.90) {
+      spec.app = core::AppKind::kEegMonitoring;
+    } else {
+      spec.app = core::AppKind::kNone;
+    }
+    if (rng.chance(0.2)) spec.clock_skew = rng.uniform(-2.0e-3, 2.0e-3);
+    if (rng.chance(0.2)) {
+      spec.boot_offset =
+          sim::Duration::from_milliseconds(rng.uniform(0.0, 40.0));
+    }
+  }
+
+  // standard_ban_layout covers up to 6 nodes, so the link model is always
+  // applicable here.
+  config.use_link_model = rng.chance(0.25);
+  return config;
+}
+
+ScenarioFuzzer::ScenarioFuzzer(FuzzOptions options)
+    : options_{std::move(options)} {}
+
+std::vector<double> ScenarioFuzzer::reference_energies(
+    const core::BanConfig& config) const {
+  return flatten(run_config(config, /*monitored=*/false, options_).energies);
+}
+
+std::optional<std::string> ScenarioFuzzer::evaluate(
+    const core::BanConfig& config) const {
+  // Invariants live under the monitor at reference fidelity.
+  const RunOutput monitored = run_config(config, true, options_);
+  if (monitored.monitor_violations != 0) {
+    return "invariant violations (reference fidelity):\n" +
+           monitored.monitor_report;
+  }
+
+  // Oracle: monitor-on vs monitor-off, bit-identical energies.
+  const RunOutput plain = run_config(config, false, options_);
+  const auto mon_flat = flatten(monitored.energies);
+  const auto plain_flat = flatten(plain.energies);
+  if (mon_flat != plain_flat) {
+    for (std::size_t i = 0; i < std::min(mon_flat.size(), plain_flat.size());
+         ++i) {
+      if (mon_flat[i] != plain_flat[i]) {
+        return "monitor-on/off oracle: energy slot " + std::to_string(i) +
+               " differs (" + std::to_string(mon_flat[i]) + " J vs " +
+               std::to_string(plain_flat[i]) + " J)";
+      }
+    }
+    return "monitor-on/off oracle: energy vector shapes differ";
+  }
+
+  // Invariants must also hold at model fidelity (the estimator drives the
+  // same state machines with the second-order effects zeroed).
+  core::BanConfig model_config = config;
+  model_config.fidelity = core::Fidelity::kModel;
+  const RunOutput model = run_config(model_config, true, options_);
+  if (model.monitor_violations != 0) {
+    return "invariant violations (model fidelity):\n" + model.monitor_report;
+  }
+
+  // Oracle: bounded ref-vs-model divergence (only comparable when both
+  // networks actually formed).
+  if (plain.joined && model.joined &&
+      plain.energies.size() == model.energies.size()) {
+    for (std::size_t i = 0; i < plain.energies.size(); ++i) {
+      const double ref_j = plain.energies[i].total_joules();
+      const double model_j = model.energies[i].total_joules();
+      const double hi = std::max(ref_j, model_j);
+      const double lo = std::min(ref_j, model_j);
+      if (hi > 5.0 * lo + 5e-3) {
+        return "fidelity oracle: node '" + plain.energies[i].node +
+               "' diverges (reference " + std::to_string(ref_j * 1e3) +
+               " mJ vs model " + std::to_string(model_j * 1e3) + " mJ)";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+CaseOutcome ScenarioFuzzer::run_case(std::uint64_t seed) const {
+  CaseOutcome outcome;
+  outcome.seed = seed;
+
+  core::BanConfig config = make_fuzz_config(seed);
+  std::optional<std::string> failure = evaluate(config);
+  if (!failure) return outcome;
+
+  if (options_.shrink) {
+    // Greedy minimization: keep any single simplification that still fails.
+    using Mutation = std::function<bool(core::BanConfig&)>;
+    const std::vector<Mutation> mutations = {
+        [](core::BanConfig& c) {
+          if (c.roster.size() <= 1) return false;
+          c.roster.resize((c.roster.size() + 1) / 2);
+          c.num_nodes = c.roster.size();
+          return true;
+        },
+        [](core::BanConfig& c) {
+          if (!c.use_link_model) return false;
+          c.use_link_model = false;
+          return true;
+        },
+        [](core::BanConfig& c) {
+          bool changed = false;
+          for (auto& spec : c.roster) {
+            if (spec.app != core::AppKind::kEcgStreaming ||
+                spec.clock_skew || spec.boot_offset) {
+              changed = true;
+            }
+            spec = core::NodeSpec{};
+            spec.app = core::AppKind::kEcgStreaming;
+          }
+          return changed;
+        },
+        [](core::BanConfig& c) {
+          if (!c.tdma.ack_data && !c.tdma.radio_power_down) return false;
+          c.tdma.ack_data = false;
+          c.tdma.radio_power_down = false;
+          return true;
+        },
+    };
+    for (const auto& mutate : mutations) {
+      core::BanConfig candidate = config;
+      if (!mutate(candidate)) continue;
+      if (auto candidate_failure = evaluate(candidate)) {
+        config = std::move(candidate);
+        failure = std::move(candidate_failure);
+      }
+    }
+  }
+
+  outcome.ok = false;
+  outcome.failure = *failure;
+  outcome.config_ini = core::serialize_config(config);
+  return outcome;
+}
+
+FuzzSummary ScenarioFuzzer::run() const {
+  FuzzSummary summary;
+
+  std::vector<std::function<CaseOutcome()>> cases;
+  cases.reserve(options_.num_seeds);
+  for (std::size_t i = 0; i < options_.num_seeds; ++i) {
+    const std::uint64_t seed = options_.start_seed + i;
+    cases.emplace_back([this, seed] { return run_case(seed); });
+  }
+  sim::ScenarioRunner runner{options_.jobs};
+  const std::vector<CaseOutcome> outcomes = runner.run(cases);
+  summary.cases_run = outcomes.size();
+  for (const auto& outcome : outcomes) {
+    if (!outcome.ok) {
+      ++summary.failures;
+      summary.failed.push_back(outcome);
+    }
+  }
+
+  // Serial vs parallel oracle: the same scenario batch through a 1-worker
+  // and an N-worker pool must be bit-identical.
+  const std::size_t oracle_seeds =
+      std::min(options_.parallel_oracle_seeds, options_.num_seeds);
+  if (oracle_seeds > 0) {
+    std::vector<std::function<std::vector<double>()>> batch;
+    batch.reserve(oracle_seeds);
+    for (std::size_t i = 0; i < oracle_seeds; ++i) {
+      const std::uint64_t seed = options_.start_seed + i;
+      batch.emplace_back(
+          [this, seed] { return reference_energies(make_fuzz_config(seed)); });
+    }
+    sim::ScenarioRunner parallel{options_.jobs == 1 ? 0 : options_.jobs};
+    sim::ScenarioRunner serial{1};
+    const auto parallel_energies = parallel.run(batch);
+    const auto serial_energies = serial.run(batch);
+    for (std::size_t i = 0; i < oracle_seeds; ++i) {
+      if (parallel_energies[i] != serial_energies[i]) {
+        summary.parallel_oracle_ok = false;
+        summary.parallel_oracle_detail =
+            "serial-vs-parallel oracle: seed " +
+            std::to_string(options_.start_seed + i) +
+            " produced different energies on " +
+            std::to_string(parallel.jobs()) + " workers";
+        break;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace bansim::check

@@ -21,6 +21,8 @@ CellPlan make_cell_plan(const BanConfig& config) {
   plan.eeg_signal = config.eeg_signal;
   plan.roster = config.roster;
   if (plan.roster.empty()) plan.roster.resize(config.num_nodes);
+  // num_nodes = 0 is an explicit request for a beacon-only network.
+  plan.allow_empty_roster = config.num_nodes == 0 && config.roster.empty();
   return plan;
 }
 

@@ -1,5 +1,8 @@
 #include "core/network_builder.hpp"
 
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
 #include <utility>
 
 #include "sim/rng.hpp"
@@ -27,6 +30,12 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
                                      const CellPlan& plan,
                                      os::ModelProbe& probe,
                                      const os::CycleCostModel& nominal_costs) {
+  if (plan.roster.empty() && !plan.allow_empty_roster) {
+    throw std::invalid_argument(
+        "CellPlan roster is empty: resize it to the desired node count, or "
+        "set allow_empty_roster for a deliberate base-station-only cell");
+  }
+
   BuiltCell cell;
   cell.seed = plan.seed;
   cell.stagger_stream = plan.streams.stagger;
@@ -57,6 +66,14 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
 
   cell.nodes.reserve(plan.roster.size());
   cell.boot_offsets.reserve(plan.roster.size());
+  // Duplicate radio addresses make the channel's hardware address filter
+  // deliver one node's unicast traffic to another — a mis-assembled roster,
+  // not a simulatable topology.  Hard-error before any stack is built.
+  std::unordered_set<net::NodeId> used_addresses;
+  const net::NodeId bs_address = plan.mac == MacKind::kTdma
+                                     ? mac::TdmaConfig::bs_address(plan.tdma.pan_id)
+                                     : net::kBaseStationId;
+  used_addresses.insert(bs_address);
   for (std::size_t i = 0; i < plan.roster.size(); ++i) {
     const NodeSpec& spec = plan.roster[i];
 
@@ -85,6 +102,13 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
         spec.address != 0
             ? spec.address
             : static_cast<net::NodeId>(plan.address_offset + i + 1);
+    if (!used_addresses.insert(init.address).second) {
+      throw std::invalid_argument(
+          "duplicate radio address " + std::to_string(init.address) +
+          " in roster entry " + std::to_string(i) +
+          (init.address == bs_address ? " (collides with the base station)"
+                                      : ""));
+    }
     init.name = "node" + std::to_string(init.address);
     init.eeg_seed = plan.seed ^ sim::fnv1a64("eeg/" + init.name);
 

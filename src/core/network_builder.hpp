@@ -74,8 +74,12 @@ struct CellPlan {
   apps::EegConfig eeg_signal{};
 
   /// One entry per node; an empty roster is invalid (resize it to the
-  /// desired node count with default specs for a homogeneous cell).
+  /// desired node count with default specs for a homogeneous cell) unless
+  /// a base-station-only cell is explicitly requested below.
   std::vector<NodeSpec> roster{};
+  /// Opts in to an empty roster: a beacon-only cell with no sensor nodes.
+  /// Kept separate so a roster someone forgot to resize still hard-errors.
+  bool allow_empty_roster{false};
 };
 
 /// One assembled cell plus the bookkeeping start_cell() needs.

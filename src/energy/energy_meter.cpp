@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/check_hooks.hpp"
+
 namespace bansim::energy {
 
 EnergyMeter::EnergyMeter(std::string component, double supply_volts,
@@ -28,6 +30,11 @@ std::size_t EnergyMeter::checked_state(int state, const char* what) const {
 void EnergyMeter::transition(int state, sim::TimePoint when) {
   checked_state(state, "transition");
   residency_.transition(state, when);
+  if (check_hooks_) check_hooks_->on_meter_transition(this, state, when);
+}
+
+void EnergyMeter::end_state(sim::TimePoint when) {
+  residency_.close(when);
 }
 
 double EnergyMeter::energy_in(int state, sim::TimePoint now) const {
@@ -51,6 +58,7 @@ double EnergyMeter::average_power(sim::TimePoint now) const {
 
 void EnergyMeter::add_transient(int state, double joules) {
   transient_joules_[checked_state(state, "add_transient")] += joules;
+  if (check_hooks_) check_hooks_->on_meter_transient(this, state, joules);
 }
 
 std::size_t EnergyLedger::add_meter(EnergyMeter meter) {

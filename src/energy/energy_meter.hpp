@@ -16,6 +16,10 @@
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
+namespace bansim::sim {
+class CheckHooks;
+}
+
 namespace bansim::energy {
 
 /// Static description of one power state of a component.
@@ -37,6 +41,15 @@ class EnergyMeter {
   /// all other state-addressed accessors — a silent out-of-bounds write
   /// here would skew every validation table downstream.
   void transition(int state, sim::TimePoint when);
+
+  /// Closes the books at `when` without entering a new state: the
+  /// in-progress stretch is flushed into the residency accumulator and the
+  /// entry counters are untouched.  Idempotent — a teardown path that
+  /// closes every meter "at sim end" may run twice (e.g. an explicit
+  /// end-of-measurement close followed by a destructor sweep) without
+  /// double-counting entries, which a plain transition(current_state(), t)
+  /// would do.
+  void end_state(sim::TimePoint when);
 
   [[nodiscard]] int current_state() const { return residency_.current_state(); }
   [[nodiscard]] const std::string& component() const { return component_; }
@@ -69,6 +82,14 @@ class EnergyMeter {
   /// transient such as an oscillator start-up).  Attributed to `state`.
   void add_transient(int state, double joules);
 
+  /// Metering start instant (residency baseline for conservation checks).
+  [[nodiscard]] sim::TimePoint start() const { return start_; }
+
+  /// Attaches a checking-layer observer notified of every transition and
+  /// transient (nullptr detaches).  Observers are pure readers; attaching
+  /// one never changes metered energies.
+  void set_check_hooks(sim::CheckHooks* hooks) { check_hooks_ = hooks; }
+
  private:
   /// Validates a caller-supplied state index; returns it widened.  Throws
   /// std::out_of_range naming the component and call site.
@@ -80,6 +101,7 @@ class EnergyMeter {
   std::vector<double> transient_joules_;
   sim::StateResidency residency_;
   sim::TimePoint start_;
+  sim::CheckHooks* check_hooks_{nullptr};
 };
 
 /// Per-component breakdown row extracted from a meter.

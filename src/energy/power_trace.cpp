@@ -1,13 +1,20 @@
 #include "energy/power_trace.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+#include <stdexcept>
 
 namespace bansim::energy {
 
 void PowerTrace::step(sim::TimePoint when, double watts) {
-  assert(points_.empty() || when >= points_.back().when);
+  if (!points_.empty() && when < points_.back().when) {
+    // A step before the last one would silently corrupt sample()'s binary
+    // search; report it as the caller bug it is (in every build type — a
+    // debug assert would let release figure generators integrate garbage).
+    throw std::invalid_argument("PowerTrace::step: time moved backwards (" +
+                                when.to_string() + " < " +
+                                points_.back().when.to_string() + ")");
+  }
   if (!points_.empty() && points_.back().when == when) {
     points_.back().watts = watts;  // coalesce same-instant steps
     return;

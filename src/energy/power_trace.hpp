@@ -13,7 +13,9 @@ namespace bansim::energy {
 /// Step-wise power waveform: power is `watts[i]` on [at[i], at[i+1]).
 class PowerTrace {
  public:
-  /// Appends a step; `when` must be monotonically non-decreasing.
+  /// Appends a step; `when` must be monotonically non-decreasing (throws
+  /// std::invalid_argument on a time regression).  Same-instant steps
+  /// coalesce: the later power value wins.
   void step(sim::TimePoint when, double watts);
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }

@@ -1,5 +1,7 @@
 #include "hw/mcu.hpp"
 
+#include "sim/check_hooks.hpp"
+
 namespace bansim::hw {
 
 const char* to_string(McuMode m) {
@@ -27,7 +29,8 @@ std::vector<energy::PowerState> mcu_states(const McuParams& p) {
 
 Mcu::Mcu(sim::SimContext& context, std::string node_name,
          const McuParams& params, double clock_skew)
-    : simulator_{context.simulator}, tracer_{context.tracer},
+    : context_{context}, simulator_{context.simulator},
+      tracer_{context.tracer},
       node_{std::move(node_name)}, trace_node_{tracer_.intern(node_)},
       params_{params}, clock_skew_{clock_skew},
       meter_{"mcu", params.supply_volts, mcu_states(params)} {}
@@ -48,6 +51,10 @@ sim::Duration Mcu::true_to_local(sim::Duration true_time) const {
 sim::Duration Mcu::enter(McuMode mode) {
   if (mode == mode_) return sim::Duration::zero();
   const bool waking = mode == McuMode::kActive;
+  if (auto* hooks = context_.check_hooks()) {
+    hooks->on_mcu_mode(this, static_cast<int>(mode_), static_cast<int>(mode),
+                       simulator_.now());
+  }
   meter_.transition(static_cast<int>(mode), simulator_.now());
   tracer_.emit(simulator_.now(), sim::TraceCategory::kMcu, trace_node_,
                [&](sim::TraceMessage& m) { m << "mcu -> " << to_string(mode); });

@@ -69,6 +69,7 @@ class Mcu {
   [[nodiscard]] energy::EnergyMeter& meter() { return meter_; }
 
  private:
+  sim::SimContext& context_;
   sim::Simulator& simulator_;
   sim::Tracer& tracer_;
   std::string node_;

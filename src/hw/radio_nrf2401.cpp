@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/check_hooks.hpp"
+
 namespace bansim::hw {
 
 const char* to_string(RadioState s) {
@@ -41,7 +43,8 @@ std::vector<energy::PowerState> radio_states(const RadioParams& p) {
 RadioNrf2401::RadioNrf2401(sim::SimContext& context, phy::Channel& channel,
                            std::string node_name, const RadioParams& params,
                            const phy::PhyConfig& phy_config)
-    : simulator_{context.simulator}, tracer_{context.tracer},
+    : context_{context}, simulator_{context.simulator},
+      tracer_{context.tracer},
       channel_{channel}, node_{std::move(node_name)},
       trace_node_{tracer_.intern(node_)}, params_{params},
       phy_config_{phy_config},
@@ -56,6 +59,10 @@ sim::Duration RadioNrf2401::spi_time(std::size_t bytes) const {
 
 void RadioNrf2401::enter(RadioState next) {
   if (next == state_) return;
+  if (auto* hooks = context_.check_hooks()) {
+    hooks->on_radio_state(this, static_cast<int>(state_),
+                          static_cast<int>(next), simulator_.now());
+  }
   meter_.transition(static_cast<int>(next), simulator_.now());
   tracer_.emit(simulator_.now(), sim::TraceCategory::kRadio, trace_node_,
                [&](sim::TraceMessage& m) {
@@ -81,11 +88,19 @@ void RadioNrf2401::power_down() {
 void RadioNrf2401::power_up() {
   assert(state_ == RadioState::kPowerDown);
   ++epoch_;
+  ready_at_ = simulator_.now() + params_.powerup_time;
   enter(RadioState::kPoweringUp);
   after(params_.powerup_time, [this] { enter(RadioState::kStandby); });
 }
 
 void RadioNrf2401::start_rx() {
+  if (state_ == RadioState::kPowerDown) power_up();
+  if (state_ == RadioState::kPoweringUp) {
+    // Firmware waits out the crystal start-up; no epoch bump, so the
+    // pending standby entry still fires (and a power_down cancels us).
+    after(ready_at_ - simulator_.now(), [this] { start_rx(); });
+    return;
+  }
   assert(state_ == RadioState::kStandby);
   ++epoch_;
   enter(RadioState::kRxSettle);
@@ -101,6 +116,13 @@ void RadioNrf2401::stop_rx() {
 }
 
 void RadioNrf2401::send(const net::Packet& packet) {
+  if (state_ == RadioState::kPowerDown) power_up();
+  if (state_ == RadioState::kPoweringUp) {
+    // Firmware waits out the crystal start-up; no epoch bump, so the
+    // pending standby entry still fires (and a power_down cancels us).
+    after(ready_at_ - simulator_.now(), [this, packet] { send(packet); });
+    return;
+  }
   assert(state_ == RadioState::kStandby &&
          "nRF2401 is half duplex: stop RX before sending");
   ++epoch_;

@@ -78,6 +78,10 @@ class RadioNrf2401 final : public phy::MediumListener {
   [[nodiscard]] net::NodeId local_address() const { return address_; }
 
   /// Commands.  Each asserts it is legal in the current state.
+  /// start_rx/send issued while powered down (or still inside the 3 ms
+  /// crystal start-up) model the firmware waiting out the datasheet
+  /// power-up time: the radio powers up if needed and the command takes
+  /// effect on reaching standby, never mid-start-up.
   void power_down();
   void power_up();              ///< power-down -> (3 ms) -> standby
   void start_rx();              ///< standby -> (settle) -> listen
@@ -94,6 +98,9 @@ class RadioNrf2401 final : public phy::MediumListener {
   [[nodiscard]] const phy::PhyConfig& phy_config() const { return phy_config_; }
   [[nodiscard]] const RadioParams& params() const { return params_; }
 
+  /// This radio's listener id on the channel (AirFrame::tx_id).
+  [[nodiscard]] std::uint32_t channel_id() const { return channel_id_; }
+
   /// Duration of the SPI transfer of `bytes` into/out of the FIFO.
   [[nodiscard]] sim::Duration spi_time(std::size_t bytes) const;
 
@@ -106,6 +113,7 @@ class RadioNrf2401 final : public phy::MediumListener {
   /// Schedules `fn` after `d`, dropped if another command supersedes it.
   void after(sim::Duration d, std::function<void()> fn);
 
+  sim::SimContext& context_;
   sim::Simulator& simulator_;
   sim::Tracer& tracer_;
   phy::Channel& channel_;
@@ -118,6 +126,7 @@ class RadioNrf2401 final : public phy::MediumListener {
   std::uint32_t channel_id_{0};
   RadioState state_{RadioState::kPowerDown};
   std::uint64_t epoch_{0};  ///< invalidates superseded scheduled completions
+  sim::TimePoint ready_at_{};  ///< crystal start-up completion while kPoweringUp
   std::optional<std::uint64_t> latched_frame_;  ///< key of frame being received
   RadioStats stats_;
   energy::EnergyMeter meter_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "phy/air_frame.hpp"
+
 namespace bansim::mac {
 
 BaseStationMac::BaseStationMac(sim::SimContext& context, os::NodeOs& node_os,
@@ -66,28 +68,54 @@ void BaseStationMac::begin_cycle() {
 
   if (os_.radio().listening()) os_.radio().stop_listen();
 
-  os_.scheduler().post("bs.emit_beacon", 380, [this] {
-    net::Packet beacon = make_beacon();
-    tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
-                 [&](sim::TraceMessage& m) {
-                   m << "SB beacon seq=" << beacon.header.seq
-                     << " slots=" << slot_owners_.size()
-                     << " cycle=" << current_cycle();
-                 });
-    os_.radio().send(beacon, [this] {
-      // Beacon is gone: listen for the whole remainder of the cycle — the
-      // ES/contention window and every data slot (the "R" region).
-      ++stats_.beacons_sent;
-      os_.radio().start_listen();
-    });
-  });
+  next_cycle_at_ = simulator_.now() + cycle;
+  os_.scheduler().post("bs.emit_beacon", 380, [this] { emit_beacon(); });
 
   os_.timers().start_oneshot("mac.cycle", cycle, [this] { begin_cycle(); });
+}
+
+void BaseStationMac::emit_beacon() {
+  if (os_.radio().sending()) {
+    // A control frame is still draining out of the half-duplex radio;
+    // the beacon goes out (slightly late) the moment it is free.
+    os_.timers().start_oneshot("bs.beacon_defer",
+                               sim::Duration::from_microseconds(100),
+                               [this] { emit_beacon(); });
+    return;
+  }
+  // The control frame's completion restarted the listen; undo it.
+  if (os_.radio().listening()) os_.radio().stop_listen();
+
+  net::Packet beacon = make_beacon();
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
+               [&](sim::TraceMessage& m) {
+                 m << "SB beacon seq=" << beacon.header.seq
+                   << " slots=" << slot_owners_.size()
+                   << " cycle=" << current_cycle();
+               });
+  os_.radio().send(beacon, [this] {
+    // Beacon is gone: listen for the whole remainder of the cycle — the
+    // ES/contention window and every data slot (the "R" region).
+    ++stats_.beacons_sent;
+    os_.radio().start_listen();
+  });
 }
 
 void BaseStationMac::send_control(net::Packet packet,
                                   std::uint64_t prep_cycles) {
   if (os_.radio().sending()) return;  // half duplex: one frame at a time
+
+  // Started too close to the cycle turn, the frame would still be in the
+  // air when the beacon is due.  Skip it: the node re-requests next cycle
+  // and its grant/ACK is simply repeated.
+  const auto& radio = os_.radio().radio();
+  const std::size_t wire = packet.wire_size();
+  const sim::Duration tx_estimate =
+      radio.spi_time(wire) + radio.params().settle_time +
+      phy::air_time(radio.phy_config(), wire) +
+      sim::Duration::milliseconds(1);  // prep/dispatch + clock-skew margin
+  if (simulator_.now() + tx_estimate >= next_cycle_at_) return;
+
   os_.scheduler().post(
       "bs.send_control", prep_cycles, [this, packet = std::move(packet)] {
         if (os_.radio().sending()) return;

@@ -60,6 +60,9 @@ class BaseStationMac {
 
  private:
   void begin_cycle();
+  /// Builds and transmits the cycle's beacon; if a control frame is still
+  /// draining out of the half-duplex radio, retries shortly after.
+  void emit_beacon();
   void on_packet(const net::Packet& packet);
   void handle_slot_request(const net::Packet& packet);
   [[nodiscard]] net::Packet make_beacon();
@@ -67,6 +70,8 @@ class BaseStationMac {
   /// Interrupts the listen period to transmit one control frame (fast
   /// grant or ACK), then resumes listening.  The radio is half duplex, so
   /// frames arriving during the transmission are lost, as on the platform.
+  /// Frames that cannot drain before the next beacon are not started: a
+  /// node that misses its grant or ACK simply retries next cycle.
   void send_control(net::Packet packet, std::uint64_t prep_cycles);
 
   /// Marks activity from the owner of `node` (resets its silence count).
@@ -84,6 +89,7 @@ class BaseStationMac {
   std::vector<net::NodeId> slot_owners_;
   std::vector<std::uint32_t> silent_cycles_;  ///< parallel to slot_owners_
   std::uint8_t beacon_seq_{0};
+  sim::TimePoint next_cycle_at_;  ///< expected start of the next cycle
   BaseStationStats stats_;
 };
 

@@ -34,11 +34,23 @@ void NodeMac::start() {
   os_.radio().init([this] { enter_search(); });
 }
 
+void NodeMac::cancel_cycle_timers() {
+  if (slot_timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(slot_timer_);
+    slot_timer_ = os::TimerService::kInvalidTimer;
+  }
+  if (wake_timer_ != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(wake_timer_);
+    wake_timer_ = os::TimerService::kInvalidTimer;
+  }
+}
+
 void NodeMac::enter_search() {
   state_ = NodeMacState::kSearching;
   ++stats_.resyncs;
   missed_ = 0;
   my_slot_ = -1;
+  cancel_cycle_timers();
   if (timeout_timer_ != os::TimerService::kInvalidTimer) {
     os_.timers().stop(timeout_timer_);
     timeout_timer_ = os::TimerService::kInvalidTimer;
@@ -140,14 +152,22 @@ void NodeMac::schedule_cycle(sim::TimePoint cycle_start) {
   const sim::TimePoint now = simulator_.now();
   sim::TimePoint earliest_radio_use = sim::TimePoint::max();
 
+  // A re-anchored plan supersedes whatever the previous cycle armed: a
+  // slot_tx left over from a dead-reckoned cycle keeps the stale anchor
+  // and would fire inside someone else's slot.
+  cancel_cycle_timers();
+
   // 1. Our data slot, if we own one and have something to say.  Data slot i
   //    occupies [cycle_start + (1+i)*slot, +slot).
   if (my_slot_ >= 0 && !tx_queue_.empty()) {
     const sim::TimePoint slot_start =
         cycle_start + slot_width_ * (1 + my_slot_);
     if (slot_start > now) {
-      os_.timers().start_oneshot("mac.slot_tx", slot_start - now,
-                                 [this] { transmit_queued(); });
+      slot_timer_ = os_.timers().start_oneshot(
+          "mac.slot_tx", slot_start - now, [this] {
+            slot_timer_ = os::TimerService::kInvalidTimer;
+            transmit_queued();
+          });
       earliest_radio_use = std::min(earliest_radio_use, slot_start);
     }
   }
@@ -164,8 +184,11 @@ void NodeMac::schedule_cycle(sim::TimePoint cycle_start) {
   const sim::Duration guard = config_.guard(cycle_);
   const sim::TimePoint wake = expected_next - guard;
   if (wake > now) {
-    os_.timers().start_oneshot("mac.beacon_wake", wake - now,
-                               [this] { wake_for_beacon(); });
+    wake_timer_ = os_.timers().start_oneshot(
+        "mac.beacon_wake", wake - now, [this] {
+          wake_timer_ = os::TimerService::kInvalidTimer;
+          wake_for_beacon();
+        });
     earliest_radio_use = std::min(earliest_radio_use, wake);
   } else {
     // Degenerate guard (cycle shorter than guard): stay listening.
@@ -294,9 +317,12 @@ void NodeMac::process_grant(const net::Packet& packet) {
     const sim::TimePoint slot_start =
         last_cycle_start_ + slot_width_ * (1 + my_slot_);
     const sim::TimePoint now = simulator_.now();
-    if (slot_start > now) {
-      os_.timers().start_oneshot("mac.slot_tx", slot_start - now,
-                                 [this] { transmit_queued(); });
+    if (slot_start > now && slot_timer_ == os::TimerService::kInvalidTimer) {
+      slot_timer_ = os_.timers().start_oneshot(
+          "mac.slot_tx", slot_start - now, [this] {
+            slot_timer_ = os::TimerService::kInvalidTimer;
+            transmit_queued();
+          });
     }
   }
 }

@@ -89,6 +89,9 @@ class NodeMac {
   /// slot transmission, SSR if still unjoined, next beacon wake-up.
   void schedule_cycle(sim::TimePoint cycle_start);
 
+  /// Stops any armed slot_tx / beacon_wake one-shots from a previous plan.
+  void cancel_cycle_timers();
+
   void send_slot_request(sim::TimePoint cycle_start);
   void transmit_queued();
   void wake_for_beacon();
@@ -126,6 +129,8 @@ class NodeMac {
   os::TimerService::TimerId timeout_timer_{os::TimerService::kInvalidTimer};
   os::TimerService::TimerId grant_timer_{os::TimerService::kInvalidTimer};
   os::TimerService::TimerId ack_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId slot_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId wake_timer_{os::TimerService::kInvalidTimer};
   std::uint8_t retries_{0};         ///< attempts for the frame at queue front
   bool awaiting_ack_{false};
   NodeMacStats stats_;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/check_hooks.hpp"
+
 namespace bansim::phy {
 
 Channel::Channel(sim::SimContext& context)
-    : simulator_{context.simulator}, tracer_{context.tracer} {}
+    : context_{context}, simulator_{context.simulator},
+      tracer_{context.tracer} {}
 
 std::uint32_t Channel::attach(MediumListener& listener) {
   listeners_.push_back(&listener);
@@ -41,7 +44,12 @@ void Channel::detect_collisions() {
         shared_receiver = links_[fa.tx_id][r] && links_[fb.tx_id][r];
       }
       if (shared_receiver) {
-        if (!fa.corrupted || !fb.corrupted) ++collisions_;
+        if (!fa.corrupted || !fb.corrupted) {
+          ++collisions_;
+          if (auto* hooks = context_.check_hooks()) {
+            hooks->on_collision(this, fa.id, fb.id);
+          }
+        }
         fa.corrupted = true;
         fb.corrupted = true;
         tracer_.emit(simulator_.now(), sim::TraceCategory::kChannel,
@@ -65,6 +73,10 @@ void Channel::transmit(std::uint32_t tx_id, std::vector<std::uint8_t> bytes,
   frame.duration = duration;
 
   const std::uint64_t key = frame.id;
+  if (auto* hooks = context_.check_hooks()) {
+    hooks->on_frame_transmit(this, frame.id, tx_id, frame.bytes.data(),
+                             frame.bytes.size(), frame.start, frame.duration);
+  }
   in_flight_.push_back(frame);
   detect_collisions();
 
@@ -93,6 +105,8 @@ void Channel::transmit(std::uint32_t tx_id, std::vector<std::uint8_t> bytes,
     if (it == in_flight_.end()) return;
     const AirFrame done = *it;
     in_flight_.erase(it);
+    sim::CheckHooks* hooks = context_.check_hooks();
+    if (hooks) hooks->on_frame_retired(this, done.id, done.corrupted);
     for (std::size_t r = 0; r < listeners_.size(); ++r) {
       if (!links_[done.tx_id][r]) continue;
       bool corrupted = done.corrupted;
@@ -103,6 +117,10 @@ void Channel::transmit(std::uint32_t tx_id, std::vector<std::uint8_t> bytes,
           corrupted = true;
           ++bit_error_drops_;
         }
+      }
+      if (hooks) {
+        hooks->on_frame_delivered(this, done.id,
+                                  static_cast<std::uint32_t>(r), corrupted);
       }
       listeners_[r]->on_frame_end(done, corrupted);
     }

@@ -77,6 +77,9 @@ class Channel {
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
 
+  /// Frames currently on the air (teardown conservation accounting).
+  [[nodiscard]] std::size_t frames_in_flight() const { return in_flight_.size(); }
+
  private:
   struct Active {
     AirFrame frame;
@@ -86,6 +89,7 @@ class Channel {
   /// Marks every pair of overlapping in-flight frames corrupted.
   void detect_collisions();
 
+  sim::SimContext& context_;
   sim::Simulator& simulator_;
   sim::Tracer& tracer_;
   std::vector<MediumListener*> listeners_;

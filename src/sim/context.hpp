@@ -22,6 +22,8 @@
 
 namespace bansim::sim {
 
+class CheckHooks;
+
 class SimContext {
  public:
   explicit SimContext(std::uint64_t seed = 1) : seed_{seed}, root_rng_{seed} {}
@@ -55,9 +57,16 @@ class SimContext {
     return Rng::stream(seed_, name);
   }
 
+  /// The attached checking-layer observer, or nullptr (the default).
+  /// Components re-read this slot at every emission site, so a monitor can
+  /// attach at any time; see sim/check_hooks.hpp for the observer contract.
+  [[nodiscard]] CheckHooks* check_hooks() const { return check_hooks_; }
+  void set_check_hooks(CheckHooks* hooks) { check_hooks_ = hooks; }
+
  private:
   std::uint64_t seed_;
   Rng root_rng_;
+  CheckHooks* check_hooks_{nullptr};
 };
 
 }  // namespace bansim::sim

@@ -56,6 +56,12 @@ class Simulator {
   /// EventQueue::reserve); called by network builders before cell warm-up.
   void reserve_events(std::size_t events) { queue_.reserve(events); }
 
+  /// Capacity of the pending-event arena (diagnostics; lets tests assert
+  /// that reserve_events() actually pre-sized the kernel).
+  [[nodiscard]] std::size_t event_capacity() const {
+    return queue_.slot_capacity();
+  }
+
   /// Discards all pending events and resets the clock to zero.
   void reset();
 

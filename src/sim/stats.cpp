@@ -86,6 +86,12 @@ void StateResidency::transition(int new_state, TimePoint when) {
   ++entries_[static_cast<std::size_t>(new_state)];
 }
 
+void StateResidency::close(TimePoint when) {
+  assert(when >= since_ && "close must not move time backwards");
+  acc_[static_cast<std::size_t>(state_)] += when - since_;
+  since_ = when;
+}
+
 Duration StateResidency::time_in(int state, TimePoint now) const {
   Duration t = acc_[static_cast<std::size_t>(state)];
   if (state == state_ && now > since_) t += now - since_;

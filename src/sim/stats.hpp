@@ -84,6 +84,12 @@ class StateResidency {
   /// Records a transition at time `when` (must be >= the previous event).
   void transition(int new_state, TimePoint when);
 
+  /// Flushes the in-progress stretch up to `when` without entering a new
+  /// state: residency is accumulated, the entry count is untouched.
+  /// Idempotent — closing twice at the same instant (the teardown pattern
+  /// a fuzzer drives: every layer flushes "at sim end") adds zero.
+  void close(TimePoint when);
+
   [[nodiscard]] int current_state() const { return state_; }
 
   /// Total time spent in `state`, counting the in-progress stretch up to `now`.

@@ -107,6 +107,32 @@ TEST(EnergyMeter, OutOfRangeStateFailsLoudly) {
   EXPECT_EQ(m.current_state(), 2);
 }
 
+TEST(EnergyMeter, EndStateIsIdempotentAtSimEnd) {
+  // Regression: the teardown path may close a meter twice (explicit
+  // end-of-measurement close, then a destructor sweep).  The second close
+  // must not double-count entries, residency or energy.
+  EnergyMeter m = radio_meter();
+  m.transition(1, at(0));
+  m.transition(2, at(10));
+  const TimePoint sim_end = at(25);
+
+  m.end_state(sim_end);
+  const double energy_once = m.total_energy(sim_end);
+  const Duration in_tx_once = m.time_in(2, sim_end);
+  const std::size_t entries_once = m.entries(2);
+
+  m.end_state(sim_end);
+  EXPECT_DOUBLE_EQ(m.total_energy(sim_end), energy_once);
+  EXPECT_EQ(m.time_in(2, sim_end), in_tx_once);
+  EXPECT_EQ(m.entries(2), entries_once);
+  EXPECT_EQ(m.current_state(), 2);  // close does not change the state
+
+  // Contrast with the bug end_state replaces: a same-state transition at
+  // sim end would have bumped the entry counter.
+  EXPECT_NEAR(energy_once,
+              24.82e-3 * 2.8 * 0.010 + 17.54e-3 * 2.8 * 0.015, 1e-12);
+}
+
 TEST(EnergyLedger, BreakdownAndTotals) {
   EnergyLedger ledger;
   const std::size_t i =

@@ -1,0 +1,121 @@
+// Energy/validation CSV serialization round-trips through their parsers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "energy/energy_report.hpp"
+
+namespace bansim::energy {
+namespace {
+
+// render_energy_csv prints %.6f millijoules, so round-tripped joules are
+// exact to 1e-6 mJ == 1e-9 J.
+constexpr double kCsvJouleTol = 1.0e-9;
+
+std::vector<NodeEnergy> sample_nodes() {
+  NodeEnergy node1;
+  node1.node = "node1";
+  node1.components.push_back(
+      {"radio", 0.00531,
+       {{"standby", 0.00011}, {"tx_air", 0.0052}}});
+  node1.components.push_back({"mcu", 0.0123, {{"active", 0.0123}}});
+  NodeEnergy bs;
+  bs.node = "bs";
+  bs.components.push_back(
+      {"radio", 0.0405, {{"rx_listen", 0.04}, {"tx_air", 0.0005}}});
+  return {node1, bs};
+}
+
+TEST(EnergyReportCsv, RoundTripsNodesComponentsAndStates) {
+  const std::vector<NodeEnergy> nodes = sample_nodes();
+  const std::vector<NodeEnergy> parsed =
+      parse_energy_csv(render_energy_csv(nodes));
+
+  ASSERT_EQ(parsed.size(), nodes.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    EXPECT_EQ(parsed[n].node, nodes[n].node);
+    ASSERT_EQ(parsed[n].components.size(), nodes[n].components.size());
+    for (std::size_t c = 0; c < nodes[n].components.size(); ++c) {
+      const auto& in = nodes[n].components[c];
+      const auto& out = parsed[n].components[c];
+      EXPECT_EQ(out.component, in.component);
+      // Component joules are recomputed as the per-state sum.
+      EXPECT_NEAR(out.joules, in.joules, kCsvJouleTol * in.per_state.size());
+      ASSERT_EQ(out.per_state.size(), in.per_state.size());
+      for (std::size_t s = 0; s < in.per_state.size(); ++s) {
+        EXPECT_EQ(out.per_state[s].first, in.per_state[s].first);
+        EXPECT_NEAR(out.per_state[s].second, in.per_state[s].second,
+                    kCsvJouleTol);
+      }
+    }
+  }
+  EXPECT_NEAR(parsed[0].total_joules(), nodes[0].total_joules(),
+              3 * kCsvJouleTol);
+}
+
+TEST(EnergyReportCsv, SecondRenderIsAFixedPoint) {
+  const std::string once = render_energy_csv(sample_nodes());
+  EXPECT_EQ(render_energy_csv(parse_energy_csv(once)), once);
+}
+
+TEST(EnergyReportCsv, RejectsMalformedInput) {
+  EXPECT_THROW(parse_energy_csv(""), std::invalid_argument);
+  EXPECT_THROW(parse_energy_csv("wrong,header\n"), std::invalid_argument);
+  EXPECT_THROW(parse_energy_csv("node,component,state,energy_mj\na,b,c\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_energy_csv("node,component,state,energy_mj\na,b,c,not-a-number\n"),
+      std::invalid_argument);
+}
+
+ValidationTable sample_table() {
+  ValidationTable table;
+  table.title = "Table 1";
+  table.parameter_name = "Sampling (Hz)";
+  table.rows.push_back({"205", 52.4, 1.832, 1.851, 3.217, 3.264});
+  table.rows.push_back({"410", 26.2, 2.916, 2.958, 4.012, 4.118});
+  return table;
+}
+
+TEST(ValidationCsv, RoundTripsValueColumns) {
+  const ValidationTable table = sample_table();
+  const ValidationTable parsed = parse_validation_csv(table.render_csv());
+
+  // Title / parameter name are not part of the CSV.
+  EXPECT_TRUE(parsed.title.empty());
+  ASSERT_EQ(parsed.rows.size(), table.rows.size());
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& in = table.rows[i];
+    const auto& out = parsed.rows[i];
+    EXPECT_EQ(out.parameter, in.parameter);
+    EXPECT_NEAR(out.cycle_ms, in.cycle_ms, 0.05);        // %.1f
+    EXPECT_NEAR(out.radio_real_mj, in.radio_real_mj, 5e-4);  // %.3f
+    EXPECT_NEAR(out.radio_sim_mj, in.radio_sim_mj, 5e-4);
+    EXPECT_NEAR(out.mcu_real_mj, in.mcu_real_mj, 5e-4);
+    EXPECT_NEAR(out.mcu_sim_mj, in.mcu_sim_mj, 5e-4);
+    // Error columns are derived, never parsed back.
+    EXPECT_NEAR(out.radio_error(), in.radio_error(), 1e-3);
+    EXPECT_NEAR(out.mcu_error(), in.mcu_error(), 1e-3);
+  }
+  EXPECT_NEAR(parsed.avg_radio_error(), table.avg_radio_error(), 1e-3);
+}
+
+TEST(ValidationCsv, SecondRenderIsAFixedPoint) {
+  const std::string once = sample_table().render_csv();
+  EXPECT_EQ(parse_validation_csv(once).render_csv(), once);
+}
+
+TEST(ValidationCsv, RejectsMalformedInput) {
+  EXPECT_THROW(parse_validation_csv("bogus\n"), std::invalid_argument);
+  const std::string header =
+      "parameter,cycle_ms,radio_real_mj,radio_sim_mj,mcu_real_mj,mcu_sim_mj,"
+      "radio_err,mcu_err\n";
+  EXPECT_THROW(parse_validation_csv(header + "205,52.4,1.8\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_validation_csv(header + "205,x,1.8,1.8,3.2,3.2,0.01,0.01\n"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bansim::energy

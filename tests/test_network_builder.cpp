@@ -1,0 +1,113 @@
+// NetworkBuilder roster validation and event-arena pre-sizing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/ban_network.hpp"
+#include "core/network_builder.hpp"
+#include "mac/tdma_config.hpp"
+#include "os/probe.hpp"
+
+namespace bansim {
+namespace {
+
+TEST(NetworkBuilder, EmptyRosterIsRejected) {
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;  // roster left empty
+  EXPECT_THROW(core::NetworkBuilder::build_cell(context, channel, plan, probe,
+                                                os::CycleCostModel{}),
+               std::invalid_argument);
+}
+
+TEST(NetworkBuilder, ZeroNodeBanConfigIsBaseStationOnly) {
+  // num_nodes = 0 is an explicit beacon-only network, not a mistake: the
+  // accidental analogue (a CellPlan whose roster was never resized) is the
+  // case EmptyRosterIsRejected covers.
+  core::BanConfig config;
+  config.num_nodes = 0;
+  core::BanNetwork network{config};
+  EXPECT_EQ(network.num_nodes(), 0u);
+}
+
+TEST(NetworkBuilder, ExplicitlyAllowedEmptyRosterBuilds) {
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;
+  plan.allow_empty_roster = true;
+  const core::BuiltCell cell = core::NetworkBuilder::build_cell(
+      context, channel, plan, probe, os::CycleCostModel{});
+  EXPECT_NE(cell.bs, nullptr);
+  EXPECT_TRUE(cell.nodes.empty());
+}
+
+TEST(NetworkBuilder, DuplicateAddressesAreRejected) {
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;
+  plan.roster.resize(3);
+  plan.roster[0].address = 9;
+  plan.roster[2].address = 9;  // collides with node 0
+  EXPECT_THROW(core::NetworkBuilder::build_cell(context, channel, plan, probe,
+                                                os::CycleCostModel{}),
+               std::invalid_argument);
+}
+
+TEST(NetworkBuilder, ExplicitAddressCollidingWithPositionalIsRejected) {
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;
+  plan.roster.resize(3);
+  // Node 1's positional default is offset + 2 == 2; pinning node 0 to it
+  // must hard-error rather than silently cross-deliver frames.
+  plan.roster[0].address = 2;
+  EXPECT_THROW(core::NetworkBuilder::build_cell(context, channel, plan, probe,
+                                                os::CycleCostModel{}),
+               std::invalid_argument);
+}
+
+TEST(NetworkBuilder, BaseStationAddressCollisionIsRejected) {
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;
+  plan.tdma.pan_id = 1;
+  plan.roster.resize(2);
+  plan.roster[0].address = mac::TdmaConfig::bs_address(1);
+  EXPECT_THROW(core::NetworkBuilder::build_cell(context, channel, plan, probe,
+                                                os::CycleCostModel{}),
+               std::invalid_argument);
+}
+
+TEST(NetworkBuilder, DistinctExplicitAddressesAreAccepted) {
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;
+  plan.roster.resize(3);
+  plan.roster[1].address = 77;
+  const core::BuiltCell cell = core::NetworkBuilder::build_cell(
+      context, channel, plan, probe, os::CycleCostModel{});
+  EXPECT_EQ(cell.nodes.size(), 3u);
+}
+
+TEST(NetworkBuilder, PreSizesTheEventArena) {
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;
+  plan.roster.resize(5);
+  const core::BuiltCell cell = core::NetworkBuilder::build_cell(
+      context, channel, plan, probe, os::CycleCostModel{});
+  (void)cell;
+  // 16 events per stack, base station included, reserved up front so the
+  // first join burst does not grow the arena.
+  EXPECT_GE(context.simulator.event_capacity(), 16u * 6u);
+}
+
+}  // namespace
+}  // namespace bansim
