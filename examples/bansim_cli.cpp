@@ -26,9 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "check/fault_campaign.hpp"
 #include "core/bansim.hpp"
 #include "core/config_io.hpp"
 #include "core/mac_analyzer.hpp"
+#include "fault/degradation_report.hpp"
 #include "sim/scenario_runner.hpp"
 
 namespace {
@@ -38,6 +40,7 @@ using sim::Duration;
 
 struct CliOptions {
   std::optional<std::string> config_file;
+  std::optional<std::string> fault_plan_file;
   std::optional<std::string> app;
   std::optional<std::string> variant;
   std::optional<int> cycle_ms;
@@ -62,9 +65,17 @@ int usage(const char* argv0) {
                "[--dump-config]\n"
                "          [--per-node] [--sweep KEY=V1,V2,...|KEY=LO..HI] "
                "[--jobs N]\n"
+               "          [--fault-plan FILE]\n"
                "       sweep KEY is one of: cycle-ms, nodes, seed\n"
                "       --per-node prints a per-node energy table (implied by\n"
-               "       a config with [node.K] roster sections)\n",
+               "       a config with [node.K] roster sections)\n"
+               "       --fault-plan overlays FILE's [fault.*] sections onto "
+               "the\n"
+               "       config, runs a fault campaign plus a fault-free "
+               "baseline\n"
+               "       under the invariant monitor, and prints the "
+               "degradation\n"
+               "       report (PDR, resync/rejoin times, recovery energy)\n",
                argv0);
   return 2;
 }
@@ -79,6 +90,10 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.config_file = v;
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      if (!v) return false;
+      options.fault_plan_file = v;
     } else if (arg == "--app") {
       const char* v = next();
       if (!v) return false;
@@ -131,6 +146,14 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream file{path};
+  if (!file) throw core::ConfigError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
 core::BanConfig build_config(const CliOptions& options) {
   core::BanConfig config;
   // Paper-flavoured defaults.
@@ -140,13 +163,20 @@ core::BanConfig build_config(const CliOptions& options) {
   config.streaming.sample_rate_hz = 205;
 
   if (options.config_file) {
-    std::ifstream file{*options.config_file};
-    if (!file) {
-      throw core::ConfigError("cannot open " + *options.config_file);
+    config = core::parse_config(read_file(*options.config_file));
+  }
+  if (options.fault_plan_file) {
+    // A fault-plan file is an ordinary config INI; only its [fault.*]
+    // sections are taken (the scenario itself stays whatever --config and
+    // the flags say).  The same file can therefore double as a complete
+    // runnable config.
+    const core::BanConfig plan_cfg =
+        core::parse_config(read_file(*options.fault_plan_file));
+    if (!plan_cfg.fault_plan.any()) {
+      throw core::ConfigError(*options.fault_plan_file +
+                              " has no enabled [fault] sections");
     }
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    config = core::parse_config(buffer.str());
+    config.fault_plan = plan_cfg.fault_plan;
   }
 
   if (options.nodes) config.num_nodes = static_cast<std::size_t>(*options.nodes);
@@ -338,6 +368,54 @@ int run_sweep(const CliOptions& options, const core::BanConfig& base,
   return 0;
 }
 
+/// Fault-campaign mode: the faulted run and a fault-free baseline from the
+/// same seed, both under the invariant monitor, distilled into a
+/// DegradationReport.  Non-zero exit if any invariant was violated — a
+/// campaign that breaks conservation laws is a simulator bug, not a result.
+int run_campaign(const CliOptions& options, const core::BanConfig& config) {
+  check::CampaignOptions campaign;
+  campaign.horizon = Duration::seconds(options.seconds);
+
+  std::printf("fault campaign: %s, %zu nodes%s, %s TDMA, %d s horizon, "
+              "seed %llu\n",
+              to_string(config.app), config.effective_nodes(),
+              config.roster.empty() ? "" : " (roster)",
+              to_string(config.tdma.variant), options.seconds,
+              static_cast<unsigned long long>(config.seed));
+
+  const check::CampaignOutcome faulted = run_fault_campaign(config, campaign);
+
+  core::BanConfig baseline_cfg = config;
+  baseline_cfg.fault_plan = fault::FaultPlan{};  // bit-identical wiring
+  const check::CampaignOutcome baseline =
+      run_fault_campaign(baseline_cfg, campaign);
+
+  const auto& stats = faulted.injector;
+  std::printf("injected: %llu scripted faults, %llu stochastic crashes, "
+              "%llu brown-outs, %llu fade transitions, %llu permanent "
+              "deaths\n",
+              static_cast<unsigned long long>(stats.scripted_faults),
+              static_cast<unsigned long long>(stats.stochastic_crashes),
+              static_cast<unsigned long long>(stats.brownouts),
+              static_cast<unsigned long long>(stats.fade_transitions),
+              static_cast<unsigned long long>(stats.permanent_deaths));
+
+  const fault::DegradationReport report =
+      fault::DegradationReport::build(faulted.run, baseline.run);
+  std::printf("%s", report.to_string().c_str());
+
+  const std::uint64_t violations = faulted.violations + baseline.violations;
+  if (violations != 0) {
+    std::fprintf(stderr, "invariant violations: %llu\n%s%s",
+                 static_cast<unsigned long long>(violations),
+                 faulted.violation_report.c_str(),
+                 baseline.violation_report.c_str());
+    return 1;
+  }
+  std::printf("invariants: clean (0 violations across both runs)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,6 +428,8 @@ int main(int argc, char** argv) {
       std::printf("%s", core::serialize_config(config).c_str());
       return 0;
     }
+
+    if (options.fault_plan_file) return run_campaign(options, config);
 
     core::MeasurementProtocol protocol;
     protocol.measure = Duration::seconds(options.seconds);

@@ -98,7 +98,7 @@ void EegApp::emit_block() {
     assert(fragments || frag_error == net::FragmentError::kTooManyFragments);
     (void)frag_error;
     if (!fragments ||
-        mac_.queue_depth() + fragments->size() > mac::NodeMac::kMaxQueue) {
+        mac_.queue_depth() + fragments->size() > mac_.queue_capacity()) {
       // Radio budget overcommitted: shed the whole block rather than ship
       // a torso the collector cannot reassemble.
       ++blocks_dropped_;

@@ -1,0 +1,55 @@
+#include "check/fault_campaign.hpp"
+
+#include <memory>
+
+#include "check/invariant_monitor.hpp"
+
+namespace bansim::check {
+
+CampaignOutcome run_fault_campaign(const core::BanConfig& config,
+                                   const CampaignOptions& options) {
+  core::BanNetwork network{config};
+  std::unique_ptr<InvariantMonitor> monitor;
+  if (options.monitor) {
+    monitor = std::make_unique<InvariantMonitor>(network.context());
+    monitor->watch_network(network);
+  }
+
+  network.start();
+  network.run_until(sim::TimePoint::zero() + options.horizon);
+  if (auto* injector = network.fault_injector()) injector->stop();
+  network.run_until(sim::TimePoint::zero() + options.horizon + options.drain);
+
+  const sim::TimePoint end = network.simulator().now();
+  if (monitor) monitor->final_audit(end);
+
+  CampaignOutcome outcome;
+  outcome.run.duration = end.since_epoch();
+  const auto& per_node = network.base_station_app().per_node();
+  for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+    core::SensorNode& node = network.node(i);
+    fault::NodeOutcome row;
+    row.node = node.name();
+    const mac::NodeMacStats& stats = node.mac().stats();
+    row.payloads_generated = stats.payloads_queued;
+    const auto it = per_node.find(node.address());
+    row.payloads_delivered = it != per_node.end() ? it->second.packets : 0;
+    row.energy_joules = node.energy(end).total_joules();
+    row.crashes = stats.crashes;
+    row.reboots = stats.reboots;
+    row.resyncs = stats.resyncs;
+    row.resync_times = node.mac().resync_times();
+    row.rejoin_times = node.mac().rejoin_times();
+    outcome.run.nodes.push_back(std::move(row));
+  }
+  if (auto* injector = network.fault_injector()) {
+    outcome.injector = injector->stats();
+  }
+  if (monitor) {
+    outcome.violations = monitor->total_violations();
+    outcome.violation_report = monitor->report();
+  }
+  return outcome;
+}
+
+}  // namespace bansim::check

@@ -1,0 +1,41 @@
+// Shared fault-campaign runner: one BanConfig in, raw per-node outcomes
+// out, with an InvariantMonitor attached for the whole run.
+//
+// Both bansim_cli (--fault-plan) and the campaign tests funnel through
+// this so "run a campaign" means the same thing everywhere: build the
+// cell, run to the horizon, stop the injector's recurring processes, let
+// in-flight faults drain (scheduled reboots still fire, so crashed nodes
+// come back), then final-audit the conservation invariants.  The faulted
+// and fault-free runs of a DegradationReport are two calls with the same
+// config, fault plan enabled and disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ban_network.hpp"
+#include "fault/degradation_report.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace bansim::check {
+
+struct CampaignOptions {
+  sim::Duration horizon{sim::Duration::seconds(20)};
+  /// Extra run time after the injector stops re-arming its processes, so
+  /// the final audit sees a quiesced cell (rebooted nodes rejoined, frames
+  /// off the air).
+  sim::Duration drain{sim::Duration::seconds(2)};
+  bool monitor{true};
+};
+
+struct CampaignOutcome {
+  fault::CampaignRun run;
+  fault::FaultInjectorStats injector{};
+  std::uint64_t violations{0};
+  std::string violation_report;
+};
+
+[[nodiscard]] CampaignOutcome run_fault_campaign(
+    const core::BanConfig& config, const CampaignOptions& options = {});
+
+}  // namespace bansim::check

@@ -5,6 +5,7 @@
 #include <functional>
 #include <utility>
 
+#include "check/fault_campaign.hpp"
 #include "check/invariant_monitor.hpp"
 #include "core/config_io.hpp"
 #include "sim/rng.hpp"
@@ -107,6 +108,90 @@ core::BanConfig make_fuzz_config(std::uint64_t seed) {
   // standard_ban_layout covers up to 6 nodes, so the link model is always
   // applicable here.
   config.use_link_model = rng.chance(0.25);
+
+  // Fault-plan dimension, drawn last so the scenario draws above stay
+  // where they were for pre-fault corpora.  Bounds keep every fuzzed fault
+  // recoverable: fade never fully blacks out a link (fer <= 0.9) and
+  // always exits (p_exit >= 0.2), scripted faults land after the join
+  // phase starts settling but inside the campaign oracle's horizon.
+  if (rng.chance(0.4)) {
+    fault::FaultPlan& plan = config.fault_plan;
+    plan.enabled = true;
+    // A faulted cell always carries the recovery hardening; the legacy
+    // infinite-listen configuration is deliberately out of scope (a fuzzed
+    // radio lock-up would hang it by design).
+    config.tdma.missed_beacon_limit =
+        static_cast<std::uint8_t>(rng.uniform_int(2, 3));
+    config.tdma.search_listen =
+        sim::Duration::from_milliseconds(rng.uniform(100.0, 250.0));
+    config.tdma.search_backoff_base =
+        sim::Duration::from_milliseconds(rng.uniform(20.0, 60.0));
+    config.tdma.search_backoff_max =
+        sim::Duration::from_milliseconds(rng.uniform(300.0, 600.0));
+    if (config.tdma.variant == mac::TdmaVariant::kDynamic) {
+      config.tdma.reclaim_after_cycles =
+          static_cast<std::uint32_t>(rng.uniform_int(4, 6));
+    }
+    if (rng.chance(0.5)) {
+      plan.fade.enabled = true;
+      plan.fade.p_enter = rng.uniform(0.01, 0.08);
+      plan.fade.p_exit = rng.uniform(0.2, 0.5);
+      plan.fade.step =
+          sim::Duration::from_milliseconds(rng.uniform(2.0, 10.0));
+      plan.fade.fer = rng.uniform(0.3, 0.9);
+    }
+    if (rng.chance(0.3)) {
+      plan.interferer.enabled = true;
+      plan.interferer.period =
+          sim::Duration::from_milliseconds(rng.uniform(60.0, 200.0));
+      plan.interferer.burst =
+          sim::Duration::from_milliseconds(rng.uniform(1.0, 8.0));
+      plan.interferer.fer = rng.uniform(0.2, 0.9);
+    }
+    const int episodes = rng.uniform_int(0, 2);
+    for (int i = 0; i < episodes; ++i) {
+      fault::ShadowEpisode ep;
+      ep.node = static_cast<std::uint32_t>(rng.uniform_int(0, nodes));
+      ep.start = sim::TimePoint::zero() +
+                 sim::Duration::from_milliseconds(rng.uniform(2000.0, 4000.0));
+      ep.duration =
+          sim::Duration::from_milliseconds(rng.uniform(100.0, 800.0));
+      ep.extra_loss_db = rng.uniform(6.0, 30.0);
+      ep.fer = rng.uniform(0.0, 0.9);
+      plan.episodes.push_back(ep);
+    }
+    const int events = rng.uniform_int(0, 2);
+    for (int i = 0; i < events; ++i) {
+      fault::FaultEvent ev;
+      const double kind = rng.uniform(0.0, 1.0);
+      ev.kind = kind < 0.5   ? fault::FaultKind::kCrash
+                : kind < 0.8 ? fault::FaultKind::kRadioLockup
+                             : fault::FaultKind::kSkewStep;
+      ev.node = static_cast<std::uint32_t>(rng.uniform_int(1, nodes));
+      ev.at = sim::TimePoint::zero() +
+              sim::Duration::from_milliseconds(rng.uniform(2000.0, 4000.0));
+      ev.down = sim::Duration::from_milliseconds(rng.uniform(100.0, 900.0));
+      ev.skew_delta = rng.uniform(-1.5e-3, 1.5e-3);
+      plan.events.push_back(ev);
+    }
+    if (rng.chance(0.25)) {
+      plan.crashes.enabled = true;
+      plan.crashes.rate_hz = rng.uniform(0.02, 0.2);
+      plan.crashes.min_down =
+          sim::Duration::from_milliseconds(rng.uniform(100.0, 300.0));
+      plan.crashes.max_down =
+          plan.crashes.min_down +
+          sim::Duration::from_milliseconds(rng.uniform(0.0, 900.0));
+    }
+    if (rng.chance(0.15)) {
+      plan.brownout.enabled = true;
+      plan.brownout.capacity_mah = rng.uniform(0.02, 0.1);
+      plan.brownout.esr_ohms = rng.uniform(40.0, 150.0);
+      plan.brownout.brownout_volts = rng.uniform(3.4, 3.8);
+      plan.brownout.recovery =
+          sim::Duration::from_milliseconds(rng.uniform(300.0, 1200.0));
+    }
+  }
   return config;
 }
 
@@ -153,8 +238,11 @@ std::optional<std::string> ScenarioFuzzer::evaluate(
   }
 
   // Oracle: bounded ref-vs-model divergence (only comparable when both
-  // networks actually formed).
-  if (plain.joined && model.joined &&
+  // networks actually formed).  Brown-out is the one fault whose timing
+  // feeds back from the metered energy itself, so crash instants — and
+  // with them whole radio-on stretches — legitimately differ between
+  // fidelities; skip the bound for those plans.
+  if (plain.joined && model.joined && !config.fault_plan.brownout.enabled &&
       plain.energies.size() == model.energies.size()) {
     for (std::size_t i = 0; i < plain.energies.size(); ++i) {
       const double ref_j = plain.energies[i].total_joules();
@@ -166,6 +254,21 @@ std::optional<std::string> ScenarioFuzzer::evaluate(
                "' diverges (reference " + std::to_string(ref_j * 1e3) +
                " mJ vs model " + std::to_string(model_j * 1e3) + " mJ)";
       }
+    }
+  }
+
+  // Oracle: fault campaigns terminate and conserve.  The campaign runner
+  // stops the injector's recurring processes at the horizon, lets the
+  // in-flight faults drain (scheduled reboots still fire), then re-audits
+  // — a crashed node must not leave frames on the air or joules off the
+  // ledger once the cell quiesces.
+  if (config.fault_plan.any()) {
+    const CampaignOutcome campaign =
+        run_fault_campaign(config, {.horizon = sim::Duration::seconds(5),
+                                    .drain = sim::Duration::seconds(2)});
+    if (campaign.violations != 0) {
+      return "fault-campaign oracle: violations after injector drain:\n" +
+             campaign.violation_report;
     }
   }
   return std::nullopt;
@@ -187,6 +290,11 @@ CaseOutcome ScenarioFuzzer::run_case(std::uint64_t seed) const {
           if (c.roster.size() <= 1) return false;
           c.roster.resize((c.roster.size() + 1) / 2);
           c.num_nodes = c.roster.size();
+          return true;
+        },
+        [](core::BanConfig& c) {
+          if (!c.fault_plan.any()) return false;
+          c.fault_plan = fault::FaultPlan{};
           return true;
         },
         [](core::BanConfig& c) {

@@ -2,8 +2,10 @@
 //
 // Generates seeded random BAN configurations (node counts, TDMA variants
 // and slot plans, application mixes, boot staggering, optional body-area
-// link model) and runs each through the invariant monitor plus three
-// differential oracles:
+// link model, optional fault plan: burst fade, interferer, shadowing
+// episodes, scripted crash/lock-up/skew events, crash churn, brown-out)
+// and runs each through the invariant monitor plus four differential
+// oracles:
 //
 //  * monitor-on vs monitor-off — attaching the InvariantMonitor must leave
 //    every metered energy bit-identical (the hooks are pure observers);
@@ -12,7 +14,10 @@
 //    the same physics minus second-order effects, so an order-of-magnitude
 //    gap means a broken estimator, not modelling error);
 //  * serial vs parallel ScenarioRunner — the same scenario batch run on
-//    one worker and on N workers must produce bit-identical energies.
+//    one worker and on N workers must produce bit-identical energies;
+//  * fault-campaign termination — a faulted config re-run through the
+//    campaign runner (injector stopped at the horizon, in-flight faults
+//    drained) must close the conservation books with zero violations.
 //
 // A failing case reports its seed and a greedily minimized configuration
 // serialized as config_io INI, so `bansim_check --seed <s>` reproduces it

@@ -78,9 +78,27 @@ BanNetwork::BanNetwork(const BanConfig& config, os::ModelProbe* probe)
         },
         sim::Rng::stream(config_.seed, "channel/ber"));
   }
+
+  if (config_.fault_plan.any()) {
+    injector_ =
+        std::make_unique<fault::FaultInjector>(context_, config_.fault_plan);
+    // Roster order matches channel-id order (bs = 0, node i = i+1), which
+    // is the numbering FaultPlan clauses use.
+    for (auto& node : cell_.nodes) {
+      if (node->mac_kind() == MacKind::kTdma) {
+        injector_->add_node(node->mac(), node->board());
+      }
+    }
+    if (config_.fault_plan.touches_channel()) {
+      injector_->install_error_model(channel_, link_model_.get());
+    }
+  }
 }
 
-void BanNetwork::start() { NetworkBuilder::start_cell(context_, cell_); }
+void BanNetwork::start() {
+  NetworkBuilder::start_cell(context_, cell_);
+  if (injector_) injector_->start();
+}
 
 void BanNetwork::run_until(sim::TimePoint until) {
   context_.simulator.run_until(until);

@@ -20,6 +20,8 @@
 #include "core/node_spec.hpp"
 #include "core/node_stack.hpp"
 #include "energy/energy_report.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "phy/channel.hpp"
 #include "phy/link_model.hpp"
 #include "sim/context.hpp"
@@ -66,6 +68,11 @@ struct BanConfig {
   /// Device positions (index 0 = base station); empty selects
   /// phy::standard_ban_layout(num_nodes), which supports up to 6 nodes.
   std::vector<phy::BodyPosition> body_positions{};
+
+  /// Fault-injection campaign ([fault.*] INI sections).  A disabled plan
+  /// (the default) changes nothing: the network is wired exactly as if the
+  /// fault subsystem did not exist, so fault-free runs stay bit-identical.
+  fault::FaultPlan fault_plan{};
 
   /// Effective node count (roster length when a roster is given).
   [[nodiscard]] std::size_t effective_nodes() const {
@@ -115,6 +122,10 @@ class BanNetwork {
   [[nodiscard]] const phy::LinkModel* link_model() const {
     return link_model_.get();
   }
+  /// Non-null when the config carries an active fault plan.
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
 
   /// Per-node component energy snapshot at the current instant.
   [[nodiscard]] std::vector<energy::NodeEnergy> energy_snapshot() const;
@@ -127,6 +138,7 @@ class BanNetwork {
   os::ModelProbe* probe_;
   os::CycleCostModel nominal_costs_;
   std::unique_ptr<phy::LinkModel> link_model_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   BuiltCell cell_;
   std::map<net::NodeId, apps::EegCollector> eeg_collectors_;
 };

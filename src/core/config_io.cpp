@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -80,6 +81,15 @@ Fidelity parse_fidelity(const std::string& token) {
                     "' (expected reference | model)");
 }
 
+fault::FaultKind parse_fault_kind(const std::string& token) {
+  const std::string v = lower(trim(token));
+  if (v == "crash") return fault::FaultKind::kCrash;
+  if (v == "radio_lockup") return fault::FaultKind::kRadioLockup;
+  if (v == "skew_step") return fault::FaultKind::kSkewStep;
+  throw ConfigError("unknown fault kind '" + token +
+                    "' (expected crash | radio_lockup | skew_step)");
+}
+
 namespace {
 
 /// One buffered `[node.K]` assignment; applied after the whole file is
@@ -135,11 +145,34 @@ BanConfig parse_config(const std::string& text) {
   // The static cycle is expressed directly in the file; remember it to
   // derive the slot width once max_slots is known.
   double static_cycle_ms = -1.0;
+  // Indexed fault sections, keyed so [fault.episode.2] may precede
+  // [fault.episode.1] in the file; flattened in index order afterwards.
+  std::map<std::size_t, fault::ShadowEpisode> fault_episodes;
+  std::map<std::size_t, fault::FaultEvent> fault_events;
+
+  const auto section_index = [](const std::string& section,
+                                std::size_t prefix_len, int line_no) {
+    const std::string index_token = section.substr(prefix_len);
+    std::size_t index = 0;
+    try {
+      index = static_cast<std::size_t>(to_int("section index", index_token));
+    } catch (const ConfigError&) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": bad section index in [" + section + "]");
+    }
+    if (index == 0) {
+      throw ConfigError("line " + std::to_string(line_no) + ": [" + section +
+                        "] sections are 1-based");
+    }
+    return index;
+  };
 
   std::istringstream stream{text};
   std::string line;
   std::string section;
-  std::size_t current_node = 0;  ///< 1-based index when inside [node.K]
+  std::size_t current_node = 0;     ///< 1-based index when inside [node.K]
+  std::size_t current_episode = 0;  ///< 1-based, inside [fault.episode.K]
+  std::size_t current_event = 0;    ///< 1-based, inside [fault.event.K]
   int line_no = 0;
   while (std::getline(stream, line)) {
     ++line_no;
@@ -154,6 +187,8 @@ BanConfig parse_config(const std::string& text) {
       }
       section = lower(trim(line.substr(1, line.size() - 2)));
       current_node = 0;
+      current_episode = 0;
+      current_event = 0;
       if (section.rfind("node.", 0) == 0) {
         const std::string index_token = section.substr(5);
         try {
@@ -168,6 +203,10 @@ BanConfig parse_config(const std::string& text) {
                             ": node sections are 1-based ([node.1], ...)");
         }
         max_node_index = std::max(max_node_index, current_node);
+      } else if (section.rfind("fault.episode.", 0) == 0) {
+        current_episode = section_index(section, 14, line_no);
+      } else if (section.rfind("fault.event.", 0) == 0) {
+        current_event = section_index(section, 12, line_no);
       }
       continue;
     }
@@ -182,6 +221,46 @@ BanConfig parse_config(const std::string& text) {
 
     if (current_node > 0) {
       node_assignments.push_back({current_node, key, value, line_no});
+      continue;
+    }
+
+    if (current_episode > 0) {
+      fault::ShadowEpisode& ep = fault_episodes[current_episode];
+      if (key == "node") {
+        ep.node = static_cast<std::uint32_t>(to_int(scoped, value));
+      } else if (key == "start_ms") {
+        ep.start = sim::TimePoint::zero() +
+                   sim::Duration::from_milliseconds(to_double(scoped, value));
+      } else if (key == "duration_ms") {
+        ep.duration =
+            sim::Duration::from_milliseconds(to_double(scoped, value));
+      } else if (key == "extra_loss_db") {
+        ep.extra_loss_db = to_double(scoped, value);
+      } else if (key == "fer") {
+        ep.fer = to_double(scoped, value);
+      } else {
+        throw ConfigError("line " + std::to_string(line_no) +
+                          ": unknown key '" + scoped + "'");
+      }
+      continue;
+    }
+    if (current_event > 0) {
+      fault::FaultEvent& ev = fault_events[current_event];
+      if (key == "kind") {
+        ev.kind = parse_fault_kind(value);
+      } else if (key == "node") {
+        ev.node = static_cast<std::uint32_t>(to_int(scoped, value));
+      } else if (key == "at_ms") {
+        ev.at = sim::TimePoint::zero() +
+                sim::Duration::from_milliseconds(to_double(scoped, value));
+      } else if (key == "down_ms") {
+        ev.down = sim::Duration::from_milliseconds(to_double(scoped, value));
+      } else if (key == "skew_delta") {
+        ev.skew_delta = to_double(scoped, value);
+      } else {
+        throw ConfigError("line " + std::to_string(line_no) +
+                          ": unknown key '" + scoped + "'");
+      }
       continue;
     }
 
@@ -218,6 +297,75 @@ BanConfig parse_config(const std::string& text) {
     } else if (scoped == "tdma.reclaim_after_cycles") {
       config.tdma.reclaim_after_cycles =
           static_cast<std::uint32_t>(to_int(scoped, value));
+    } else if (scoped == "tdma.missed_beacon_limit") {
+      config.tdma.missed_beacon_limit =
+          static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "tdma.tx_queue_cap") {
+      config.tdma.tx_queue_cap =
+          static_cast<std::size_t>(to_int(scoped, value));
+    } else if (scoped == "tdma.search_listen_ms") {
+      config.tdma.search_listen =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "tdma.search_backoff_base_ms") {
+      config.tdma.search_backoff_base =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "tdma.search_backoff_factor") {
+      config.tdma.search_backoff_factor = to_double(scoped, value);
+    } else if (scoped == "tdma.search_backoff_max_ms") {
+      config.tdma.search_backoff_max =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.enabled") {
+      config.fault_plan.enabled = to_bool(scoped, value);
+    } else if (scoped == "fault.fade.enabled") {
+      config.fault_plan.fade.enabled = to_bool(scoped, value);
+    } else if (scoped == "fault.fade.p_enter") {
+      config.fault_plan.fade.p_enter = to_double(scoped, value);
+    } else if (scoped == "fault.fade.p_exit") {
+      config.fault_plan.fade.p_exit = to_double(scoped, value);
+    } else if (scoped == "fault.fade.step_ms") {
+      config.fault_plan.fade.step =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.fade.extra_loss_db") {
+      config.fault_plan.fade.extra_loss_db = to_double(scoped, value);
+    } else if (scoped == "fault.fade.fer") {
+      config.fault_plan.fade.fer = to_double(scoped, value);
+    } else if (scoped == "fault.interferer.enabled") {
+      config.fault_plan.interferer.enabled = to_bool(scoped, value);
+    } else if (scoped == "fault.interferer.period_ms") {
+      config.fault_plan.interferer.period =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.interferer.burst_ms") {
+      config.fault_plan.interferer.burst =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.interferer.fer") {
+      config.fault_plan.interferer.fer = to_double(scoped, value);
+    } else if (scoped == "fault.crashes.enabled") {
+      config.fault_plan.crashes.enabled = to_bool(scoped, value);
+    } else if (scoped == "fault.crashes.rate_hz") {
+      config.fault_plan.crashes.rate_hz = to_double(scoped, value);
+    } else if (scoped == "fault.crashes.check_ms") {
+      config.fault_plan.crashes.check =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.crashes.min_down_ms") {
+      config.fault_plan.crashes.min_down =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.crashes.max_down_ms") {
+      config.fault_plan.crashes.max_down =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.brownout.enabled") {
+      config.fault_plan.brownout.enabled = to_bool(scoped, value);
+    } else if (scoped == "fault.brownout.capacity_mah") {
+      config.fault_plan.brownout.capacity_mah = to_double(scoped, value);
+    } else if (scoped == "fault.brownout.esr_ohms") {
+      config.fault_plan.brownout.esr_ohms = to_double(scoped, value);
+    } else if (scoped == "fault.brownout.brownout_volts") {
+      config.fault_plan.brownout.brownout_volts = to_double(scoped, value);
+    } else if (scoped == "fault.brownout.check_ms") {
+      config.fault_plan.brownout.check =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "fault.brownout.recovery_ms") {
+      config.fault_plan.brownout.recovery =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
     } else if (scoped == "streaming.sample_rate_hz") {
       config.streaming.sample_rate_hz = to_double(scoped, value);
     } else if (scoped == "streaming.payload_bytes") {
@@ -275,6 +423,22 @@ BanConfig parse_config(const std::string& text) {
       apply_node_key(config.roster[a.index - 1], config, a);
     }
   }
+
+  for (const auto& [index, episode] : fault_episodes) {
+    config.fault_plan.episodes.push_back(episode);
+  }
+  for (const auto& [index, event] : fault_events) {
+    config.fault_plan.events.push_back(event);
+  }
+
+  // Reject nonsense before it becomes a mysteriously-degenerate run.
+  if (const std::string problem = config.tdma.validate(); !problem.empty()) {
+    throw ConfigError("[tdma] " + problem);
+  }
+  if (const std::string problem = config.fault_plan.validate();
+      !problem.empty()) {
+    throw ConfigError(problem);
+  }
   return config;
 }
 
@@ -303,7 +467,18 @@ std::string serialize_config(const BanConfig& config) {
   out << "radio_power_down = "
       << (config.tdma.radio_power_down ? "true" : "false") << "\n";
   out << "reclaim_after_cycles = " << config.tdma.reclaim_after_cycles
-      << "\n\n";
+      << "\n";
+  out << "missed_beacon_limit = "
+      << static_cast<int>(config.tdma.missed_beacon_limit) << "\n";
+  out << "tx_queue_cap = " << config.tdma.tx_queue_cap << "\n";
+  out << "search_listen_ms = " << config.tdma.search_listen.to_milliseconds()
+      << "\n";
+  out << "search_backoff_base_ms = "
+      << config.tdma.search_backoff_base.to_milliseconds() << "\n";
+  out << "search_backoff_factor = " << config.tdma.search_backoff_factor
+      << "\n";
+  out << "search_backoff_max_ms = "
+      << config.tdma.search_backoff_max.to_milliseconds() << "\n\n";
 
   out << "[streaming]\n";
   out << "sample_rate_hz = " << config.streaming.sample_rate_hz << "\n";
@@ -327,6 +502,73 @@ std::string serialize_config(const BanConfig& config) {
       << "\n";
   out << "shadowing_sigma_db = " << config.link_budget.shadowing_sigma_db
       << "\n";
+
+  // Fault sections only when a plan is carried: fault-free configs
+  // round-trip to byte-identical text with or without the fault subsystem.
+  const fault::FaultPlan& plan = config.fault_plan;
+  if (plan.enabled) {
+    out << "\n[fault]\n";
+    out << "enabled = true\n";
+    if (plan.fade.enabled) {
+      out << "\n[fault.fade]\n";
+      out << "enabled = true\n";
+      out << "p_enter = " << plan.fade.p_enter << "\n";
+      out << "p_exit = " << plan.fade.p_exit << "\n";
+      out << "step_ms = " << plan.fade.step.to_milliseconds() << "\n";
+      out << "extra_loss_db = " << plan.fade.extra_loss_db << "\n";
+      out << "fer = " << plan.fade.fer << "\n";
+    }
+    if (plan.interferer.enabled) {
+      out << "\n[fault.interferer]\n";
+      out << "enabled = true\n";
+      out << "period_ms = " << plan.interferer.period.to_milliseconds()
+          << "\n";
+      out << "burst_ms = " << plan.interferer.burst.to_milliseconds() << "\n";
+      out << "fer = " << plan.interferer.fer << "\n";
+    }
+    if (plan.crashes.enabled) {
+      out << "\n[fault.crashes]\n";
+      out << "enabled = true\n";
+      out << "rate_hz = " << plan.crashes.rate_hz << "\n";
+      out << "check_ms = " << plan.crashes.check.to_milliseconds() << "\n";
+      out << "min_down_ms = " << plan.crashes.min_down.to_milliseconds()
+          << "\n";
+      out << "max_down_ms = " << plan.crashes.max_down.to_milliseconds()
+          << "\n";
+    }
+    if (plan.brownout.enabled) {
+      out << "\n[fault.brownout]\n";
+      out << "enabled = true\n";
+      out << "capacity_mah = " << plan.brownout.capacity_mah << "\n";
+      out << "esr_ohms = " << plan.brownout.esr_ohms << "\n";
+      out << "brownout_volts = " << plan.brownout.brownout_volts << "\n";
+      out << "check_ms = " << plan.brownout.check.to_milliseconds() << "\n";
+      out << "recovery_ms = " << plan.brownout.recovery.to_milliseconds()
+          << "\n";
+    }
+    for (std::size_t i = 0; i < plan.episodes.size(); ++i) {
+      const fault::ShadowEpisode& ep = plan.episodes[i];
+      out << "\n[fault.episode." << (i + 1) << "]\n";
+      out << "node = " << ep.node << "\n";
+      out << "start_ms = " << ep.start.since_epoch().to_milliseconds() << "\n";
+      out << "duration_ms = " << ep.duration.to_milliseconds() << "\n";
+      out << "extra_loss_db = " << ep.extra_loss_db << "\n";
+      out << "fer = " << ep.fer << "\n";
+    }
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      const fault::FaultEvent& ev = plan.events[i];
+      out << "\n[fault.event." << (i + 1) << "]\n";
+      out << "kind = " << fault::to_string(ev.kind) << "\n";
+      out << "node = " << ev.node << "\n";
+      out << "at_ms = " << ev.at.since_epoch().to_milliseconds() << "\n";
+      if (ev.kind == fault::FaultKind::kCrash) {
+        out << "down_ms = " << ev.down.to_milliseconds() << "\n";
+      }
+      if (ev.kind == fault::FaultKind::kSkewStep) {
+        out << "skew_delta = " << ev.skew_delta << "\n";
+      }
+    }
+  }
 
   for (std::size_t i = 0; i < config.roster.size(); ++i) {
     const NodeSpec& spec = config.roster[i];

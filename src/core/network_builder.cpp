@@ -35,6 +35,11 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
         "CellPlan roster is empty: resize it to the desired node count, or "
         "set allow_empty_roster for a deliberate base-station-only cell");
   }
+  if (plan.mac == MacKind::kTdma) {
+    if (const std::string problem = plan.tdma.validate(); !problem.empty()) {
+      throw std::invalid_argument("TdmaConfig: " + problem);
+    }
+  }
 
   BuiltCell cell;
   cell.seed = plan.seed;

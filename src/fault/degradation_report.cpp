@@ -1,0 +1,124 @@
+#include "fault/degradation_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bansim::fault {
+
+std::uint64_t CampaignRun::generated() const {
+  std::uint64_t total = 0;
+  for (const NodeOutcome& n : nodes) total += n.payloads_generated;
+  return total;
+}
+
+std::uint64_t CampaignRun::delivered() const {
+  std::uint64_t total = 0;
+  for (const NodeOutcome& n : nodes) total += n.payloads_delivered;
+  return total;
+}
+
+double CampaignRun::energy_joules() const {
+  double total = 0.0;
+  for (const NodeOutcome& n : nodes) total += n.energy_joules;
+  return total;
+}
+
+double CampaignRun::pdr() const {
+  const std::uint64_t gen = generated();
+  if (gen == 0) return 1.0;
+  return static_cast<double>(delivered()) / static_cast<double>(gen);
+}
+
+LatencyStats LatencyStats::from(std::vector<sim::Duration> samples) {
+  LatencyStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  std::int64_t sum_ns = 0;
+  for (const sim::Duration d : samples) sum_ns += d.ticks();
+  s.mean = sim::Duration::nanoseconds(sum_ns /
+                                      static_cast<std::int64_t>(samples.size()));
+  s.p50 = samples[samples.size() / 2];
+  s.max = samples.back();
+  return s;
+}
+
+DegradationReport DegradationReport::build(const CampaignRun& faulted,
+                                           const CampaignRun& baseline) {
+  DegradationReport r;
+  r.faulted_pdr = faulted.pdr();
+  r.baseline_pdr = baseline.pdr();
+  r.faulted_delivered = faulted.delivered();
+  r.baseline_delivered = baseline.delivered();
+  r.faulted_joules = faulted.energy_joules();
+  r.baseline_joules = baseline.energy_joules();
+
+  std::vector<sim::Duration> resyncs;
+  std::vector<sim::Duration> rejoins;
+  for (const NodeOutcome& n : faulted.nodes) {
+    r.crashes += n.crashes;
+    r.reboots += n.reboots;
+    r.resyncs += n.resyncs;
+    resyncs.insert(resyncs.end(), n.resync_times.begin(),
+                   n.resync_times.end());
+    rejoins.insert(rejoins.end(), n.rejoin_times.begin(),
+                   n.rejoin_times.end());
+  }
+  r.resync = LatencyStats::from(std::move(resyncs));
+  r.rejoin = LatencyStats::from(std::move(rejoins));
+
+  // Energy per delivered payload, faulted minus baseline.  Guard the
+  // degenerate total-blackout case (nothing delivered at all).
+  const double faulted_per =
+      r.faulted_delivered > 0
+          ? r.faulted_joules / static_cast<double>(r.faulted_delivered)
+          : r.faulted_joules;
+  const double baseline_per =
+      r.baseline_delivered > 0
+          ? r.baseline_joules / static_cast<double>(r.baseline_delivered)
+          : r.baseline_joules;
+  r.recovery_overhead_mj_per_payload = (faulted_per - baseline_per) * 1e3;
+  return r;
+}
+
+std::string DegradationReport::to_string() const {
+  char line[160];
+  std::string out;
+  out += "degradation report (faulted vs fault-free baseline)\n";
+  std::snprintf(line, sizeof line,
+                "  PDR              %7.4f  (baseline %7.4f)\n", faulted_pdr,
+                baseline_pdr);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  delivered        %7llu  (baseline %7llu)\n",
+                static_cast<unsigned long long>(faulted_delivered),
+                static_cast<unsigned long long>(baseline_delivered));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  crashes/reboots  %llu/%llu, resyncs %llu\n",
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(reboots),
+                static_cast<unsigned long long>(resyncs));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  time-to-resync   n=%zu mean=%s p50=%s max=%s\n", resync.n,
+                resync.mean.to_string().c_str(), resync.p50.to_string().c_str(),
+                resync.max.to_string().c_str());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  time-to-rejoin   n=%zu mean=%s p50=%s max=%s\n", rejoin.n,
+                rejoin.mean.to_string().c_str(), rejoin.p50.to_string().c_str(),
+                rejoin.max.to_string().c_str());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  energy           %.3f mJ  (baseline %.3f mJ)\n",
+                faulted_joules * 1e3, baseline_joules * 1e3);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  recovery overhead %+.4f mJ per delivered payload\n",
+                recovery_overhead_mj_per_payload);
+  out += line;
+  return out;
+}
+
+}  // namespace bansim::fault

@@ -1,0 +1,79 @@
+// Quantifies what a fault campaign did to a BAN cell.
+//
+// A campaign by itself only produces raw counters; the number the survey
+// comparisons need is the *difference* against the same cell run fault-free
+// from the same seed.  DegradationReport::build() takes both runs as plain
+// per-node outcome rows (the core campaign runner fills them in) and
+// distils: packet delivery ratio, the distributions of time-to-resync and
+// time-to-rejoin, and the recovery-energy overhead — the extra energy per
+// delivered payload that fault recovery (resync listens, re-association
+// handshakes, retransmissions) cost relative to the undisturbed baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bansim::fault {
+
+/// One node's raw campaign outcome (either run).
+struct NodeOutcome {
+  std::string node;
+  std::uint64_t payloads_generated{0};
+  std::uint64_t payloads_delivered{0};  ///< counted at the base station
+  double energy_joules{0.0};
+  std::uint64_t crashes{0};
+  std::uint64_t reboots{0};
+  std::uint64_t resyncs{0};
+  std::vector<sim::Duration> resync_times;
+  std::vector<sim::Duration> rejoin_times;
+};
+
+/// One complete run of a cell (faulted campaign or fault-free baseline).
+struct CampaignRun {
+  sim::Duration duration{sim::Duration::zero()};
+  std::vector<NodeOutcome> nodes;
+
+  [[nodiscard]] std::uint64_t generated() const;
+  [[nodiscard]] std::uint64_t delivered() const;
+  [[nodiscard]] double energy_joules() const;
+  [[nodiscard]] double pdr() const;  ///< delivered / generated (1 if none)
+};
+
+/// Summary of a latency sample set (empty set renders as n=0).
+struct LatencyStats {
+  std::size_t n{0};
+  sim::Duration mean{sim::Duration::zero()};
+  sim::Duration p50{sim::Duration::zero()};
+  sim::Duration max{sim::Duration::zero()};
+
+  [[nodiscard]] static LatencyStats from(std::vector<sim::Duration> samples);
+};
+
+struct DegradationReport {
+  double faulted_pdr{1.0};
+  double baseline_pdr{1.0};
+  std::uint64_t faulted_delivered{0};
+  std::uint64_t baseline_delivered{0};
+  std::uint64_t crashes{0};
+  std::uint64_t reboots{0};
+  std::uint64_t resyncs{0};
+  LatencyStats resync{};
+  LatencyStats rejoin{};
+  double faulted_joules{0.0};
+  double baseline_joules{0.0};
+  /// Extra millijoules spent per *delivered* payload relative to baseline:
+  /// the cost of recovery, retransmission and wasted listening.  This is
+  /// the number the static-vs-dynamic TDMA comparison turns on.
+  double recovery_overhead_mj_per_payload{0.0};
+
+  [[nodiscard]] static DegradationReport build(const CampaignRun& faulted,
+                                               const CampaignRun& baseline);
+
+  /// Human-readable table for bansim_cli.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace bansim::fault

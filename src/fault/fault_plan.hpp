@@ -1,0 +1,197 @@
+// Declarative description of one fault-injection campaign.
+//
+// The paper motivates the simulator for "different working conditions,
+// applications and topologies of BANs"; the WBAN MAC surveys it builds on
+// (arXiv:1208.2351, arXiv:1004.3890) name body-movement burst fading and
+// node churn as the dominant real-world stressors of TDMA BANs.  A
+// FaultPlan captures exactly those stressors as data: time-varying channel
+// impairments (a Gilbert-Elliott burst-fade process, timed shadowing
+// episodes, a periodic 2.4 GHz interferer) and node faults (scripted and
+// stochastic crash/reboot, battery brown-out, receiver lock-up, clock-skew
+// steps).  The plan is a plain value — parsed from [fault.*] INI sections
+// by core::config_io, carried inside core::BanConfig, and executed by
+// fault::FaultInjector.  Everything it does is driven by named RNG streams
+// of the experiment seed, so a campaign is exactly as deterministic and
+// replayable as a fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bansim::fault {
+
+/// Two-state Gilbert-Elliott burst-fade process over the whole medium
+/// (body movement shadows every on-body link at once).  The chain is
+/// stepped every `step`; in the bad state every link suffers
+/// `extra_loss_db` of attenuation (link-model runs) and at least `fer`
+/// frame error probability (with or without the link model).
+struct FadeParams {
+  bool enabled{false};
+  double p_enter{0.02};  ///< per-step good -> bad probability
+  double p_exit{0.30};   ///< per-step bad -> good probability
+  sim::Duration step{sim::Duration::milliseconds(5)};
+  double extra_loss_db{12.0};
+  double fer{0.0};
+};
+
+/// Periodic co-channel interferer (a duty-cycled 2.4 GHz neighbour such as
+/// a Wi-Fi beacon): while the burst is on, every frame is corrupted with
+/// probability `fer` on top of everything else.
+struct InterfererParams {
+  bool enabled{false};
+  sim::Duration period{sim::Duration::milliseconds(102)};
+  sim::Duration burst{sim::Duration::milliseconds(3)};
+  double fer{0.35};
+};
+
+/// A timed shadowing episode: an arm swinging across the torso, the wearer
+/// walking away from the base station.  Applies to frames whose transmitter
+/// or receiver is the named node (1-based roster index; 0 = every node),
+/// between `start` and `start + duration`.
+struct ShadowEpisode {
+  std::uint32_t node{0};
+  sim::TimePoint start{};
+  sim::Duration duration{sim::Duration::seconds(1)};
+  double extra_loss_db{20.0};
+  double fer{0.0};
+};
+
+enum class FaultKind : std::uint8_t {
+  kCrash,        ///< full MAC-state loss; reboots `down` later
+  kRadioLockup,  ///< receiver wedged until the node power-cycles it
+  kSkewStep,     ///< DCO frequency error steps by `skew_delta`
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRadioLockup: return "radio_lockup";
+    case FaultKind::kSkewStep: return "skew_step";
+  }
+  return "?";
+}
+
+/// One scripted node fault.
+struct FaultEvent {
+  FaultKind kind{FaultKind::kCrash};
+  std::uint32_t node{1};  ///< 1-based roster index
+  sim::TimePoint at{};
+  sim::Duration down{sim::Duration::milliseconds(500)};  ///< crash only
+  double skew_delta{0.0};                                ///< skew_step only
+};
+
+/// Seed-driven stochastic crash churn: every `check`, each live node
+/// crashes with probability rate_hz * check, staying down a uniform draw
+/// from [min_down, max_down].  Draws come from the "fault/crash" stream.
+struct CrashProcess {
+  bool enabled{false};
+  double rate_hz{0.05};
+  sim::Duration check{sim::Duration::milliseconds(250)};
+  sim::Duration min_down{sim::Duration::milliseconds(200)};
+  sim::Duration max_down{sim::Duration::milliseconds(1500)};
+};
+
+/// Battery brown-out: each node runs from a (deliberately small) cell whose
+/// loaded terminal voltage is the linear-sag open-circuit voltage minus the
+/// I*ESR drop of the node's average draw over the last `check` window.
+/// Dropping under `brownout_volts` crashes the node; the lightened load
+/// lets the terminal voltage recover, and the node reboots `recovery`
+/// later — unless the cell is flat, which is permanent death.
+struct BrownoutParams {
+  bool enabled{false};
+  double capacity_mah{0.01};
+  double esr_ohms{25.0};
+  double brownout_volts{3.6};
+  sim::Duration check{sim::Duration::milliseconds(100)};
+  sim::Duration recovery{sim::Duration::milliseconds(800)};
+};
+
+struct FaultPlan {
+  /// Master switch: a disabled plan injects nothing and perturbs nothing —
+  /// runs are bit-identical to builds that predate the fault subsystem.
+  bool enabled{false};
+
+  FadeParams fade{};
+  InterfererParams interferer{};
+  std::vector<ShadowEpisode> episodes{};
+  std::vector<FaultEvent> events{};
+  CrashProcess crashes{};
+  BrownoutParams brownout{};
+
+  /// True when the plan would actually do something.
+  [[nodiscard]] bool any() const {
+    return enabled &&
+           (fade.enabled || interferer.enabled || !episodes.empty() ||
+            !events.empty() || crashes.enabled || brownout.enabled);
+  }
+
+  /// True when any channel impairment is configured (decides whether the
+  /// injector must interpose on the channel's frame-error model).
+  [[nodiscard]] bool touches_channel() const {
+    return enabled &&
+           (fade.enabled || interferer.enabled || !episodes.empty());
+  }
+
+  /// Empty string when the plan is well-formed, else the first problem.
+  /// Callers turn a non-empty result into a hard error: a campaign with a
+  /// nonsense plan would still run deterministically, just not the campaign
+  /// anyone meant to run.
+  [[nodiscard]] std::string validate() const {
+    const auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (fade.enabled) {
+      if (!prob(fade.p_enter) || !prob(fade.p_exit)) {
+        return "fault.fade: p_enter/p_exit must be probabilities in [0, 1]";
+      }
+      if (!fade.step.is_positive()) return "fault.fade: step_ms must be > 0";
+      if (!prob(fade.fer)) return "fault.fade: fer must be in [0, 1]";
+    }
+    if (interferer.enabled) {
+      if (!interferer.period.is_positive() || !interferer.burst.is_positive()) {
+        return "fault.interferer: period_ms and burst_ms must be > 0";
+      }
+      if (interferer.burst > interferer.period) {
+        return "fault.interferer: burst_ms must not exceed period_ms";
+      }
+      if (!prob(interferer.fer)) return "fault.interferer: fer must be in [0, 1]";
+    }
+    for (const ShadowEpisode& ep : episodes) {
+      if (!ep.duration.is_positive()) {
+        return "fault.episode: duration_ms must be > 0";
+      }
+      if (!prob(ep.fer)) return "fault.episode: fer must be in [0, 1]";
+    }
+    for (const FaultEvent& ev : events) {
+      if (ev.node == 0) return "fault.event: node is 1-based (0 is invalid)";
+      if (ev.kind == FaultKind::kCrash && !ev.down.is_positive()) {
+        return "fault.event: crash down_ms must be > 0";
+      }
+    }
+    if (crashes.enabled) {
+      if (crashes.rate_hz < 0.0) return "fault.crashes: rate_hz must be >= 0";
+      if (!crashes.check.is_positive()) {
+        return "fault.crashes: check_ms must be > 0";
+      }
+      if (!crashes.min_down.is_positive() ||
+          crashes.max_down < crashes.min_down) {
+        return "fault.crashes: need 0 < min_down_ms <= max_down_ms";
+      }
+    }
+    if (brownout.enabled) {
+      if (brownout.capacity_mah <= 0.0) {
+        return "fault.brownout: capacity_mah must be > 0";
+      }
+      if (brownout.esr_ohms < 0.0) {
+        return "fault.brownout: esr_ohms must be >= 0";
+      }
+      if (!brownout.check.is_positive() || !brownout.recovery.is_positive()) {
+        return "fault.brownout: check_ms and recovery_ms must be > 0";
+      }
+    }
+    return "";
+  }
+};
+
+}  // namespace bansim::fault

@@ -48,6 +48,19 @@ sim::Duration Mcu::true_to_local(sim::Duration true_time) const {
   return true_time.scaled(1.0 / (1.0 + clock_skew_));
 }
 
+sim::Duration Mcu::local_clock(sim::TimePoint t) const {
+  return local_clock_base_ + true_to_local(t - true_base_);
+}
+
+void Mcu::set_clock_skew(double skew) {
+  const sim::TimePoint now = simulator_.now();
+  local_clock_base_ = local_clock(now);
+  true_base_ = now;
+  clock_skew_ = skew;
+  tracer_.emit(now, sim::TraceCategory::kMcu, trace_node_,
+               [&](sim::TraceMessage& m) { m << "dco skew step -> " << skew; });
+}
+
 sim::Duration Mcu::enter(McuMode mode) {
   if (mode == mode_) return sim::Duration::zero();
   const bool waking = mode == McuMode::kActive;

@@ -47,6 +47,18 @@ class Mcu {
   /// Inverse of local_to_true (true simulated time -> this device's clock).
   [[nodiscard]] sim::Duration true_to_local(sim::Duration true_time) const;
 
+  /// Absolute local-clock reading (ns since boot on this device's crystal)
+  /// at true instant `t`.  Piecewise-affine: a clock-skew step rebases the
+  /// mapping so the reading stays continuous across the step instead of
+  /// rescaling the whole past.
+  [[nodiscard]] sim::Duration local_clock(sim::TimePoint t) const;
+
+  /// Fault injection: steps the DCO frequency error to `skew` (temperature
+  /// shock, supply sag).  The local clock is rebased at the current instant,
+  /// so already-armed absolute local deadlines keep their meaning and only
+  /// tick by at the new rate.
+  void set_clock_skew(double skew);
+
   /// Enters a power mode at the current simulation time.  Transitions from
   /// an LPM to kActive incur the wake-up latency: the mode becomes kActive
   /// immediately for energy purposes (the core draws active current while
@@ -76,6 +88,11 @@ class Mcu {
   sim::TraceNodeId trace_node_;
   McuParams params_;
   double clock_skew_;
+  /// local_clock() affine pieces: reading at `true_base_` is
+  /// `local_clock_base_`; both stay zero until the first skew step, which
+  /// keeps the default mapping bit-identical to a pure scaling.
+  sim::Duration local_clock_base_{sim::Duration::zero()};
+  sim::TimePoint true_base_{};
   McuMode mode_{McuMode::kActive};
   std::uint64_t wakeups_{0};
   energy::EnergyMeter meter_;

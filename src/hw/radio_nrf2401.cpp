@@ -82,6 +82,7 @@ void RadioNrf2401::after(sim::Duration d, std::function<void()> fn) {
 void RadioNrf2401::power_down() {
   ++epoch_;
   latched_frame_.reset();
+  locked_up_ = false;  // a power-cycle is the documented lock-up recovery
   enter(RadioState::kPowerDown);
 }
 
@@ -147,7 +148,7 @@ void RadioNrf2401::send(const net::Packet& packet) {
 }
 
 void RadioNrf2401::on_frame_start(const phy::AirFrame& frame) {
-  if (state_ == RadioState::kRxListen && !latched_frame_) {
+  if (state_ == RadioState::kRxListen && !latched_frame_ && !locked_up_) {
     latched_frame_ = frame.id;
   } else {
     // Started while we were settling, clocking a frame out, transmitting or

@@ -101,6 +101,14 @@ class RadioNrf2401 final : public phy::MediumListener {
   /// This radio's listener id on the channel (AirFrame::tx_id).
   [[nodiscard]] std::uint32_t channel_id() const { return channel_id_; }
 
+  /// Fault injection: wedges the receiver — the chip keeps drawing its
+  /// mode current and reports itself listening, but never latches another
+  /// frame until it is power-cycled (power_down() clears the condition),
+  /// the real-world "RX dead until reset" failure of early ShockBurst
+  /// silicon.  Energy accounting and the FSM are unaffected.
+  void force_lockup() { locked_up_ = true; }
+  [[nodiscard]] bool locked_up() const { return locked_up_; }
+
   /// Duration of the SPI transfer of `bytes` into/out of the FIFO.
   [[nodiscard]] sim::Duration spi_time(std::size_t bytes) const;
 
@@ -128,6 +136,7 @@ class RadioNrf2401 final : public phy::MediumListener {
   std::uint64_t epoch_{0};  ///< invalidates superseded scheduled completions
   sim::TimePoint ready_at_{};  ///< crystal start-up completion while kPoweringUp
   std::optional<std::uint64_t> latched_frame_;  ///< key of frame being received
+  bool locked_up_{false};  ///< receiver wedged until the next power-cycle
   RadioStats stats_;
   energy::EnergyMeter meter_;
 };

@@ -31,18 +31,89 @@ NodeMac::NodeMac(sim::SimContext& context, os::NodeOs& node_os,
 }
 
 void NodeMac::start() {
-  os_.radio().init([this] { enter_search(); });
+  os_.radio().init([this, epoch = boot_epoch_] {
+    if (epoch == boot_epoch_) enter_search();
+  });
+}
+
+void NodeMac::stop_timer(os::TimerService::TimerId& id) {
+  if (id != os::TimerService::kInvalidTimer) {
+    os_.timers().stop(id);
+    id = os::TimerService::kInvalidTimer;
+  }
 }
 
 void NodeMac::cancel_cycle_timers() {
-  if (slot_timer_ != os::TimerService::kInvalidTimer) {
-    os_.timers().stop(slot_timer_);
-    slot_timer_ = os::TimerService::kInvalidTimer;
+  stop_timer(slot_timer_);
+  stop_timer(wake_timer_);
+}
+
+void NodeMac::cancel_all_timers() {
+  cancel_cycle_timers();
+  stop_timer(timeout_timer_);
+  stop_timer(grant_timer_);
+  stop_timer(ack_timer_);
+  stop_timer(ssr_timer_);
+  stop_timer(powerup_timer_);
+  stop_timer(search_timer_);
+}
+
+void NodeMac::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  // Posted tasks and armed callbacks belong to the old life; the epoch bump
+  // no-ops whatever teardown cannot reach.
+  ++boot_epoch_;
+  cancel_all_timers();
+  tx_queue_.clear();
+  state_ = NodeMacState::kBooting;
+  my_slot_ = -1;
+  missed_ = 0;
+  cycle_ = sim::Duration::zero();
+  slot_width_ = sim::Duration::zero();
+  owners_.clear();
+  last_beacon_wire_bytes_ = 0;
+  retries_ = 0;
+  awaiting_ack_ = false;
+  data_seq_ = 0;
+  search_backoff_level_ = 0;
+  search_pending_ = false;
+  rejoin_pending_ = false;
+  // The driver forgets its in-flight send; the chip is cut mid-state (a
+  // forced power-down is legal from anywhere and drops any latched frame).
+  os_.radio().reset();
+  os_.radio().radio().power_down();
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
+               [](sim::TraceMessage& m) { m << "CRASH: mac state lost"; });
+}
+
+void NodeMac::reboot() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++stats_.reboots;
+  must_reassociate_ = true;
+  reboot_at_ = simulator_.now();
+  rejoin_pending_ = true;
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
+               [](sim::TraceMessage& m) { m << "reboot: cold start"; });
+  start();
+}
+
+void NodeMac::queue_payload(std::vector<std::uint8_t> payload) {
+  assert(payload.size() <= net::kMaxPayloadBytes);
+  ++stats_.payloads_queued;
+  if (crashed_) {
+    // A dead node's sensing pipeline is dead too, but defend against
+    // application timers still draining through the scheduler.
+    ++stats_.payloads_dropped;
+    return;
   }
-  if (wake_timer_ != os::TimerService::kInvalidTimer) {
-    os_.timers().stop(wake_timer_);
-    wake_timer_ = os::TimerService::kInvalidTimer;
+  if (tx_queue_.size() >= config_.tx_queue_cap) {
+    tx_queue_.pop_front();
+    ++stats_.payloads_dropped;
   }
+  tx_queue_.push_back(std::move(payload));
 }
 
 void NodeMac::enter_search() {
@@ -51,22 +122,62 @@ void NodeMac::enter_search() {
   missed_ = 0;
   my_slot_ = -1;
   cancel_cycle_timers();
-  if (timeout_timer_ != os::TimerService::kInvalidTimer) {
-    os_.timers().stop(timeout_timer_);
-    timeout_timer_ = os::TimerService::kInvalidTimer;
-  }
-  if (!os_.radio().listening()) os_.radio().start_listen();
+  stop_timer(timeout_timer_);
+  search_started_ = simulator_.now();
+  search_pending_ = true;
   tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                [](sim::TraceMessage& m) { m << "searching for beacon"; });
+  if (config_.search_listen.is_zero()) {
+    // Legacy: listen until a beacon arrives, however long that takes.
+    if (!os_.radio().listening()) os_.radio().start_listen();
+    return;
+  }
+  search_backoff_level_ = 0;
+  begin_search_listen();
 }
 
-void NodeMac::queue_payload(std::vector<std::uint8_t> payload) {
-  assert(payload.size() <= net::kMaxPayloadBytes);
-  if (tx_queue_.size() >= kMaxQueue) {
-    tx_queue_.pop_front();
-    ++stats_.payloads_dropped;
+void NodeMac::begin_search_listen() {
+  if (!os_.radio().listening() && !os_.radio().sending()) {
+    os_.radio().start_listen();
   }
-  tx_queue_.push_back(std::move(payload));
+  search_timer_ = os_.timers().start_oneshot(
+      "mac.search_window", config_.search_listen,
+      [this] { on_search_window_elapsed(); });
+}
+
+void NodeMac::on_search_window_elapsed() {
+  search_timer_ = os::TimerService::kInvalidTimer;
+  if (state_ != NodeMacState::kSearching) return;
+  if (os_.radio().radio().state() == hw::RadioState::kRxClockOut) {
+    // A frame (maybe our beacon) is clocking out right now; let it finish.
+    search_timer_ = os_.timers().start_oneshot(
+        "mac.search_window", sim::Duration::from_microseconds(500),
+        [this] { on_search_window_elapsed(); });
+    return;
+  }
+  // No beacon inside the window: power-cycle the radio — which also clears
+  // a locked-up receiver, the recovery path for that fault — and back off
+  // before burning RX current again.
+  if (os_.radio().listening()) os_.radio().stop_listen();
+  os_.radio().radio().power_down();
+  ++stats_.search_power_cycles;
+  sim::Duration backoff = config_.search_backoff_base;
+  for (std::uint32_t i = 0; i < search_backoff_level_; ++i) {
+    backoff = backoff.scaled(config_.search_backoff_factor);
+    if (backoff >= config_.search_backoff_max) break;
+  }
+  if (backoff > config_.search_backoff_max) backoff = config_.search_backoff_max;
+  ++search_backoff_level_;
+  tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
+               [&](sim::TraceMessage& m) {
+                 m << "search window empty, backoff " << backoff;
+               });
+  search_timer_ = os_.timers().start_oneshot(
+      "mac.search_backoff", backoff, [this] {
+        search_timer_ = os::TimerService::kInvalidTimer;
+        if (state_ != NodeMacState::kSearching) return;
+        begin_search_listen();  // start_listen re-powers the radio if needed
+      });
 }
 
 sim::Duration NodeMac::beacon_air_estimate() const {
@@ -77,6 +188,9 @@ sim::Duration NodeMac::beacon_air_estimate() const {
 }
 
 void NodeMac::on_packet(const net::Packet& packet) {
+  // A frame clocked out just before the crash can still drain through the
+  // OS dispatch queue; the dead MAC must not act on it.
+  if (crashed_) return;
   switch (packet.header.type) {
     case net::PacketType::kSlotGrant:
       // Directed frames from a foreign base station (a co-located BAN with
@@ -98,19 +212,19 @@ void NodeMac::on_packet(const net::Packet& packet) {
   const sim::TimePoint rx_time = simulator_.now();
 
   // The beacon is in hand: the receiver's job this cycle is done.
-  if (timeout_timer_ != os::TimerService::kInvalidTimer) {
-    os_.timers().stop(timeout_timer_);
-    timeout_timer_ = os::TimerService::kInvalidTimer;
-  }
+  stop_timer(timeout_timer_);
+  stop_timer(search_timer_);
   if (os_.radio().listening()) os_.radio().stop_listen();
 
   const std::uint64_t cycles =
       350 + 14 * (packet.payload.size() > 11
                       ? (packet.payload.size() - 11) / 2
                       : 0);
-  os_.scheduler().post("mac.beacon_proc", cycles, [this, packet, rx_time] {
-    process_beacon(packet, rx_time);
-  });
+  os_.scheduler().post("mac.beacon_proc", cycles,
+                       [this, packet, rx_time, epoch = boot_epoch_] {
+                         if (epoch != boot_epoch_) return;
+                         process_beacon(packet, rx_time);
+                       });
 }
 
 void NodeMac::process_beacon(const net::Packet& packet,
@@ -120,6 +234,11 @@ void NodeMac::process_beacon(const net::Packet& packet,
 
   ++stats_.beacons_received;
   missed_ = 0;
+  search_backoff_level_ = 0;
+  if (search_pending_) {
+    resync_times_.push_back(simulator_.now() - search_started_);
+    search_pending_ = false;
+  }
   cycle_ = sim::Duration::microseconds(payload->cycle_us);
   slot_width_ = sim::Duration::microseconds(payload->slot_us);
   owners_ = payload->slot_owners;
@@ -129,6 +248,11 @@ void NodeMac::process_beacon(const net::Packet& packet,
   my_slot_ = mine == owners_.end()
                  ? -1
                  : static_cast<int>(mine - owners_.begin());
+  // After a reboot the table may still carry the pre-crash slot, but the
+  // base station has not heard from this incarnation: re-associate
+  // explicitly instead of silently resuming a grant that may be reclaimed
+  // mid-cycle.  The flag clears once our own SSR is on the air.
+  if (must_reassociate_) my_slot_ = -1;
 
   const NodeMacState before = state_;
   state_ = my_slot_ >= 0 ? NodeMacState::kJoined
@@ -141,6 +265,10 @@ void NodeMac::process_beacon(const net::Packet& packet,
                    m << "state " << to_string(before) << " -> "
                      << to_string(state_);
                  });
+  }
+  if (state_ == NodeMacState::kJoined && rejoin_pending_) {
+    rejoin_times_.push_back(simulator_.now() - reboot_at_);
+    rejoin_pending_ = false;
   }
 
   // Anchor the cycle at the instant the beacon's first bit hit the air.
@@ -158,8 +286,24 @@ void NodeMac::schedule_cycle(sim::TimePoint cycle_start) {
   cancel_cycle_timers();
 
   // 1. Our data slot, if we own one and have something to say.  Data slot i
-  //    occupies [cycle_start + (1+i)*slot, +slot).
-  if (my_slot_ >= 0 && !tx_queue_.empty()) {
+  //    occupies [cycle_start + (1+i)*slot, +slot).  On a dead-reckoned
+  //    cycle the slot layout may have changed behind our back wherever the
+  //    base station can move slots (dynamic cycles shrink when a slot is
+  //    reclaimed, shifting every later index; static reclamation regrants
+  //    freed slots): transmitting on the stale layout would land inside
+  //    someone else's slot, so the payload waits for a confirmed beacon.
+  const bool layout_may_shift =
+      config_.variant == TdmaVariant::kDynamic ||
+      config_.reclaim_after_cycles > 0;
+  const bool stale_layout = missed_ > 0 && layout_may_shift;
+  if (stale_layout && my_slot_ >= 0 && !tx_queue_.empty()) {
+    ++stats_.slot_tx_deferred;
+    tracer_.emit(now, sim::TraceCategory::kMac, trace_node_,
+                 [](sim::TraceMessage& m) {
+                   m << "slot tx deferred (dead-reckoned layout)";
+                 });
+  }
+  if (my_slot_ >= 0 && !tx_queue_.empty() && !stale_layout) {
     const sim::TimePoint slot_start =
         cycle_start + slot_width_ * (1 + my_slot_);
     if (slot_start > now) {
@@ -212,13 +356,15 @@ void NodeMac::plan_power_down(sim::TimePoint next_use) {
   if (next_use - now <= lead + config_.power_up_margin) return;
 
   radio.power_down();
-  os_.timers().start_oneshot("mac.radio_powerup", (next_use - now) - lead,
-                             [this] {
-                               auto& r = os_.radio().radio();
-                               if (r.state() == hw::RadioState::kPowerDown) {
-                                 r.power_up();
-                               }
-                             });
+  stop_timer(powerup_timer_);  // stale wake-up from a superseded plan
+  powerup_timer_ = os_.timers().start_oneshot(
+      "mac.radio_powerup", (next_use - now) - lead, [this] {
+        powerup_timer_ = os::TimerService::kInvalidTimer;
+        auto& r = os_.radio().radio();
+        if (r.state() == hw::RadioState::kPowerDown) {
+          r.power_up();
+        }
+      });
 }
 
 void NodeMac::send_slot_request(sim::TimePoint cycle_start) {
@@ -230,10 +376,14 @@ void NodeMac::send_slot_request(sim::TimePoint cycle_start) {
   sim::TimePoint ssr_at;
 
   if (config_.variant == TdmaVariant::kStatic) {
-    // Pick a random free slot and a random jitter inside it.
+    // Pick a random free slot and a random jitter inside it.  A rebooted
+    // node still listed in the table may also re-request its own old slot —
+    // otherwise a full network would leave it no slot to re-associate
+    // through (the base station answers by repeating the existing grant).
     std::vector<std::uint8_t> free_slots;
     for (std::size_t i = 0; i < owners_.size(); ++i) {
-      if (owners_[i] == kFreeSlot) {
+      if (owners_[i] == kFreeSlot ||
+          (must_reassociate_ && owners_[i] == self_)) {
         free_slots.push_back(static_cast<std::uint8_t>(i));
       }
     }
@@ -260,8 +410,11 @@ void NodeMac::send_slot_request(sim::TimePoint cycle_start) {
   if (ssr_at <= now) return;  // window already passed this cycle
 
   state_ = NodeMacState::kJoining;
-  os_.timers().start_oneshot("mac.ssr", ssr_at - now, [this, wanted] {
-    os_.scheduler().post("mac.join", 500, [this, wanted] {
+  stop_timer(ssr_timer_);  // one pending request at a time
+  ssr_timer_ = os_.timers().start_oneshot("mac.ssr", ssr_at - now, [this, wanted] {
+    ssr_timer_ = os::TimerService::kInvalidTimer;
+    os_.scheduler().post("mac.join", 500, [this, wanted, epoch = boot_epoch_] {
+      if (epoch != boot_epoch_) return;
       if (os_.radio().sending() || os_.radio().listening()) return;
       net::Packet req;
       req.header.dest = bs_address_;
@@ -270,6 +423,10 @@ void NodeMac::send_slot_request(sim::TimePoint cycle_start) {
       req.header.seq = data_seq_++;
       req.payload = {wanted};
       ++stats_.slot_requests_sent;
+      // The re-association handshake is this SSR: once it is on the air the
+      // node may trust the table again (the base station repeats the grant
+      // of a slot it still holds).
+      must_reassociate_ = false;
       tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                    [&](sim::TraceMessage& m) {
                      m << "SSR (slot " << wanted << ")";
@@ -304,6 +461,10 @@ void NodeMac::process_grant(const net::Packet& packet) {
 
   my_slot_ = grant->slot_index;
   state_ = NodeMacState::kJoined;
+  if (rejoin_pending_) {
+    rejoin_times_.push_back(simulator_.now() - reboot_at_);
+    rejoin_pending_ = false;
+  }
   tracer_.emit(simulator_.now(), sim::TraceCategory::kMac, trace_node_,
                [&](sim::TraceMessage& m) {
                  m << "fast grant: slot " << my_slot_;
@@ -366,7 +527,9 @@ void NodeMac::transmit_queued() {
 
   const std::uint64_t cycles = 260 + 6 * payload.size();
   os_.scheduler().post(
-      "mac.prepare_tx", cycles, [this, payload = std::move(payload)] {
+      "mac.prepare_tx", cycles,
+      [this, payload = std::move(payload), epoch = boot_epoch_] {
+        if (epoch != boot_epoch_) return;
         if (os_.radio().sending() || os_.radio().listening()) return;
         net::Packet data;
         data.header.dest = bs_address_;

@@ -44,14 +44,19 @@ struct NodeMacStats {
   std::uint64_t beacons_received{0};
   std::uint64_t beacons_missed{0};
   std::uint64_t foreign_beacons{0};  ///< other-PAN beacons heard and ignored
-  std::uint64_t resyncs{0};          ///< fell back to continuous listen
+  std::uint64_t resyncs{0};          ///< fell back to a resync search
   std::uint64_t slot_requests_sent{0};
   std::uint64_t data_sent{0};
+  std::uint64_t payloads_queued{0};  ///< application payloads offered (PDR denominator)
   std::uint64_t payloads_dropped{0}; ///< queue overflow (producer too fast)
   std::uint64_t grants_received{0};  ///< fast grants caught after an SSR
   std::uint64_t acks_received{0};    ///< link-layer ACKs (ack_data mode)
   std::uint64_t retransmissions{0};  ///< data frames retried after ACK loss
   std::uint64_t retry_drops{0};      ///< payloads dropped after max_retries
+  std::uint64_t slot_tx_deferred{0}; ///< slot skipped: layout may have shifted
+  std::uint64_t search_power_cycles{0};  ///< bounded-search radio power-cycles
+  std::uint64_t crashes{0};          ///< hard faults injected into this MAC
+  std::uint64_t reboots{0};          ///< cold boots after a crash
 };
 
 class NodeMac {
@@ -73,10 +78,39 @@ class NodeMac {
   [[nodiscard]] int slot_index() const { return my_slot_; }
   [[nodiscard]] sim::Duration known_cycle() const { return cycle_; }
   [[nodiscard]] std::size_t queue_depth() const { return tx_queue_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const {
+    return config_.tx_queue_cap;
+  }
   [[nodiscard]] const NodeMacStats& stats() const { return stats_; }
 
-  /// Bound on the transmit queue.
+  /// Default transmit-queue bound (TdmaConfig::tx_queue_cap overrides).
   static constexpr std::size_t kMaxQueue = 8;
+
+  // --- Fault interface -----------------------------------------------------
+
+  /// Hard fault: every piece of protocol state — timers, queued payloads,
+  /// the slot, the schedule — is lost, posted MAC work is invalidated, and
+  /// the radio is cut to power-down mid-whatever-it-was-doing.  The node
+  /// stays dead until reboot().
+  void crash();
+
+  /// Cold boot after crash(): powers the radio back up and re-enters the
+  /// search.  The node re-associates explicitly — even if the next beacon
+  /// still lists its old slot it requests again, so the base station
+  /// re-confirms ownership before the node transmits data.
+  void reboot();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Search -> beacon latencies (one entry per completed resync) and
+  /// reboot -> joined latencies (one entry per completed rejoin); the raw
+  /// material of a campaign's recovery-time distributions.
+  [[nodiscard]] const std::vector<sim::Duration>& resync_times() const {
+    return resync_times_;
+  }
+  [[nodiscard]] const std::vector<sim::Duration>& rejoin_times() const {
+    return rejoin_times_;
+  }
 
  private:
   void on_packet(const net::Packet& packet);
@@ -91,6 +125,9 @@ class NodeMac {
 
   /// Stops any armed slot_tx / beacon_wake one-shots from a previous plan.
   void cancel_cycle_timers();
+  /// Stops every timer this MAC may have armed (crash teardown).
+  void cancel_all_timers();
+  void stop_timer(os::TimerService::TimerId& id);
 
   void send_slot_request(sim::TimePoint cycle_start);
   void transmit_queued();
@@ -101,6 +138,10 @@ class NodeMac {
   void plan_power_down(sim::TimePoint next_use);
   void on_beacon_timeout();
   void enter_search();
+  /// One bounded search window (search_listen > 0): listen, and on expiry
+  /// power-cycle the radio and back off before the next window.
+  void begin_search_listen();
+  void on_search_window_elapsed();
 
   [[nodiscard]] sim::Duration beacon_air_estimate() const;
 
@@ -131,8 +172,28 @@ class NodeMac {
   os::TimerService::TimerId ack_timer_{os::TimerService::kInvalidTimer};
   os::TimerService::TimerId slot_timer_{os::TimerService::kInvalidTimer};
   os::TimerService::TimerId wake_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId ssr_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId powerup_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId search_timer_{os::TimerService::kInvalidTimer};
   std::uint8_t retries_{0};         ///< attempts for the frame at queue front
   bool awaiting_ack_{false};
+
+  /// Crash teardown cannot cancel already-posted scheduler tasks (they sit
+  /// in the OS run queue like real RAM-resident task records would survive
+  /// in name only); every posted closure captures the epoch at post time
+  /// and no-ops if a crash bumped it since.
+  std::uint64_t boot_epoch_{0};
+  /// Forces an explicit re-association after reboot: the old slot in the
+  /// beacon table is ignored until this node's own SSR has gone out.
+  bool must_reassociate_{false};
+  bool crashed_{false};
+  std::uint32_t search_backoff_level_{0};
+  sim::TimePoint search_started_{};
+  bool search_pending_{false};   ///< a resync-latency sample is open
+  sim::TimePoint reboot_at_{};
+  bool rejoin_pending_{false};   ///< a rejoin-latency sample is open
+  std::vector<sim::Duration> resync_times_;
+  std::vector<sim::Duration> rejoin_times_;
   NodeMacStats stats_;
 };
 

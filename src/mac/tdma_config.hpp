@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
@@ -96,6 +97,22 @@ struct TdmaConfig {
   /// where silence does not mean death.
   std::uint32_t reclaim_after_cycles{0};
 
+  /// Bound on the transmit queue: oldest payloads are dropped beyond it.
+  std::size_t tx_queue_cap{8};
+
+  /// Bounded resynchronization search.  Zero keeps the legacy behaviour
+  /// (listen continuously until a beacon arrives).  Non-zero: the node
+  /// listens for `search_listen`, then power-cycles the radio (which also
+  /// clears a locked-up receiver) and sleeps a backoff that grows by
+  /// `search_backoff_factor` from `search_backoff_base` up to
+  /// `search_backoff_max` before the next listen window.  The bound is what
+  /// keeps a node with a dead base station (or a wedged receiver) from
+  /// burning its battery in RX forever.
+  sim::Duration search_listen{sim::Duration::zero()};
+  sim::Duration search_backoff_base{sim::Duration::milliseconds(50)};
+  double search_backoff_factor{2.0};
+  sim::Duration search_backoff_max{sim::Duration::milliseconds(800)};
+
   /// Static variant: the full cycle length implied by the slot plan.
   [[nodiscard]] sim::Duration static_cycle() const {
     return slot * (1 + static_cast<std::int64_t>(max_slots));
@@ -125,6 +142,48 @@ struct TdmaConfig {
     cfg.slot = slot_width;
     cfg.max_slots = 0;  // unused by the dynamic variant
     return cfg;
+  }
+
+  /// Sanity-checks the parameter set; returns an empty string when valid,
+  /// otherwise a description of the first problem found.  Degenerate values
+  /// here used to be accepted silently and produce nodes that join but can
+  /// never deliver (max_retries = 0 with ACKs, a zero-capacity queue) or
+  /// protocol hazards (a dead-reckoner outliving the reclaim horizon can
+  /// transmit into a slot the base station has already regranted).
+  [[nodiscard]] std::string validate() const {
+    if (slot <= sim::Duration::zero()) return "tdma: slot width must be > 0";
+    if (variant == TdmaVariant::kStatic && max_slots == 0) {
+      return "tdma: static variant needs max_slots >= 1";
+    }
+    if (tx_queue_cap == 0) {
+      return "tdma: tx_queue_cap = 0 drops every payload before transmission";
+    }
+    if (ack_data && max_retries == 0) {
+      return "tdma: ack_data with max_retries = 0 abandons every payload on "
+             "the first lost ACK; use max_retries >= 1 or disable ack_data";
+    }
+    if (guard_fraction < 0.0 || guard_fraction >= 0.5) {
+      return "tdma: guard_fraction must be in [0, 0.5)";
+    }
+    if (reclaim_after_cycles != 0 &&
+        reclaim_after_cycles <= missed_beacon_limit) {
+      return "tdma: reclaim_after_cycles must exceed missed_beacon_limit (a "
+             "dead-reckoning node may transmit for missed_beacon_limit "
+             "cycles after its last beacon; reclaiming sooner regrants a "
+             "slot that is still in use)";
+    }
+    if (!search_listen.is_zero()) {
+      if (search_backoff_base <= sim::Duration::zero()) {
+        return "tdma: search_backoff_base must be > 0";
+      }
+      if (search_backoff_factor < 1.0) {
+        return "tdma: search_backoff_factor must be >= 1";
+      }
+      if (search_backoff_max < search_backoff_base) {
+        return "tdma: search_backoff_max must be >= search_backoff_base";
+      }
+    }
+    return {};
   }
 };
 

@@ -44,6 +44,15 @@ class RadioDriver {
   void start_listen();
   void stop_listen();
 
+  /// Hard-fault recovery: forgets any in-flight send (its completion
+  /// callback is dropped, never invoked) so the driver accepts commands
+  /// again after a reboot.  The chip itself is reset separately — callers
+  /// pair this with radio().power_down().
+  void reset() {
+    send_in_progress_ = false;
+    send_done_ = nullptr;
+  }
+
   [[nodiscard]] bool listening() const;
   [[nodiscard]] bool sending() const { return send_in_progress_; }
   [[nodiscard]] hw::RadioNrf2401& radio() { return radio_; }

@@ -13,7 +13,9 @@ TimerService::TimerService(sim::Simulator& simulator, hw::Mcu& mcu,
       power_{power} {}
 
 std::int64_t TimerService::local_now_ns() const {
-  return mcu_.true_to_local(simulator_.now().since_epoch()).ticks();
+  // Piecewise-affine read: survives fault-injected skew steps without
+  // rescaling deadlines that are already armed in absolute local time.
+  return mcu_.local_clock(simulator_.now()).ticks();
 }
 
 TimerService::TimerId TimerService::insert(Entry entry) {

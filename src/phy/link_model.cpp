@@ -64,22 +64,26 @@ double LinkModel::rx_power_dbm(std::size_t a, std::size_t b) const {
   return budget_.tx_power_dbm - path_loss_db(a, b);
 }
 
-double LinkModel::bit_error_rate(std::size_t a, std::size_t b) const {
-  const double snr_db = rx_power_dbm(a, b) - budget_.noise_floor_dbm;
+double LinkModel::bit_error_rate(std::size_t a, std::size_t b,
+                                 double extra_loss_db) const {
+  const double snr_db =
+      rx_power_dbm(a, b) - extra_loss_db - budget_.noise_floor_dbm;
   const double snr = std::pow(10.0, snr_db / 10.0);
   return std::min(0.5, 0.5 * std::exp(-snr / 2.0));
 }
 
 double LinkModel::frame_error_rate(std::size_t a, std::size_t b,
-                                   std::size_t frame_bytes) const {
-  if (!connected(a, b)) return 1.0;
-  const double ber = bit_error_rate(a, b);
+                                   std::size_t frame_bytes,
+                                   double extra_loss_db) const {
+  if (!connected(a, b, extra_loss_db)) return 1.0;
+  const double ber = bit_error_rate(a, b, extra_loss_db);
   const double bits = static_cast<double>(frame_bytes) * 8.0 + 48.0;
   return 1.0 - std::pow(1.0 - ber, bits);
 }
 
-bool LinkModel::connected(std::size_t a, std::size_t b) const {
-  return rx_power_dbm(a, b) >= budget_.sensitivity_dbm;
+bool LinkModel::connected(std::size_t a, std::size_t b,
+                          double extra_loss_db) const {
+  return rx_power_dbm(a, b) - extra_loss_db >= budget_.sensitivity_dbm;
 }
 
 }  // namespace bansim::phy

@@ -69,17 +69,23 @@ class LinkModel {
   [[nodiscard]] double rx_power_dbm(std::size_t a, std::size_t b) const;
 
   /// Bit error probability on the link (non-coherent GFSK approximation
-  /// BER = 0.5 * exp(-SNR/2), SNR linear).
-  [[nodiscard]] double bit_error_rate(std::size_t a, std::size_t b) const;
+  /// BER = 0.5 * exp(-SNR/2), SNR linear).  `extra_loss_db` is transient
+  /// attenuation on top of the static path loss (burst fade, a shadowing
+  /// episode); zero reproduces the static link exactly.
+  [[nodiscard]] double bit_error_rate(std::size_t a, std::size_t b,
+                                      double extra_loss_db = 0.0) const;
 
   /// Frame error probability for `frame_bytes` MAC bytes on the link:
-  /// 1 - (1-BER)^bits, and 1.0 outright when the link closes below
-  /// sensitivity.
+  /// 1 - (1-BER)^bits over payload + preamble/address/CRC overhead bits,
+  /// and 1.0 outright when the link closes below sensitivity.  A zero-byte
+  /// frame still risks its 48 overhead bits.
   [[nodiscard]] double frame_error_rate(std::size_t a, std::size_t b,
-                                        std::size_t frame_bytes) const;
+                                        std::size_t frame_bytes,
+                                        double extra_loss_db = 0.0) const;
 
   /// True when rx power clears the receiver sensitivity.
-  [[nodiscard]] bool connected(std::size_t a, std::size_t b) const;
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b,
+                               double extra_loss_db = 0.0) const;
 
   [[nodiscard]] const LinkBudget& budget() const { return budget_; }
 

@@ -47,6 +47,7 @@ class Duration {
 
   [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
   [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+  [[nodiscard]] constexpr bool is_positive() const { return ns_ > 0; }
 
   constexpr auto operator<=>(const Duration&) const = default;
 

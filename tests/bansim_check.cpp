@@ -7,7 +7,12 @@
 // command.  `--seed S` replays one seed verbosely.
 //
 //   bansim_check [--seeds N] [--start S] [--seed S] [--jobs N]
-//                [--measure-ms M] [--no-shrink]
+//                [--measure-ms M] [--no-shrink] [--dump-failures DIR]
+//
+// `--dump-failures DIR` additionally writes each failing case as a
+// standalone replayable INI (`DIR/seed_<S>.ini`, minimized config plus the
+// failure and replay command as comments) — CI uploads that directory as
+// an artifact so a red fuzz run ships its repro.
 //
 // The `fuzz_smoke` ctest target runs `bansim_check --seeds 200 --jobs 0`.
 
@@ -15,6 +20,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "check/scenario_fuzzer.hpp"
@@ -25,7 +34,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start S] [--seed S] [--jobs N]\n"
-               "          [--measure-ms M] [--no-shrink]\n",
+               "          [--measure-ms M] [--no-shrink] "
+               "[--dump-failures DIR]\n",
                argv0);
 }
 
@@ -47,6 +57,31 @@ void print_failure(const bansim::check::CaseOutcome& outcome,
               static_cast<unsigned long long>(outcome.seed));
 }
 
+/// Writes one failing case as DIR/seed_<S>.ini: the minimized config with
+/// the failure and replay command up top as INI comments, so the artifact
+/// is both human-readable and directly loadable through parse_config.
+void dump_failure(const std::string& dir,
+                  const bansim::check::CaseOutcome& outcome,
+                  const char* argv0) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path =
+      dir + "/seed_" + std::to_string(outcome.seed) + ".ini";
+  std::ofstream file{path};
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  file << "; bansim_check fuzz failure, seed " << outcome.seed << "\n";
+  file << "; replay: " << argv0 << " --seed " << outcome.seed << "\n";
+  std::istringstream failure{outcome.failure};
+  for (std::string line; std::getline(failure, line);) {
+    file << "; " << line << "\n";
+  }
+  file << outcome.config_ini;
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +89,7 @@ int main(int argc, char** argv) {
   options.jobs = 1;
   bool single_seed = false;
   std::uint64_t replay_seed = 0;
+  std::optional<std::string> dump_dir;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -84,6 +120,13 @@ int main(int argc, char** argv) {
           bansim::sim::Duration::milliseconds(static_cast<std::int64_t>(v));
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       options.shrink = false;
+    } else if (std::strcmp(arg, "--dump-failures") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bad value for %s\n", arg);
+        usage(argv[0]);
+        return 2;
+      }
+      dump_dir = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(argv[0]);
       return 0;
@@ -105,6 +148,7 @@ int main(int argc, char** argv) {
     const auto outcome = fuzzer.run_case(replay_seed);
     if (!outcome.ok) {
       print_failure(outcome, argv[0]);
+      if (dump_dir) dump_failure(*dump_dir, outcome, argv[0]);
       return 1;
     }
     std::printf("seed %llu: OK (all invariants + oracles)\n",
@@ -113,7 +157,10 @@ int main(int argc, char** argv) {
   }
 
   const auto summary = fuzzer.run();
-  for (const auto& outcome : summary.failed) print_failure(outcome, argv[0]);
+  for (const auto& outcome : summary.failed) {
+    print_failure(outcome, argv[0]);
+    if (dump_dir) dump_failure(*dump_dir, outcome, argv[0]);
+  }
   if (!summary.parallel_oracle_ok) {
     std::printf("FAIL %s\n", summary.parallel_oracle_detail.c_str());
   }

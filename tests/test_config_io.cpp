@@ -225,5 +225,165 @@ TEST(ConfigIo, ParsedConfigActuallyRuns) {
   EXPECT_GT(r.data_packets, 50u);
 }
 
+TEST(ConfigIo, TdmaValidationHardErrors) {
+  // ack_data with zero retries abandons every payload on the first lost
+  // ACK — a config that silently delivers nothing must not parse.
+  EXPECT_THROW(parse_config("[tdma]\nack_data = true\nmax_retries = 0\n"),
+               ConfigError);
+  // A zero-capacity TX queue drops every payload before transmission.
+  EXPECT_THROW(parse_config("[tdma]\ntx_queue_cap = 0\n"), ConfigError);
+  // Reclaiming at or before the dead-reckoning limit regrants a slot the
+  // owner may still legally transmit in.
+  EXPECT_THROW(parse_config("[tdma]\nmissed_beacon_limit = 4\n"
+                            "reclaim_after_cycles = 4\n"),
+               ConfigError);
+  EXPECT_THROW(parse_config("[tdma]\nmissed_beacon_limit = 4\n"
+                            "reclaim_after_cycles = 3\n"),
+               ConfigError);
+  // Bounded search needs a sane backoff progression.
+  EXPECT_THROW(parse_config("[tdma]\nsearch_listen_ms = 100\n"
+                            "search_backoff_factor = 0.5\n"),
+               ConfigError);
+  EXPECT_THROW(parse_config("[tdma]\nsearch_listen_ms = 100\n"
+                            "search_backoff_base_ms = 50\n"
+                            "search_backoff_max_ms = 10\n"),
+               ConfigError);
+  // The boundary cases that must still parse.
+  EXPECT_NO_THROW(parse_config("[tdma]\nack_data = true\nmax_retries = 1\n"));
+  EXPECT_NO_THROW(parse_config("[tdma]\nmissed_beacon_limit = 4\n"
+                               "reclaim_after_cycles = 5\n"));
+  EXPECT_NO_THROW(parse_config("[tdma]\nreclaim_after_cycles = 0\n"));
+}
+
+TEST(ConfigIo, FaultSectionsParse) {
+  const BanConfig cfg = parse_config(R"(
+    [network]
+    nodes = 3
+    [fault]
+    enabled = true
+    [fault.fade]
+    enabled = true
+    p_enter = 0.03
+    p_exit = 0.25
+    step_ms = 4
+    extra_loss_db = 15
+    fer = 0.7
+    [fault.interferer]
+    enabled = true
+    period_ms = 120
+    burst_ms = 4
+    fer = 0.4
+    [fault.crashes]
+    enabled = true
+    rate_hz = 0.1
+    min_down_ms = 150
+    max_down_ms = 900
+    [fault.brownout]
+    enabled = true
+    capacity_mah = 0.05
+    esr_ohms = 80
+    brownout_volts = 3.7
+    [fault.episode.1]
+    node = 2
+    start_ms = 3000
+    duration_ms = 1500
+    extra_loss_db = 22
+    fer = 0.5
+    [fault.event.1]
+    kind = crash
+    node = 1
+    at_ms = 5000
+    down_ms = 700
+    [fault.event.2]
+    kind = skew_step
+    node = 3
+    at_ms = 8000
+    skew_delta = -0.001
+  )");
+  const fault::FaultPlan& plan = cfg.fault_plan;
+  ASSERT_TRUE(plan.enabled);
+  EXPECT_TRUE(plan.fade.enabled);
+  EXPECT_DOUBLE_EQ(plan.fade.p_enter, 0.03);
+  EXPECT_DOUBLE_EQ(plan.fade.p_exit, 0.25);
+  EXPECT_EQ(plan.fade.step, 4_ms);
+  EXPECT_DOUBLE_EQ(plan.fade.extra_loss_db, 15.0);
+  EXPECT_DOUBLE_EQ(plan.fade.fer, 0.7);
+  EXPECT_TRUE(plan.interferer.enabled);
+  EXPECT_EQ(plan.interferer.period, 120_ms);
+  EXPECT_EQ(plan.interferer.burst, 4_ms);
+  EXPECT_TRUE(plan.crashes.enabled);
+  EXPECT_DOUBLE_EQ(plan.crashes.rate_hz, 0.1);
+  EXPECT_EQ(plan.crashes.min_down, 150_ms);
+  EXPECT_EQ(plan.crashes.max_down, 900_ms);
+  EXPECT_TRUE(plan.brownout.enabled);
+  EXPECT_DOUBLE_EQ(plan.brownout.capacity_mah, 0.05);
+  ASSERT_EQ(plan.episodes.size(), 1u);
+  EXPECT_EQ(plan.episodes[0].node, 2u);
+  EXPECT_EQ(plan.episodes[0].start, sim::TimePoint::zero() + 3_s);
+  EXPECT_EQ(plan.episodes[0].duration, 1500_ms);
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(plan.events[0].node, 1u);
+  EXPECT_EQ(plan.events[0].down, 700_ms);
+  EXPECT_EQ(plan.events[1].kind, fault::FaultKind::kSkewStep);
+  EXPECT_DOUBLE_EQ(plan.events[1].skew_delta, -0.001);
+}
+
+TEST(ConfigIo, FaultPlanRoundTripsAndDisabledStaysSilent) {
+  // A plan-free config serializes without any [fault sections at all.
+  BanConfig plain;
+  EXPECT_EQ(serialize_config(plain).find("[fault"), std::string::npos);
+
+  BanConfig cfg;
+  cfg.fault_plan.enabled = true;
+  cfg.fault_plan.fade.enabled = true;
+  cfg.fault_plan.fade.fer = 0.8;
+  fault::ShadowEpisode ep;
+  ep.node = 1;
+  ep.start = sim::TimePoint::zero() + 2_s;
+  cfg.fault_plan.episodes.push_back(ep);
+  fault::FaultEvent ev;
+  ev.kind = fault::FaultKind::kRadioLockup;
+  ev.node = 2;
+  ev.at = sim::TimePoint::zero() + 4_s;
+  cfg.fault_plan.events.push_back(ev);
+
+  const BanConfig round = parse_config(serialize_config(cfg));
+  EXPECT_TRUE(round.fault_plan.enabled);
+  EXPECT_TRUE(round.fault_plan.fade.enabled);
+  EXPECT_DOUBLE_EQ(round.fault_plan.fade.fer, 0.8);
+  ASSERT_EQ(round.fault_plan.episodes.size(), 1u);
+  EXPECT_EQ(round.fault_plan.episodes[0].node, 1u);
+  ASSERT_EQ(round.fault_plan.events.size(), 1u);
+  EXPECT_EQ(round.fault_plan.events[0].kind, fault::FaultKind::kRadioLockup);
+  EXPECT_EQ(round.fault_plan.events[0].at, sim::TimePoint::zero() + 4_s);
+}
+
+TEST(ConfigIo, FaultValidationErrors) {
+  // Probabilities outside [0, 1].
+  EXPECT_THROW(parse_config("[fault]\nenabled = true\n"
+                            "[fault.fade]\nenabled = true\np_enter = 1.5\n"),
+               ConfigError);
+  // Interferer burst longer than its period.
+  EXPECT_THROW(parse_config("[fault]\nenabled = true\n"
+                            "[fault.interferer]\nenabled = true\n"
+                            "period_ms = 10\nburst_ms = 20\n"),
+               ConfigError);
+  // Scripted events address nodes 1-based; 0 is reserved for "all" in
+  // episodes only.
+  EXPECT_THROW(parse_config("[fault]\nenabled = true\n"
+                            "[fault.event.1]\nkind = crash\nnode = 0\n"),
+               ConfigError);
+  // Crash churn with an inverted down-time window.
+  EXPECT_THROW(parse_config("[fault]\nenabled = true\n"
+                            "[fault.crashes]\nenabled = true\n"
+                            "min_down_ms = 500\nmax_down_ms = 100\n"),
+               ConfigError);
+  // Indexed sections are 1-based.
+  EXPECT_THROW(parse_config("[fault.episode.0]\nnode = 1\n"), ConfigError);
+  // Unknown fault keys are hard errors like everywhere else.
+  EXPECT_THROW(parse_config("[fault.fade]\nspeed = 9\n"), ConfigError);
+}
+
 }  // namespace
 }  // namespace bansim::core

@@ -102,6 +102,64 @@ TEST(LinkModel, NominalBanBudgetClosesAllStandardLinks) {
   }
 }
 
+/// Two devices exactly at the reference distance with shadowing disabled
+/// and reference loss tuned so the link sits precisely at the receiver
+/// sensitivity: rx = -5 - 75 = -80 dBm = sensitivity_dbm.
+LinkModel at_sensitivity_link() {
+  LinkBudget budget;
+  budget.reference_loss_db = 75.0;
+  budget.shadowing_sigma_db = 0.0;
+  return LinkModel{{{"a", 0.0, 0.0, 0.0}, {"b", 0.1, 0.0, 0.0}}, budget, 1};
+}
+
+TEST(LinkModel, AtSensitivityLinkIsConnectedEdgeInclusive) {
+  const LinkModel m = at_sensitivity_link();
+  EXPECT_DOUBLE_EQ(m.rx_power_dbm(0, 1), m.budget().sensitivity_dbm);
+  // The sensitivity definition is inclusive: exactly at the limit the
+  // receiver still decodes (with the BER the noise floor implies)...
+  EXPECT_TRUE(m.connected(0, 1));
+  EXPECT_LT(m.frame_error_rate(0, 1, 26), 1.0);
+  // ...and any transient loss at all opens the link.
+  EXPECT_FALSE(m.connected(0, 1, 0.001));
+  EXPECT_DOUBLE_EQ(m.frame_error_rate(0, 1, 26, 0.001), 1.0);
+}
+
+TEST(LinkModel, HandComputedBerAndFerAtSensitivity) {
+  // At the sensitivity edge: SNR = -80 - (-91) = 11 dB, linear 10^1.1;
+  // BER = 0.5 * exp(-10^1.1 / 2)             = 9.230988437601748e-4,
+  // FER(26 bytes: 26*8 + 48 = 256 bits)      = 1 - (1-BER)^256
+  //                                          = 0.21055289169122127.
+  const LinkModel m = at_sensitivity_link();
+  EXPECT_NEAR(m.bit_error_rate(0, 1), 9.230988437601748e-4, 1e-15);
+  EXPECT_NEAR(m.frame_error_rate(0, 1, 26), 0.21055289169122127, 1e-12);
+}
+
+TEST(LinkModel, ZeroByteFrameStillRisksOverheadBits) {
+  // A zero-byte frame is all preamble/address/CRC: 48 bits on the air.
+  // 1 - (1-BER)^48 = 0.04336102735466363 at the sensitivity-edge BER.
+  const LinkModel m = at_sensitivity_link();
+  const double fer0 = m.frame_error_rate(0, 1, 0);
+  EXPECT_NEAR(fer0, 0.04336102735466363, 1e-12);
+  EXPECT_GT(fer0, 0.0);
+  EXPECT_LT(fer0, m.frame_error_rate(0, 1, 1));  // +8 payload bits
+}
+
+TEST(LinkModel, ExtraLossMatchesEquivalentStaticPathLoss) {
+  // Transient extra loss must reproduce a statically lossier link bit for
+  // bit: +6 dB of fade == +6 dB of reference loss.
+  LinkBudget near_budget;
+  near_budget.reference_loss_db = 69.0;
+  near_budget.shadowing_sigma_db = 0.0;
+  const LinkModel faded{{{"a", 0.0, 0.0, 0.0}, {"b", 0.1, 0.0, 0.0}},
+                        near_budget, 1};
+  const LinkModel statically_lossy = at_sensitivity_link();  // 75 dB
+  EXPECT_DOUBLE_EQ(faded.bit_error_rate(0, 1, 6.0),
+                   statically_lossy.bit_error_rate(0, 1));
+  EXPECT_DOUBLE_EQ(faded.frame_error_rate(0, 1, 26, 6.0),
+                   statically_lossy.frame_error_rate(0, 1, 26));
+  EXPECT_EQ(faded.connected(0, 1, 6.0), statically_lossy.connected(0, 1));
+}
+
 TEST(LinkModelIntegration, NetworkStillConvergesOnLossyChannel) {
   core::BanConfig cfg;
   cfg.num_nodes = 5;

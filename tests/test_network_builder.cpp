@@ -21,6 +21,32 @@ TEST(NetworkBuilder, EmptyRosterIsRejected) {
                std::invalid_argument);
 }
 
+TEST(NetworkBuilder, InvalidTdmaConfigIsRejected) {
+  // Programmatic construction bypasses config_io, so the builder re-runs
+  // TdmaConfig::validate() — the same degenerate plans hard-error here.
+  sim::SimContext context{42};
+  phy::Channel channel{context};
+  os::NullProbe probe;
+  core::CellPlan plan;
+  plan.roster.resize(2);
+  plan.tdma.ack_data = true;
+  plan.tdma.max_retries = 0;
+  EXPECT_THROW(core::NetworkBuilder::build_cell(context, channel, plan, probe,
+                                                os::CycleCostModel{}),
+               std::invalid_argument);
+  plan.tdma = mac::TdmaConfig{};
+  plan.tdma.tx_queue_cap = 0;
+  EXPECT_THROW(core::NetworkBuilder::build_cell(context, channel, plan, probe,
+                                                os::CycleCostModel{}),
+               std::invalid_argument);
+  plan.tdma = mac::TdmaConfig{};
+  plan.tdma.missed_beacon_limit = 3;
+  plan.tdma.reclaim_after_cycles = 2;
+  EXPECT_THROW(core::NetworkBuilder::build_cell(context, channel, plan, probe,
+                                                os::CycleCostModel{}),
+               std::invalid_argument);
+}
+
 TEST(NetworkBuilder, ZeroNodeBanConfigIsBaseStationOnly) {
   // num_nodes = 0 is an explicit beacon-only network, not a mistake: the
   // accidental analogue (a CellPlan whose roster was never resized) is the
