@@ -1,0 +1,83 @@
+// Storage-driver overhead and lifetime-campaign throughput.
+//
+// The storage driver is a recurring sampler riding on the event kernel —
+// every check interval it reads each board's meters and moves joules
+// through the node's store.  BM_StorageOverhead bounds what that costs
+// against the identical bench-supplied ward at several check rates (the
+// stores are sized so nothing depletes: the bench measures pure
+// accounting, not crash/reboot churn).  BM_LifetimeCampaign measures the
+// run-until-first-death loop end to end, batteries sized to die inside
+// the horizon.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "check/fault_campaign.hpp"
+#include "core/bansim.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+
+core::BanConfig ward_config() {
+  core::BanConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.tdma = mac::TdmaConfig::static_plan(Duration::milliseconds(30), 5);
+  cfg.app = core::AppKind::kEcgStreaming;
+  cfg.streaming.sample_rate_hz = 205;
+  return cfg;
+}
+
+/// Full-stack cost of the storage sampler: check_ms 0 disables storage
+/// entirely (the baseline every other arg is read against).
+void BM_StorageOverhead(benchmark::State& state) {
+  const auto check_ms = static_cast<std::int64_t>(state.range(0));
+  core::BanConfig cfg = ward_config();
+  if (check_ms > 0) {
+    cfg.storage.enabled = true;
+    cfg.storage.kind = hw::StorageKind::kBattery;
+    cfg.storage.battery.capacity_mah = 160.0;  // never depletes in-window
+    cfg.storage.check = Duration::milliseconds(check_ms);
+  }
+  for (auto _ : state) {
+    core::BanNetwork network{cfg};
+    network.start();
+    network.run_until(sim::TimePoint::zero() + Duration::seconds(10));
+    benchmark::DoNotOptimize(network.simulator().events_executed());
+  }
+  state.SetLabel(check_ms > 0 ? "storage_on" : "storage_off");
+  state.counters["check_ms"] = static_cast<double>(check_ms);
+}
+
+BENCHMARK(BM_StorageOverhead)->Arg(0)->Arg(100)->Arg(10)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Run-until-first-death campaign, stores sized to die inside the horizon.
+void BM_LifetimeCampaign(benchmark::State& state) {
+  core::BanConfig cfg = ward_config();
+  cfg.storage.enabled = true;
+  cfg.storage.kind = hw::StorageKind::kBattery;
+  cfg.storage.battery.capacity_mah = 0.05;  // ~20 s at a streaming draw
+  cfg.storage.check = Duration::milliseconds(100);
+  check::LifetimeCampaignOptions options;
+  options.horizon = Duration::seconds(60);
+  options.monitor = state.range(0) != 0;
+  std::uint64_t deaths = 0;
+  for (auto _ : state) {
+    const check::LifetimeOutcome outcome =
+        check::run_lifetime_campaign(cfg, options);
+    deaths += outcome.storage.depletion_deaths;
+    benchmark::DoNotOptimize(outcome.report.rows.size());
+  }
+  state.SetLabel(options.monitor ? "monitored" : "bare");
+  state.counters["deaths"] =
+      static_cast<double>(deaths) / static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_LifetimeCampaign)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

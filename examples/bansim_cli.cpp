@@ -53,6 +53,7 @@ struct CliOptions {
   bool analyze{false};
   bool csv{false};
   bool dump_config{false};
+  bool lifetime{false};
   bool per_node{false};  ///< forced on when the config carries a roster
 };
 
@@ -65,8 +66,14 @@ int usage(const char* argv0) {
                "[--dump-config]\n"
                "          [--per-node] [--sweep KEY=V1,V2,...|KEY=LO..HI] "
                "[--jobs N]\n"
-               "          [--fault-plan FILE]\n"
+               "          [--fault-plan FILE] [--lifetime]\n"
                "       sweep KEY is one of: cycle-ms, nodes, seed\n"
+               "       --lifetime runs a lifetime campaign on a config with "
+               "an\n"
+               "       enabled [storage] section: advance until the first "
+               "store\n"
+               "       runs dry (or --seconds pass), then print each node's\n"
+               "       measured draw and extrapolated lifetime\n"
                "       --per-node prints a per-node energy table (implied by\n"
                "       a config with [node.K] roster sections)\n"
                "       --fault-plan overlays FILE's [fault.*] sections onto "
@@ -138,6 +145,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       options.csv = true;
     } else if (arg == "--dump-config") {
       options.dump_config = true;
+    } else if (arg == "--lifetime") {
+      options.lifetime = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -416,6 +425,61 @@ int run_campaign(const CliOptions& options, const core::BanConfig& config) {
   return 0;
 }
 
+/// Lifetime-campaign mode: advance the cell until the first store runs dry
+/// (or the horizon passes), then print each node's measured average draw
+/// and its extrapolated lifetime.  Non-zero exit on invariant violations.
+int run_lifetime(const CliOptions& options, const core::BanConfig& config) {
+  check::LifetimeCampaignOptions campaign;
+  campaign.horizon = Duration::seconds(options.seconds);
+
+  bool any_storage = config.storage.enabled;
+  for (const auto& spec : config.roster) {
+    if (spec.storage && spec.storage->enabled) any_storage = true;
+  }
+  if (!any_storage) {
+    std::fprintf(stderr,
+                 "note: no enabled [storage] section — every node runs off "
+                 "the bench supply and never dies\n");
+  }
+
+  const check::LifetimeOutcome outcome =
+      check::run_lifetime_campaign(config, campaign);
+
+  if (options.csv) {
+    std::printf("%s", outcome.report.render_csv().c_str());
+  } else {
+    std::printf("lifetime campaign: %s, %zu nodes%s, %s TDMA, %d s horizon, "
+                "seed %llu\n",
+                to_string(config.app), config.effective_nodes(),
+                config.roster.empty() ? "" : " (roster)",
+                to_string(config.tdma.variant), options.seconds,
+                static_cast<unsigned long long>(config.seed));
+    std::printf("%s", outcome.report.render().c_str());
+    if (outcome.death_observed) {
+      std::printf("first depletion at %.2f s simulated (%llu deaths, %llu "
+                  "recharge reboots)\n",
+                  outcome.first_death.to_seconds(),
+                  static_cast<unsigned long long>(
+                      outcome.storage.depletion_deaths),
+                  static_cast<unsigned long long>(
+                      outcome.storage.recharge_reboots));
+    } else {
+      std::printf("no depletion within the %.1f s simulated window (%llu "
+                  "recharge reboots)\n",
+                  outcome.simulated.to_seconds(),
+                  static_cast<unsigned long long>(
+                      outcome.storage.recharge_reboots));
+    }
+  }
+  if (outcome.violations != 0) {
+    std::fprintf(stderr, "invariant violations: %llu\n%s",
+                 static_cast<unsigned long long>(outcome.violations),
+                 outcome.violation_report.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -429,6 +493,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (options.lifetime) return run_lifetime(options, config);
     if (options.fault_plan_file) return run_campaign(options, config);
 
     core::MeasurementProtocol protocol;

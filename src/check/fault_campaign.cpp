@@ -1,5 +1,7 @@
 #include "check/fault_campaign.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "check/invariant_monitor.hpp"
@@ -18,6 +20,7 @@ CampaignOutcome run_fault_campaign(const core::BanConfig& config,
   network.start();
   network.run_until(sim::TimePoint::zero() + options.horizon);
   if (auto* injector = network.fault_injector()) injector->stop();
+  if (auto* driver = network.storage_driver()) driver->stop();
   network.run_until(sim::TimePoint::zero() + options.horizon + options.drain);
 
   const sim::TimePoint end = network.simulator().now();
@@ -44,6 +47,85 @@ CampaignOutcome run_fault_campaign(const core::BanConfig& config,
   }
   if (auto* injector = network.fault_injector()) {
     outcome.injector = injector->stats();
+  }
+  if (auto* driver = network.storage_driver()) {
+    outcome.storage = driver->stats();
+  }
+  if (monitor) {
+    outcome.violations = monitor->total_violations();
+    outcome.violation_report = monitor->report();
+  }
+  return outcome;
+}
+
+LifetimeOutcome run_lifetime_campaign(const core::BanConfig& config,
+                                      const LifetimeCampaignOptions& options) {
+  core::BanNetwork network{config};
+  std::unique_ptr<InvariantMonitor> monitor;
+  if (options.monitor) {
+    monitor = std::make_unique<InvariantMonitor>(network.context());
+    monitor->watch_network(network);
+  }
+
+  network.start();
+  fault::StorageDriver* driver = network.storage_driver();
+  // Chunk boundaries are fixed multiples of poll, so the trajectory is
+  // identical whether or not a death cuts the run short.
+  sim::TimePoint at = sim::TimePoint::zero();
+  const sim::TimePoint deadline = sim::TimePoint::zero() + options.horizon;
+  while (at < deadline) {
+    at = std::min(at + options.poll, deadline);
+    network.run_until(at);
+    if (options.stop_at_first_death && driver != nullptr &&
+        driver->stats().depletion_deaths > 0) {
+      break;
+    }
+  }
+  if (auto* injector = network.fault_injector()) injector->stop();
+  if (driver != nullptr) driver->stop();
+
+  const sim::TimePoint end = network.simulator().now();
+  if (monitor) monitor->final_audit(end);
+
+  LifetimeOutcome outcome;
+  outcome.simulated = end.since_epoch();
+  outcome.report.window_seconds = outcome.simulated.to_seconds();
+  if (driver != nullptr) {
+    outcome.storage = driver->stats();
+    outcome.death_observed = driver->stats().depletion_deaths > 0;
+    outcome.first_death = driver->first_death();
+  }
+
+  const double window_s = outcome.report.window_seconds;
+  std::vector<fault::NodeStorageStatus> statuses;
+  if (driver != nullptr) statuses = driver->status();
+  for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+    core::SensorNode& node = network.node(i);
+    energy::LifetimeRow row;
+    row.node = node.name();
+    row.average_watts =
+        window_s > 0.0 ? node.energy(end).total_joules() / window_s : 0.0;
+    if (const hw::EnergyStore* store = node.energy_store()) {
+      const hw::StorageParams& params = store->params();
+      row.harvest_watts =
+          params.harvest.enabled ? params.harvest.average_watts() : 0.0;
+      row.state_of_charge = store->state_of_charge();
+      row.projected_hours =
+          hw::projected_hours(params, row.average_watts, row.harvest_watts);
+      for (const fault::NodeStorageStatus& s : statuses) {
+        if (s.node != row.node) continue;
+        row.died = s.dead;
+        if (s.deaths > 0) {
+          row.died_at_hours = s.died_at.to_seconds() / 3600.0;
+        }
+        break;
+      }
+    } else {
+      // Bench-supplied node: it never dies, its lifetime is unbounded.
+      row.state_of_charge = 1.0;
+      row.projected_hours = std::numeric_limits<double>::infinity();
+    }
+    outcome.report.rows.push_back(std::move(row));
   }
   if (monitor) {
     outcome.violations = monitor->total_violations();

@@ -14,8 +14,10 @@
 #include <string>
 
 #include "core/ban_network.hpp"
+#include "energy/lifetime.hpp"
 #include "fault/degradation_report.hpp"
 #include "fault/fault_injector.hpp"
+#include "fault/storage_driver.hpp"
 
 namespace bansim::check {
 
@@ -31,11 +33,40 @@ struct CampaignOptions {
 struct CampaignOutcome {
   fault::CampaignRun run;
   fault::FaultInjectorStats injector{};
+  fault::StorageDriverStats storage{};
   std::uint64_t violations{0};
   std::string violation_report;
 };
 
 [[nodiscard]] CampaignOutcome run_fault_campaign(
     const core::BanConfig& config, const CampaignOptions& options = {});
+
+/// "Run until first node death" options.  The campaign advances the cell
+/// in fixed polling chunks (deterministic boundaries) until a store runs
+/// dry or the horizon passes, then extrapolates every node's lifetime from
+/// its measured average power over the simulated window.
+struct LifetimeCampaignOptions {
+  sim::Duration horizon{sim::Duration::seconds(30)};
+  /// Chunk between death polls; boundaries are fixed multiples, so a run
+  /// is bit-identical however fast the stores drain.
+  sim::Duration poll{sim::Duration::milliseconds(500)};
+  /// Stop at the first depletion (the ward's deployment-ending event)
+  /// instead of running the full horizon.
+  bool stop_at_first_death{true};
+  bool monitor{true};
+};
+
+struct LifetimeOutcome {
+  energy::LifetimeReport report;
+  fault::StorageDriverStats storage{};
+  sim::Duration simulated{};      ///< how far the run actually went
+  bool death_observed{false};
+  sim::TimePoint first_death{};   ///< valid when death_observed
+  std::uint64_t violations{0};
+  std::string violation_report;
+};
+
+[[nodiscard]] LifetimeOutcome run_lifetime_campaign(
+    const core::BanConfig& config, const LifetimeCampaignOptions& options = {});
 
 }  // namespace bansim::check

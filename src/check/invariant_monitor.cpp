@@ -67,6 +67,9 @@ void InvariantMonitor::watch_network(core::BanNetwork& network) {
   for (std::size_t i = 0; i < network.num_nodes(); ++i) {
     watch_board(network.node(i).board(), pan);
   }
+  if (const fault::StorageDriver* driver = network.storage_driver()) {
+    watch_storage(*driver);
+  }
 }
 
 void InvariantMonitor::watch_channel(const phy::Channel& channel) {
@@ -126,6 +129,10 @@ void InvariantMonitor::watch_cell(const mac::BaseStationMac& bs,
                                   std::size_t roster_size,
                                   const mac::TdmaConfig& config) {
   cells_.push_back(CellWatch{&bs, roster_size, config});
+}
+
+void InvariantMonitor::watch_storage(const fault::StorageDriver& driver) {
+  storage_drivers_.push_back(&driver);
 }
 
 void InvariantMonitor::violation(const char* invariant, sim::TimePoint when,
@@ -497,9 +504,46 @@ void InvariantMonitor::audit_cell(const CellWatch& watch, sim::TimePoint now) {
   }
 }
 
+void InvariantMonitor::audit_storage(const fault::StorageDriver& driver,
+                                     sim::TimePoint now) {
+  const auto close = [&](const std::string& node, const char* identity,
+                         double lhs, double rhs) {
+    const double scale = std::max({std::fabs(lhs), std::fabs(rhs), 1e-12});
+    const double tol = options_.energy_ulp * DBL_EPSILON * scale;
+    if (std::fabs(lhs - rhs) > tol) {
+      violation("storage-closure", now,
+                "store '" + node + "' " + identity + ": " +
+                    std::to_string(lhs) + " J vs " + std::to_string(rhs) +
+                    " J (tol " + std::to_string(tol) + ")");
+    }
+  };
+  for (const fault::NodeStorageStatus& s : driver.status()) {
+    // Every joule the driver requested is the board meter's growth since
+    // the baseline — the store never invents or loses metered draw.
+    close(s.node, "requested != metered",
+          s.requested_joules, s.sampled_joules - s.baseline_joules);
+    // Harvest income splits exactly into stored + clamp overflow.
+    close(s.node, "income != stored + overflow", s.income_joules,
+          s.stored_joules + s.overflow_joules);
+    // The store level is the initial charge plus income minus supply.
+    close(s.node, "initial + stored - drawn != remaining",
+          s.initial_joules + s.stored_joules - s.drawn_joules,
+          s.remaining_joules);
+    if (s.drawn_joules > s.requested_joules * (1.0 + 1e-12)) {
+      violation("storage-closure", now,
+                "store '" + s.node + "' drew " +
+                    std::to_string(s.drawn_joules) + " J of " +
+                    std::to_string(s.requested_joules) + " J requested");
+    }
+  }
+}
+
 void InvariantMonitor::audit(sim::TimePoint now) {
   for (auto& watch : meters_) audit_meter(watch, now);
   for (const auto& watch : cells_) audit_cell(watch, now);
+  for (const fault::StorageDriver* driver : storage_drivers_) {
+    audit_storage(*driver, now);
+  }
   for (const auto& watch : mcus_) {
     const std::uint64_t model = watch.mcu->wakeups() - watch.baseline_wakeups;
     if (watch.wakeups != model) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "energy/energy_meter.hpp"
+#include "fault/storage_driver.hpp"
 #include "hw/mcu.hpp"
 #include "hw/radio_nrf2401.hpp"
 #include "mac/base_station_mac.hpp"
@@ -89,6 +90,10 @@ class InvariantMonitor final : public sim::CheckHooks {
   /// TDMA slot-table invariants of one cell's base station.
   void watch_cell(const mac::BaseStationMac& bs, std::size_t roster_size,
                   const mac::TdmaConfig& config);
+  /// Per-node energy-storage accounting: every joule the stores moved must
+  /// close against the boards' meters and the harvest integrals
+  /// (watch_network registers the network's driver automatically).
+  void watch_storage(const fault::StorageDriver& driver);
 
   // --- Audits ---------------------------------------------------------------
 
@@ -190,6 +195,7 @@ class InvariantMonitor final : public sim::CheckHooks {
   ChannelWatch* find_channel(const void* tag);
   void audit_meter(MeterWatch& watch, sim::TimePoint now);
   void audit_cell(const CellWatch& watch, sim::TimePoint now);
+  void audit_storage(const fault::StorageDriver& driver, sim::TimePoint now);
 
   sim::SimContext& context_;
   Options options_;
@@ -198,6 +204,7 @@ class InvariantMonitor final : public sim::CheckHooks {
   std::vector<MeterWatch> meters_;
   std::vector<ChannelWatch> channels_;
   std::vector<CellWatch> cells_;
+  std::vector<const fault::StorageDriver*> storage_drivers_;
   std::vector<Violation> violations_;
   std::uint64_t total_violations_{0};
   std::uint64_t hook_events_{0};

@@ -192,8 +192,57 @@ core::BanConfig make_fuzz_config(std::uint64_t seed) {
           sim::Duration::from_milliseconds(rng.uniform(300.0, 1200.0));
     }
   }
+
+  // Storage dimension, drawn after the fault dimension for the same
+  // reason that one is drawn after the scenario draws: pre-storage corpora
+  // keep their meaning.  Stores are sized so depletion lands inside the
+  // fuzz window (a node draws ~10-30 mW), and harvest may out-run the load
+  // entirely — both the dying and the immortal cases are interesting.
+  if (rng.chance(0.3)) {
+    hw::StorageParams& storage = config.storage;
+    storage.enabled = true;
+    storage.check = sim::Duration::from_milliseconds(rng.uniform(20.0, 200.0));
+    if (rng.chance(0.5)) {
+      storage.kind = hw::StorageKind::kBattery;
+      storage.battery.capacity_mah = rng.uniform(0.005, 0.2);
+    } else {
+      storage.kind = hw::StorageKind::kCapacitor;
+      storage.capacitor.capacitance_farads = rng.uniform(0.002, 0.05);
+    }
+    if (rng.chance(0.4)) {
+      hw::HarvestParams& harvest = storage.harvest;
+      harvest.enabled = true;
+      const double profile = rng.uniform(0.0, 1.0);
+      harvest.profile = profile < 0.4 ? hw::HarvestParams::Profile::kConstant
+                        : profile < 0.7 ? hw::HarvestParams::Profile::kSine
+                                        : hw::HarvestParams::Profile::kSquare;
+      harvest.watts = rng.uniform(0.001, 0.03);
+      harvest.floor_watts = rng.uniform(-0.005, 0.01);
+      harvest.period = sim::Duration::from_milliseconds(rng.uniform(200.0, 2000.0));
+      harvest.duty = rng.uniform(0.1, 0.9);
+    }
+    // One node may opt back onto the bench supply: mixed cells exercise
+    // the driver's sparse registration.
+    if (rng.chance(0.25) && !config.roster.empty()) {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(config.roster.size()) - 1));
+      config.roster[victim].storage = hw::StorageParams{};  // disabled
+    }
+  }
   return config;
 }
+
+namespace {
+
+bool storage_active(const core::BanConfig& config) {
+  if (config.storage.enabled) return true;
+  for (const core::NodeSpec& spec : config.roster) {
+    if (spec.storage && spec.storage->enabled) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 ScenarioFuzzer::ScenarioFuzzer(FuzzOptions options)
     : options_{std::move(options)} {}
@@ -238,11 +287,12 @@ std::optional<std::string> ScenarioFuzzer::evaluate(
   }
 
   // Oracle: bounded ref-vs-model divergence (only comparable when both
-  // networks actually formed).  Brown-out is the one fault whose timing
-  // feeds back from the metered energy itself, so crash instants — and
-  // with them whole radio-on stretches — legitimately differ between
+  // networks actually formed).  Brown-out and live storage both feed the
+  // metered energy back into crash timing, so crash instants — and with
+  // them whole radio-on stretches — legitimately differ between
   // fidelities; skip the bound for those plans.
   if (plain.joined && model.joined && !config.fault_plan.brownout.enabled &&
+      !storage_active(config) &&
       plain.energies.size() == model.energies.size()) {
     for (std::size_t i = 0; i < plain.energies.size(); ++i) {
       const double ref_j = plain.energies[i].total_joules();
@@ -269,6 +319,39 @@ std::optional<std::string> ScenarioFuzzer::evaluate(
     if (campaign.violations != 0) {
       return "fault-campaign oracle: violations after injector drain:\n" +
              campaign.violation_report;
+    }
+  }
+
+  if (storage_active(config)) {
+    // Oracle: the storage driver is a pure observer until a store runs
+    // dry.  The same cell with storage stripped and with an effectively
+    // infinite battery (nothing ever depletes, no harvest) must meter
+    // bit-identical energies — the driver's sampling events interleave
+    // with the cell's but may never perturb it.
+    core::BanConfig off = config;
+    off.storage = hw::StorageParams{};
+    for (auto& spec : off.roster) spec.storage.reset();
+    core::BanConfig infinite = off;
+    infinite.storage.enabled = true;
+    infinite.storage.kind = hw::StorageKind::kBattery;
+    infinite.storage.battery.capacity_mah = 1.0e9;
+    const auto off_flat = flatten(run_config(off, false, options_).energies);
+    const auto inf_flat =
+        flatten(run_config(infinite, false, options_).energies);
+    if (off_flat != inf_flat) {
+      return "storage-on/off oracle: an undepleted store perturbed the "
+             "cell's energies";
+    }
+
+    // Oracle: lifetime campaigns terminate and conserve — the storage
+    // closure identities must hold at the instant the first node dies
+    // (or at the horizon when nothing does).
+    const LifetimeOutcome lifetime = run_lifetime_campaign(
+        config, {.horizon = sim::Duration::seconds(5),
+                 .poll = sim::Duration::milliseconds(250)});
+    if (lifetime.violations != 0) {
+      return "lifetime-campaign oracle: violations at stop:\n" +
+             lifetime.violation_report;
     }
   }
   return std::nullopt;
@@ -319,6 +402,15 @@ CaseOutcome ScenarioFuzzer::run_case(std::uint64_t seed) const {
           c.tdma.ack_data = false;
           c.tdma.radio_power_down = false;
           return true;
+        },
+        [](core::BanConfig& c) {
+          bool changed = c.storage.enabled;
+          c.storage = hw::StorageParams{};
+          for (auto& spec : c.roster) {
+            if (spec.storage) changed = true;
+            spec.storage.reset();
+          }
+          return changed;
         },
     };
     for (const auto& mutate : mutations) {

@@ -19,6 +19,7 @@ CellPlan make_cell_plan(const BanConfig& config) {
   plan.ecg = config.ecg;
   plan.eeg = config.eeg;
   plan.eeg_signal = config.eeg_signal;
+  plan.storage = config.storage;
   plan.roster = config.roster;
   if (plan.roster.empty()) plan.roster.resize(config.num_nodes);
   // num_nodes = 0 is an explicit request for a beacon-only network.
@@ -93,11 +94,27 @@ BanNetwork::BanNetwork(const BanConfig& config, os::ModelProbe* probe)
       injector_->install_error_model(channel_, link_model_.get());
     }
   }
+
+  // The storage driver exists only when some node actually carries a live
+  // store; nodes whose (possibly overridden) storage stays disabled keep
+  // running off the bench supply and are simply not registered.
+  for (auto& node : cell_.nodes) {
+    if (node->energy_store() == nullptr ||
+        node->mac_kind() != MacKind::kTdma) {
+      continue;
+    }
+    if (!storage_driver_) {
+      storage_driver_ = std::make_unique<fault::StorageDriver>(context_);
+    }
+    storage_driver_->add_node(node->mac(), node->board(),
+                              *node->energy_store());
+  }
 }
 
 void BanNetwork::start() {
   NetworkBuilder::start_cell(context_, cell_);
   if (injector_) injector_->start();
+  if (storage_driver_) storage_driver_->start();
 }
 
 void BanNetwork::run_until(sim::TimePoint until) {

@@ -22,6 +22,7 @@
 #include "energy/energy_report.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/storage_driver.hpp"
 #include "phy/channel.hpp"
 #include "phy/link_model.hpp"
 #include "sim/context.hpp"
@@ -73,6 +74,12 @@ struct BanConfig {
   /// (the default) changes nothing: the network is wired exactly as if the
   /// fault subsystem did not exist, so fault-free runs stay bit-identical.
   fault::FaultPlan fault_plan{};
+
+  /// Per-node energy storage ([storage] / [battery] / [capacitor] /
+  /// [harvest] INI sections; NodeSpec::storage overrides per node).
+  /// Disabled (the default) keeps every node on the bench supply and the
+  /// network bit-identical to storage-free builds.
+  hw::StorageParams storage{};
 
   /// Effective node count (roster length when a roster is given).
   [[nodiscard]] std::size_t effective_nodes() const {
@@ -126,6 +133,13 @@ class BanNetwork {
   [[nodiscard]] fault::FaultInjector* fault_injector() {
     return injector_.get();
   }
+  /// Non-null when at least one node carries an enabled energy store.
+  [[nodiscard]] fault::StorageDriver* storage_driver() {
+    return storage_driver_.get();
+  }
+  [[nodiscard]] const fault::StorageDriver* storage_driver() const {
+    return storage_driver_.get();
+  }
 
   /// Per-node component energy snapshot at the current instant.
   [[nodiscard]] std::vector<energy::NodeEnergy> energy_snapshot() const;
@@ -139,6 +153,7 @@ class BanNetwork {
   os::CycleCostModel nominal_costs_;
   std::unique_ptr<phy::LinkModel> link_model_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::StorageDriver> storage_driver_;
   BuiltCell cell_;
   std::map<net::NodeId, apps::EegCollector> eeg_collectors_;
 };

@@ -90,6 +90,23 @@ fault::FaultKind parse_fault_kind(const std::string& token) {
                     "' (expected crash | radio_lockup | skew_step)");
 }
 
+hw::StorageKind parse_storage_kind(const std::string& token) {
+  const std::string v = lower(trim(token));
+  if (v == "battery") return hw::StorageKind::kBattery;
+  if (v == "capacitor") return hw::StorageKind::kCapacitor;
+  throw ConfigError("unknown storage kind '" + token +
+                    "' (expected battery | capacitor)");
+}
+
+hw::HarvestParams::Profile parse_harvest_profile(const std::string& token) {
+  const std::string v = lower(trim(token));
+  if (v == "constant") return hw::HarvestParams::Profile::kConstant;
+  if (v == "sine") return hw::HarvestParams::Profile::kSine;
+  if (v == "square") return hw::HarvestParams::Profile::kSquare;
+  throw ConfigError("unknown harvest profile '" + token +
+                    "' (expected constant | sine | square)");
+}
+
 namespace {
 
 /// One buffered `[node.K]` assignment; applied after the whole file is
@@ -129,6 +146,24 @@ void apply_node_key(NodeSpec& spec, const BanConfig& config,
   } else if (a.key == "ecg.heart_rate_bpm") {
     if (!spec.ecg) spec.ecg = config.ecg;
     spec.ecg->heart_rate_bpm = to_double(scoped, a.value);
+  } else if (a.key == "storage.enabled") {
+    if (!spec.storage) spec.storage = config.storage;
+    spec.storage->enabled = to_bool(scoped, a.value);
+  } else if (a.key == "storage.kind") {
+    if (!spec.storage) spec.storage = config.storage;
+    spec.storage->kind = parse_storage_kind(a.value);
+  } else if (a.key == "battery.capacity_mah") {
+    if (!spec.storage) spec.storage = config.storage;
+    spec.storage->battery.capacity_mah = to_double(scoped, a.value);
+  } else if (a.key == "capacitor.capacitance_f") {
+    if (!spec.storage) spec.storage = config.storage;
+    spec.storage->capacitor.capacitance_farads = to_double(scoped, a.value);
+  } else if (a.key == "harvest.enabled") {
+    if (!spec.storage) spec.storage = config.storage;
+    spec.storage->harvest.enabled = to_bool(scoped, a.value);
+  } else if (a.key == "harvest.watts") {
+    if (!spec.storage) spec.storage = config.storage;
+    spec.storage->harvest.watts = to_double(scoped, a.value);
   } else {
     throw ConfigError("line " + std::to_string(a.line_no) +
                       ": unknown key '" + scoped + "'");
@@ -366,6 +401,51 @@ BanConfig parse_config(const std::string& text) {
     } else if (scoped == "fault.brownout.recovery_ms") {
       config.fault_plan.brownout.recovery =
           sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "storage.enabled") {
+      config.storage.enabled = to_bool(scoped, value);
+    } else if (scoped == "storage.kind") {
+      config.storage.kind = parse_storage_kind(value);
+    } else if (scoped == "storage.check_ms") {
+      config.storage.check =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "battery.capacity_mah") {
+      config.storage.battery.capacity_mah = to_double(scoped, value);
+    } else if (scoped == "battery.nominal_volts") {
+      config.storage.battery.nominal_volts = to_double(scoped, value);
+    } else if (scoped == "battery.full_volts") {
+      config.storage.battery.full_volts = to_double(scoped, value);
+    } else if (scoped == "battery.empty_volts") {
+      config.storage.battery.empty_volts = to_double(scoped, value);
+    } else if (scoped == "battery.dead_volts") {
+      config.storage.battery.dead_volts = to_double(scoped, value);
+    } else if (scoped == "battery.rated_c") {
+      config.storage.battery.rated_c = to_double(scoped, value);
+    } else if (scoped == "battery.peukert_exponent") {
+      config.storage.battery.peukert_exponent = to_double(scoped, value);
+    } else if (scoped == "capacitor.capacitance_f") {
+      config.storage.capacitor.capacitance_farads = to_double(scoped, value);
+    } else if (scoped == "capacitor.full_volts") {
+      config.storage.capacitor.full_volts = to_double(scoped, value);
+    } else if (scoped == "capacitor.turnoff_volts") {
+      config.storage.capacitor.turnoff_volts = to_double(scoped, value);
+    } else if (scoped == "capacitor.turnon_volts") {
+      config.storage.capacitor.turnon_volts = to_double(scoped, value);
+    } else if (scoped == "harvest.enabled") {
+      config.storage.harvest.enabled = to_bool(scoped, value);
+    } else if (scoped == "harvest.profile") {
+      config.storage.harvest.profile = parse_harvest_profile(value);
+    } else if (scoped == "harvest.watts") {
+      config.storage.harvest.watts = to_double(scoped, value);
+    } else if (scoped == "harvest.floor_watts") {
+      config.storage.harvest.floor_watts = to_double(scoped, value);
+    } else if (scoped == "harvest.period_ms") {
+      config.storage.harvest.period =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "harvest.duty") {
+      config.storage.harvest.duty = to_double(scoped, value);
+    } else if (scoped == "harvest.phase_ms") {
+      config.storage.harvest.phase =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
     } else if (scoped == "streaming.sample_rate_hz") {
       config.streaming.sample_rate_hz = to_double(scoped, value);
     } else if (scoped == "streaming.payload_bytes") {
@@ -438,6 +518,17 @@ BanConfig parse_config(const std::string& text) {
   if (const std::string problem = config.fault_plan.validate();
       !problem.empty()) {
     throw ConfigError(problem);
+  }
+  if (const std::string problem = config.storage.validate();
+      !problem.empty()) {
+    throw ConfigError(problem);
+  }
+  for (std::size_t i = 0; i < config.roster.size(); ++i) {
+    if (!config.roster[i].storage) continue;
+    if (const std::string problem = config.roster[i].storage->validate();
+        !problem.empty()) {
+      throw ConfigError("[node." + std::to_string(i + 1) + "] " + problem);
+    }
   }
   return config;
 }
@@ -570,6 +661,45 @@ std::string serialize_config(const BanConfig& config) {
     }
   }
 
+  // Storage sections only when a store is carried, for the same reason the
+  // fault sections are conditional: legacy configs round-trip byte-for-byte.
+  const hw::StorageParams& storage = config.storage;
+  if (storage.enabled) {
+    out << "\n[storage]\n";
+    out << "enabled = true\n";
+    out << "kind = " << hw::to_string(storage.kind) << "\n";
+    out << "check_ms = " << storage.check.to_milliseconds() << "\n";
+    if (storage.kind == hw::StorageKind::kBattery) {
+      out << "\n[battery]\n";
+      out << "capacity_mah = " << storage.battery.capacity_mah << "\n";
+      out << "nominal_volts = " << storage.battery.nominal_volts << "\n";
+      out << "full_volts = " << storage.battery.full_volts << "\n";
+      out << "empty_volts = " << storage.battery.empty_volts << "\n";
+      out << "dead_volts = " << storage.battery.dead_volts << "\n";
+      out << "rated_c = " << storage.battery.rated_c << "\n";
+      out << "peukert_exponent = " << storage.battery.peukert_exponent
+          << "\n";
+    } else {
+      out << "\n[capacitor]\n";
+      out << "capacitance_f = " << storage.capacitor.capacitance_farads
+          << "\n";
+      out << "full_volts = " << storage.capacitor.full_volts << "\n";
+      out << "turnoff_volts = " << storage.capacitor.turnoff_volts << "\n";
+      out << "turnon_volts = " << storage.capacitor.turnon_volts << "\n";
+    }
+    if (storage.harvest.enabled) {
+      out << "\n[harvest]\n";
+      out << "enabled = true\n";
+      out << "profile = " << hw::to_string(storage.harvest.profile) << "\n";
+      out << "watts = " << storage.harvest.watts << "\n";
+      out << "floor_watts = " << storage.harvest.floor_watts << "\n";
+      out << "period_ms = " << storage.harvest.period.to_milliseconds()
+          << "\n";
+      out << "duty = " << storage.harvest.duty << "\n";
+      out << "phase_ms = " << storage.harvest.phase.to_milliseconds() << "\n";
+    }
+  }
+
   for (std::size_t i = 0; i < config.roster.size(); ++i) {
     const NodeSpec& spec = config.roster[i];
     out << "\n[node." << (i + 1) << "]\n";
@@ -591,6 +721,22 @@ std::string serialize_config(const BanConfig& config) {
     }
     if (spec.ecg) {
       out << "ecg.heart_rate_bpm = " << spec.ecg->heart_rate_bpm << "\n";
+    }
+    if (spec.storage) {
+      out << "storage.enabled = "
+          << (spec.storage->enabled ? "true" : "false") << "\n";
+      out << "storage.kind = " << hw::to_string(spec.storage->kind) << "\n";
+      if (spec.storage->kind == hw::StorageKind::kBattery) {
+        out << "battery.capacity_mah = " << spec.storage->battery.capacity_mah
+            << "\n";
+      } else {
+        out << "capacitor.capacitance_f = "
+            << spec.storage->capacitor.capacitance_farads << "\n";
+      }
+      if (spec.storage->harvest.enabled) {
+        out << "harvest.enabled = true\n";
+        out << "harvest.watts = " << spec.storage->harvest.watts << "\n";
+      }
     }
   }
   return out.str();

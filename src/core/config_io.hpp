@@ -54,6 +54,9 @@ class ConfigError : public std::runtime_error {
 [[nodiscard]] mac::TdmaVariant parse_tdma_variant(const std::string& token);
 [[nodiscard]] Fidelity parse_fidelity(const std::string& token);
 [[nodiscard]] fault::FaultKind parse_fault_kind(const std::string& token);
+[[nodiscard]] hw::StorageKind parse_storage_kind(const std::string& token);
+[[nodiscard]] hw::HarvestParams::Profile parse_harvest_profile(
+    const std::string& token);
 
 /// Parses INI text into a BanConfig (starting from defaults).  [node.K]
 /// sections fill config.roster; global keys may appear before or after

@@ -97,6 +97,13 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
     init.board =
         apply_fidelity(spec.board.value_or(plan.board), fidelity);
 
+    init.storage = spec.storage.value_or(plan.storage);
+    if (const std::string problem = init.storage.validate();
+        !problem.empty()) {
+      throw std::invalid_argument("StorageParams (roster entry " +
+                                  std::to_string(i) + "): " + problem);
+    }
+
     // Always consume the skew stream, even when the spec pins the value:
     // the draw positions of the remaining nodes must not shift.
     const double tol = init.board.mcu.clock_tolerance;

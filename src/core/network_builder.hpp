@@ -67,6 +67,7 @@ struct CellPlan {
   AppKind app{AppKind::kEcgStreaming};
   hw::BoardParams board{};
   Fidelity fidelity{Fidelity::kReference};
+  hw::StorageParams storage{};
   apps::StreamingConfig streaming{};
   apps::RpeakConfig rpeak{};
   apps::EcgConfig ecg{};

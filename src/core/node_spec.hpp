@@ -26,6 +26,7 @@
 #include "apps/rpeak_app.hpp"
 #include "core/fidelity.hpp"
 #include "hw/board.hpp"
+#include "hw/energy_store.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
@@ -68,6 +69,10 @@ struct NodeSpec {
   /// Hardware / fidelity overrides.
   std::optional<hw::BoardParams> board;
   std::optional<Fidelity> fidelity;
+
+  /// Energy-storage override: give THIS node a different cell, a
+  /// capacitor-backed battery-less supply, or no store at all.
+  std::optional<hw::StorageParams> storage;
 
   /// Application-parameter overrides.
   std::optional<apps::StreamingConfig> streaming;

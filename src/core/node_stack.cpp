@@ -16,6 +16,7 @@ NodeStack::NodeStack(sim::SimContext& context, phy::Channel& channel,
       eeg_{init.eeg_signal, init.eeg_seed},
       board_{context, channel, init.name, init.board, init.clock_skew},
       os_{context, board_, probe, nominal_costs} {
+  if (init.storage.enabled) store_.emplace(init.storage);
   if (mac_kind_ == MacKind::kTdma) {
     tdma_mac_ = std::make_unique<mac::NodeMac>(context, os_, init.tdma,
                                                address_, mac_rng);

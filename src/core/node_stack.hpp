@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "apps/base_station_app.hpp"
@@ -21,6 +22,7 @@
 #include "core/node_spec.hpp"
 #include "energy/energy_report.hpp"
 #include "hw/board.hpp"
+#include "hw/energy_store.hpp"
 #include "mac/aloha_mac.hpp"
 #include "mac/base_station_mac.hpp"
 #include "mac/node_mac.hpp"
@@ -40,6 +42,7 @@ struct NodeStackInit {
   MacKind mac{MacKind::kTdma};
   AppKind app{AppKind::kNone};
   hw::BoardParams board{};  ///< fidelity-adjusted
+  hw::StorageParams storage{};  ///< disabled = bench-supply powered
   double clock_skew{0.0};
   std::uint64_t eeg_seed{0};
   apps::StreamingConfig streaming{};
@@ -84,6 +87,15 @@ class NodeStack {
   /// Component energy breakdown at `now`.
   [[nodiscard]] energy::NodeEnergy energy(sim::TimePoint now) const;
 
+  /// The node's live energy store; null when the node runs off the bench
+  /// supply (storage disabled, the default).
+  [[nodiscard]] hw::EnergyStore* energy_store() {
+    return store_ ? &*store_ : nullptr;
+  }
+  [[nodiscard]] const hw::EnergyStore* energy_store() const {
+    return store_ ? &*store_ : nullptr;
+  }
+
  private:
   net::NodeId address_;
   AppKind app_kind_;
@@ -97,6 +109,7 @@ class NodeStack {
   std::unique_ptr<apps::EcgStreamingApp> streaming_;
   std::unique_ptr<apps::RpeakApp> rpeak_;
   std::unique_ptr<apps::EegApp> eeg_app_;
+  std::optional<hw::EnergyStore> store_;
 };
 
 /// Base-station slice: board, OS, sink MAC (TDMA beaconing base station or

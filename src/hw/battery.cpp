@@ -12,27 +12,48 @@ Battery::Battery(const BatteryParams& params)
                        params.nominal_volts},
       remaining_joules_{capacity_joules_} {}
 
-void Battery::draw(double joules) {
-  remaining_joules_ = std::max(0.0, remaining_joules_ - joules);
+double Battery::draw(double joules) {
+  const double removed = std::min(remaining_joules_, std::max(0.0, joules));
+  remaining_joules_ -= removed;
+  return removed;
 }
 
-void Battery::charge(double joules) {
-  remaining_joules_ = std::min(capacity_joules_, remaining_joules_ + joules);
+double Battery::charge(double joules) {
+  const double stored =
+      std::min(capacity_joules_ - remaining_joules_, std::max(0.0, joules));
+  remaining_joules_ += stored;
+  return stored;
+}
+
+double Battery::cutoff_soc() const {
+  const double span = params_.full_volts - params_.dead_volts;
+  if (span <= 0.0) return 0.0;
+  return std::clamp((params_.empty_volts - params_.dead_volts) / span, 0.0,
+                    1.0);
+}
+
+double Battery::usable_joules() const {
+  return std::max(0.0, remaining_joules_ - cutoff_joules());
 }
 
 double Battery::open_circuit_volts() const {
-  return params_.empty_volts +
-         (params_.full_volts - params_.empty_volts) * state_of_charge();
+  return params_.dead_volts +
+         (params_.full_volts - params_.dead_volts) * state_of_charge();
 }
 
 double Battery::hours_at(double watts) const {
   if (watts <= 0.0) return std::numeric_limits<double>::infinity();
-  // Discharge rate in C (fraction of capacity per hour).
+  // Discharge rate in C (fraction of capacity per hour), relative to the
+  // rate the capacity was rated at.
   const double c_rate = watts * 3600.0 / capacity_joules_;
-  // Peukert: effective capacity = nominal / rate^(k-1), mild at BAN rates.
-  const double derate = std::pow(std::max(c_rate, 1e-6),
-                                 params_.peukert_exponent - 1.0);
-  const double effective = remaining_joules_ / std::max(derate, 1e-9);
+  const double rated = std::max(params_.rated_c, 1e-9);
+  // Peukert: usable charge shrinks as rate^(k-1) ABOVE the rated rate
+  // only.  Clamping the ratio at 1 keeps derate >= 1, so the effective
+  // charge can never exceed what the cell actually holds (the low-rate
+  // divergence of the naive formula).
+  const double ratio = std::max(c_rate / rated, 1.0);
+  const double derate = std::pow(ratio, params_.peukert_exponent - 1.0);
+  const double effective = usable_joules() / derate;
   return effective / watts / 3600.0;
 }
 
@@ -40,14 +61,19 @@ double Harvester::accumulate(sim::TimePoint t0, sim::TimePoint t1, int steps) {
   if (t1 <= t0 || steps < 1) return 0.0;
   const double span = (t1 - t0).to_seconds();
   const double dt = span / steps;
-  double joules = 0.0;
+  double stored = 0.0;
   for (int i = 0; i < steps; ++i) {
     const sim::TimePoint a = t0 + sim::Duration::from_seconds(dt * i);
     const sim::TimePoint b = t0 + sim::Duration::from_seconds(dt * (i + 1));
-    joules += 0.5 * (profile_(a) + profile_(b)) * dt;
+    // Charge step by step: once the cell tops out mid-window the remaining
+    // segments overflow, and only the stored portion may be reported.
+    const double step_joules = 0.5 * (profile_(a) + profile_(b)) * dt;
+    total_income_ += step_joules;
+    const double step_stored = battery_.charge(step_joules);
+    total_stored_ += step_stored;
+    stored += step_stored;
   }
-  battery_.charge(joules);
-  return joules;
+  return stored;
 }
 
 double projected_lifetime_hours(const Battery& battery, double node_watts,

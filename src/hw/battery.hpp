@@ -19,9 +19,21 @@ struct BatteryParams {
   double capacity_mah{160.0};     ///< typical body-worn patch cell
   double nominal_volts{3.0};
   double full_volts{4.2};         ///< Li-polymer open-circuit, full
-  double empty_volts{3.0};        ///< cutoff
+  /// Usable-charge cutoff: the node's regulator drops out at this
+  /// open-circuit voltage, so the cell is "depleted" here — well above the
+  /// chemistry floor — even though charge remains below it.
+  double empty_volts{3.0};
+  /// Chemistry floor of the linear OCV sag (fully discharged cell).  Must
+  /// be below empty_volts; the stretch between the two is the unusable
+  /// tail of the discharge curve.
+  double dead_volts{2.5};
+  /// Rated discharge rate in C.  Peukert derating applies only above this
+  /// rate: a cell delivers its rated capacity at (or below) the rate it
+  /// was specified at, and progressively less above it.
+  double rated_c{1.0};
   /// Peukert-like derating exponent: effective capacity shrinks as the
-  /// average discharge rate (in C) rises; 1.0 disables the effect.
+  /// average discharge rate (in C) rises past rated_c; 1.0 disables the
+  /// effect.
   double peukert_exponent{1.05};
 };
 
@@ -29,25 +41,43 @@ class Battery {
  public:
   explicit Battery(const BatteryParams& params);
 
-  /// Removes `joules` from the store (clamped at empty).
-  void draw(double joules);
+  /// Removes `joules` from the store (clamped at the chemistry floor);
+  /// returns the joules actually removed.
+  double draw(double joules);
 
-  /// Adds `joules` of harvested charge (clamped at full).
-  void charge(double joules);
+  /// Adds `joules` of harvested charge (clamped at full); returns the
+  /// joules actually stored — the remainder overflowed the full cell.
+  double charge(double joules);
 
   [[nodiscard]] double capacity_joules() const { return capacity_joules_; }
   [[nodiscard]] double remaining_joules() const { return remaining_joules_; }
   [[nodiscard]] double state_of_charge() const {
     return remaining_joules_ / capacity_joules_;
   }
-  [[nodiscard]] bool depleted() const { return remaining_joules_ <= 0.0; }
+  /// State of charge at which the OCV reaches empty_volts — the fraction
+  /// of capacity that is unusable tail, not deliverable charge.
+  [[nodiscard]] double cutoff_soc() const;
+  [[nodiscard]] double cutoff_joules() const {
+    return cutoff_soc() * capacity_joules_;
+  }
+  /// Deliverable charge: remaining minus the unusable tail (>= 0).
+  [[nodiscard]] double usable_joules() const;
+  /// True once the open-circuit voltage has sagged to empty_volts: the
+  /// regulator browns out here, consistent with the fault subsystem's ESR
+  /// sag model, even though charge remains in the unusable tail.
+  [[nodiscard]] bool depleted() const {
+    return remaining_joules_ <= cutoff_joules();
+  }
 
-  /// Open-circuit voltage at the current state of charge (linear sag).
+  /// Open-circuit voltage at the current state of charge (linear sag from
+  /// dead_volts at empty to full_volts at full).
   [[nodiscard]] double open_circuit_volts() const;
 
-  /// Hours until empty at a constant `watts` net load (after harvesting),
-  /// including the Peukert derating at that rate.  Infinite when the net
-  /// load is non-positive.
+  /// Hours until depleted() at a constant `watts` net load (after
+  /// harvesting).  Discharge above rated_c derates the usable charge by
+  /// Peukert's law relative to the rated rate; at or below rated_c the
+  /// cell simply delivers its usable charge (effective <= remaining,
+  /// always).  Infinite when the net load is non-positive.
   [[nodiscard]] double hours_at(double watts) const;
 
   [[nodiscard]] const BatteryParams& params() const { return params_; }
@@ -68,14 +98,28 @@ class Harvester {
       : profile_{std::move(profile)}, battery_{battery} {}
 
   /// Integrates the profile over [t0, t1] (trapezoid, `steps` segments)
-  /// into the battery; returns the harvested joules.
+  /// into the battery; returns the joules actually STORED.  Charge that
+  /// arrives while the cell is full is discarded by the charge clamp and
+  /// accounted under total_overflow(), never in the return value — callers
+  /// doing energy bookkeeping must not double-count it.
   double accumulate(sim::TimePoint t0, sim::TimePoint t1, int steps = 32);
 
   [[nodiscard]] double power_at(sim::TimePoint t) const { return profile_(t); }
 
+  /// Integrated profile energy across every accumulate() call.
+  [[nodiscard]] double total_income() const { return total_income_; }
+  /// Portion of the income the battery actually absorbed.
+  [[nodiscard]] double total_stored() const { return total_stored_; }
+  /// Portion discarded at the full-charge clamp (income - stored).
+  [[nodiscard]] double total_overflow() const {
+    return total_income_ - total_stored_;
+  }
+
  private:
   Profile profile_;
   Battery& battery_;
+  double total_income_{0.0};
+  double total_stored_{0.0};
 };
 
 /// Deployment-lifetime projection: average node power (from the validation

@@ -19,67 +19,124 @@ BatteryParams small_cell() {
   return p;
 }
 
+// Defaults: full 4.2 V, empty (cutoff) 3.0 V, dead 2.5 V, so the unusable
+// tail below the cutoff is (3.0 - 2.5) / (4.2 - 2.5) = 5/17 of capacity.
+constexpr double kCutoffSoc = 5.0 / 17.0;
+constexpr double kUsableSoc = 12.0 / 17.0;
+
 TEST(Battery, CapacityArithmetic) {
   Battery b{small_cell()};
   // 100 mAh at 3 V = 0.1 * 3600 * 3 = 1080 J.
   EXPECT_NEAR(b.capacity_joules(), 1080.0, 1e-9);
   EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  EXPECT_NEAR(b.cutoff_soc(), kCutoffSoc, 1e-12);
+  EXPECT_NEAR(b.usable_joules(), 1080.0 * kUsableSoc, 1e-9);
   EXPECT_FALSE(b.depleted());
 }
 
-TEST(Battery, DrawAndDepletion) {
+TEST(Battery, DrawReportsRemovedJoules) {
   Battery b{small_cell()};
-  b.draw(1000.0);
-  EXPECT_NEAR(b.remaining_joules(), 80.0, 1e-9);
-  b.draw(200.0);  // over-draw clamps
+  EXPECT_DOUBLE_EQ(b.draw(100.0), 100.0);
+  EXPECT_NEAR(b.remaining_joules(), 980.0, 1e-9);
+  // Over-draw clamps at the chemistry floor and reports the clamp.
+  EXPECT_DOUBLE_EQ(b.draw(2000.0), 980.0);
   EXPECT_DOUBLE_EQ(b.remaining_joules(), 0.0);
-  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.draw(-5.0), 0.0);  // negative draws are ignored
 }
 
-TEST(Battery, ChargeClampsAtFull) {
+TEST(Battery, DepletesAtTheVoltageCutoffNotAtZeroJoules) {
+  Battery b{small_cell()};
+  b.draw(500.0);  // remaining 580 J, still above the 5/17 tail
+  EXPECT_FALSE(b.depleted());
+  b.draw(300.0);  // remaining 280 J < cutoff ~317.6 J
+  EXPECT_TRUE(b.depleted());
+  // Charge remains in the unusable tail: depleted is a voltage statement,
+  // not an empty-store statement.
+  EXPECT_GT(b.remaining_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(b.usable_joules(), 0.0);
+}
+
+TEST(Battery, DepletesExactlyAtTheCutoffBoundary) {
+  Battery b{small_cell()};
+  b.draw(b.usable_joules());  // lands exactly on the cutoff
+  EXPECT_TRUE(b.depleted());
+  EXPECT_NEAR(b.open_circuit_volts(), b.params().empty_volts, 1e-9);
+}
+
+TEST(Battery, ChargeClampsAtFullAndReportsStored) {
   Battery b{small_cell()};
   b.draw(100.0);
-  b.charge(500.0);
+  EXPECT_DOUBLE_EQ(b.charge(500.0), 100.0);  // only the deficit fits
   EXPECT_DOUBLE_EQ(b.remaining_joules(), b.capacity_joules());
+  EXPECT_DOUBLE_EQ(b.charge(1.0), 0.0);  // already full
 }
 
-TEST(Battery, VoltageSagsLinearly) {
+TEST(Battery, VoltageSagsLinearlyFromFullToDead) {
   Battery b{small_cell()};
   EXPECT_NEAR(b.open_circuit_volts(), 4.2, 1e-12);
   b.draw(b.capacity_joules() / 2);
-  EXPECT_NEAR(b.open_circuit_volts(), 3.6, 1e-12);
+  EXPECT_NEAR(b.open_circuit_volts(), 2.5 + 1.7 * 0.5, 1e-12);
   b.draw(b.capacity_joules());
-  EXPECT_NEAR(b.open_circuit_volts(), 3.0, 1e-12);
+  EXPECT_NEAR(b.open_circuit_volts(), 2.5, 1e-12);
 }
 
 TEST(Battery, HoursAtIdealCell) {
   Battery b{small_cell()};
-  // 1080 J at 10 mW = 108000 s = 30 h.
-  EXPECT_NEAR(b.hours_at(0.010), 30.0, 1e-9);
+  // Usable 1080 * 12/17 J at 10 mW = 360/17 h (~21.2 h): the unusable
+  // tail below the 3.0 V cutoff never counts toward lifetime.
+  EXPECT_NEAR(b.hours_at(0.010), 360.0 / 17.0, 1e-9);
   EXPECT_TRUE(std::isinf(b.hours_at(0.0)));
   EXPECT_TRUE(std::isinf(b.hours_at(-0.001)));
 }
 
-TEST(Battery, PeukertDeratesHighRates) {
+TEST(Battery, PeukertDeratesOnlyAboveTheRatedRate) {
   BatteryParams p = small_cell();
   p.peukert_exponent = 1.1;
   Battery b{p};
-  // At exactly 1C the derating is 1^0.1 = 1: same as ideal.
   const double one_c_watts = b.capacity_joules() / 3600.0;
-  EXPECT_NEAR(b.hours_at(one_c_watts), 1.0, 1e-9);
-  // Above 1C the effective capacity shrinks, below 1C it stretches.
-  EXPECT_LT(b.hours_at(2 * one_c_watts), 0.5);
-  EXPECT_GT(b.hours_at(0.5 * one_c_watts), 2.0);
+  const double at_rated = b.hours_at(one_c_watts);
+  // At the rated 1C the derate is 1: identical to the ideal cell.
+  EXPECT_NEAR(at_rated, kUsableSoc, 1e-9);
+  // Above rated the usable charge shrinks: strictly worse than linear.
+  EXPECT_LT(b.hours_at(2 * one_c_watts), at_rated / 2);
+  // Below rated there is NO stretching — the old formula let the
+  // effective capacity exceed the remaining charge without bound here.
+  EXPECT_NEAR(b.hours_at(0.5 * one_c_watts), 2 * at_rated, 1e-9);
+  EXPECT_NEAR(b.hours_at(0.01 * one_c_watts), 100 * at_rated, 1e-6);
+}
+
+TEST(Battery, EffectiveChargeNeverExceedsRemaining) {
+  BatteryParams p = small_cell();
+  p.peukert_exponent = 1.2;
+  Battery b{p};
+  for (const double watts : {1e-6, 1e-4, 1e-2, 0.3, 1.0, 10.0}) {
+    const double delivered = b.hours_at(watts) * watts * 3600.0;
+    EXPECT_LE(delivered, b.remaining_joules() * (1 + 1e-12)) << watts;
+  }
+}
+
+TEST(Battery, RatedRateShiftsTheDeratingKnee) {
+  BatteryParams p = small_cell();
+  p.peukert_exponent = 1.1;
+  p.rated_c = 2.0;  // cell rated at a 2C discharge
+  Battery b{p};
+  const double one_c_watts = b.capacity_joules() / 3600.0;
+  // 2C is now the rated point: no derating there or below.
+  EXPECT_NEAR(b.hours_at(2 * one_c_watts), kUsableSoc / 2, 1e-9);
+  EXPECT_NEAR(b.hours_at(one_c_watts), kUsableSoc, 1e-9);
+  EXPECT_LT(b.hours_at(4 * one_c_watts), kUsableSoc / 4);
 }
 
 TEST(Harvester, ConstantProfileIntegrates) {
   Battery b{small_cell()};
   b.draw(500.0);
   Harvester h{[](TimePoint) { return 0.005; }, b};  // 5 mW thermoelectric
-  const double harvested =
+  const double stored =
       h.accumulate(TimePoint::zero(), TimePoint::zero() + 1000_s);
-  EXPECT_NEAR(harvested, 5.0, 1e-9);
+  EXPECT_NEAR(stored, 5.0, 1e-9);
   EXPECT_NEAR(b.remaining_joules(), 585.0, 1e-9);
+  EXPECT_NEAR(h.total_income(), 5.0, 1e-9);
+  EXPECT_NEAR(h.total_overflow(), 0.0, 1e-12);
 }
 
 TEST(Harvester, TimeVaryingProfile) {
@@ -87,9 +144,24 @@ TEST(Harvester, TimeVaryingProfile) {
   b.draw(1000.0);
   // Ramp 0 -> 10 mW over 100 s: integral = 0.5 J exactly (trapezoid).
   Harvester h{[](TimePoint t) { return 1e-4 * t.to_seconds(); }, b};
-  const double harvested =
+  const double stored =
       h.accumulate(TimePoint::zero(), TimePoint::zero() + 100_s, 100);
-  EXPECT_NEAR(harvested, 0.5, 1e-6);
+  EXPECT_NEAR(stored, 0.5, 1e-6);
+}
+
+TEST(Harvester, FullCellOverflowIsNotCountedAsStored) {
+  Battery b{small_cell()};
+  b.draw(2.0);  // only 2 J of headroom
+  Harvester h{[](TimePoint) { return 0.005; }, b};
+  const double stored =
+      h.accumulate(TimePoint::zero(), TimePoint::zero() + 1000_s);
+  // 5 J arrived, 2 J fit: the return value must be the stored portion,
+  // not the integral — callers would double-count the discarded 3 J.
+  EXPECT_NEAR(stored, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(b.remaining_joules(), b.capacity_joules());
+  EXPECT_NEAR(h.total_income(), 5.0, 1e-9);
+  EXPECT_NEAR(h.total_stored(), 2.0, 1e-9);
+  EXPECT_NEAR(h.total_overflow(), 3.0, 1e-9);
 }
 
 TEST(Harvester, EmptyOrInvertedWindowIsZero) {

@@ -385,5 +385,133 @@ TEST(ConfigIo, FaultValidationErrors) {
   EXPECT_THROW(parse_config("[fault.fade]\nspeed = 9\n"), ConfigError);
 }
 
+TEST(ConfigIo, StorageSectionsParse) {
+  const BanConfig cfg = parse_config(R"(
+    [network]
+    nodes = 3
+    [storage]
+    enabled = true
+    kind = battery
+    check_ms = 50
+    [battery]
+    capacity_mah = 40
+    nominal_volts = 3.1
+    full_volts = 4.1
+    empty_volts = 3.2
+    dead_volts = 2.6
+    rated_c = 2
+    peukert_exponent = 1.2
+    [harvest]
+    enabled = true
+    profile = square
+    watts = 0.004
+    floor_watts = 0.0005
+    period_ms = 1200
+    duty = 0.4
+    phase_ms = 100
+    [node.2]
+    storage.kind = capacitor
+    capacitor.capacitance_f = 0.05
+    [node.3]
+    storage.enabled = false
+  )");
+  const hw::StorageParams& s = cfg.storage;
+  ASSERT_TRUE(s.enabled);
+  EXPECT_EQ(s.kind, hw::StorageKind::kBattery);
+  EXPECT_EQ(s.check, 50_ms);
+  EXPECT_DOUBLE_EQ(s.battery.capacity_mah, 40.0);
+  EXPECT_DOUBLE_EQ(s.battery.nominal_volts, 3.1);
+  EXPECT_DOUBLE_EQ(s.battery.full_volts, 4.1);
+  EXPECT_DOUBLE_EQ(s.battery.empty_volts, 3.2);
+  EXPECT_DOUBLE_EQ(s.battery.dead_volts, 2.6);
+  EXPECT_DOUBLE_EQ(s.battery.rated_c, 2.0);
+  EXPECT_DOUBLE_EQ(s.battery.peukert_exponent, 1.2);
+  ASSERT_TRUE(s.harvest.enabled);
+  EXPECT_EQ(s.harvest.profile, hw::HarvestParams::Profile::kSquare);
+  EXPECT_DOUBLE_EQ(s.harvest.watts, 0.004);
+  EXPECT_DOUBLE_EQ(s.harvest.floor_watts, 0.0005);
+  EXPECT_EQ(s.harvest.period, 1200_ms);
+  EXPECT_DOUBLE_EQ(s.harvest.duty, 0.4);
+  EXPECT_EQ(s.harvest.phase, 100_ms);
+  // Per-node overrides inherit the globals they do not name.
+  ASSERT_EQ(cfg.roster.size(), 3u);
+  EXPECT_FALSE(cfg.roster[0].storage.has_value());  // pure global
+  ASSERT_TRUE(cfg.roster[1].storage.has_value());
+  EXPECT_EQ(cfg.roster[1].storage->kind, hw::StorageKind::kCapacitor);
+  EXPECT_DOUBLE_EQ(cfg.roster[1].storage->capacitor.capacitance_farads, 0.05);
+  EXPECT_EQ(cfg.roster[1].storage->check, 50_ms);  // inherited
+  ASSERT_TRUE(cfg.roster[2].storage.has_value());
+  EXPECT_FALSE(cfg.roster[2].storage->enabled);  // bench-supplied node
+}
+
+TEST(ConfigIo, StorageRoundTripsAndDisabledStaysSilent) {
+  // Storage-free configs serialize without any storage sections at all,
+  // byte-compatible with pre-storage builds.
+  BanConfig plain;
+  const std::string text = serialize_config(plain);
+  EXPECT_EQ(text.find("[storage]"), std::string::npos);
+  EXPECT_EQ(text.find("[battery]"), std::string::npos);
+  EXPECT_EQ(text.find("[harvest]"), std::string::npos);
+
+  BanConfig cfg;
+  cfg.storage.enabled = true;
+  cfg.storage.kind = hw::StorageKind::kCapacitor;
+  cfg.storage.capacitor.capacitance_farads = 0.02;
+  cfg.storage.capacitor.turnon_volts = 3.3;
+  cfg.storage.check = 25_ms;
+  cfg.storage.harvest.enabled = true;
+  cfg.storage.harvest.profile = hw::HarvestParams::Profile::kSine;
+  cfg.storage.harvest.watts = 0.002;
+  cfg.storage.harvest.period = 900_ms;
+  cfg.roster.resize(2);
+  cfg.num_nodes = 2;
+  cfg.roster[1].storage = cfg.storage;
+  cfg.roster[1].storage->kind = hw::StorageKind::kBattery;
+  cfg.roster[1].storage->battery.capacity_mah = 0.5;
+
+  const BanConfig round = parse_config(serialize_config(cfg));
+  ASSERT_TRUE(round.storage.enabled);
+  EXPECT_EQ(round.storage.kind, hw::StorageKind::kCapacitor);
+  EXPECT_DOUBLE_EQ(round.storage.capacitor.capacitance_farads, 0.02);
+  EXPECT_DOUBLE_EQ(round.storage.capacitor.turnon_volts, 3.3);
+  EXPECT_EQ(round.storage.check, 25_ms);
+  ASSERT_TRUE(round.storage.harvest.enabled);
+  EXPECT_EQ(round.storage.harvest.profile, hw::HarvestParams::Profile::kSine);
+  EXPECT_DOUBLE_EQ(round.storage.harvest.watts, 0.002);
+  EXPECT_EQ(round.storage.harvest.period, 900_ms);
+  ASSERT_EQ(round.roster.size(), 2u);
+  ASSERT_TRUE(round.roster[1].storage.has_value());
+  EXPECT_EQ(round.roster[1].storage->kind, hw::StorageKind::kBattery);
+  EXPECT_DOUBLE_EQ(round.roster[1].storage->battery.capacity_mah, 0.5);
+}
+
+TEST(ConfigIo, StorageValidationErrors) {
+  // Enabled battery with nonsense capacity.
+  EXPECT_THROW(parse_config("[storage]\nenabled = true\n"
+                            "[battery]\ncapacity_mah = -5\n"),
+               ConfigError);
+  // Sampling interval must be positive.
+  EXPECT_THROW(parse_config("[storage]\nenabled = true\ncheck_ms = 0\n"),
+               ConfigError);
+  // Capacitor hysteresis thresholds out of order.
+  EXPECT_THROW(parse_config("[storage]\nenabled = true\nkind = capacitor\n"
+                            "[capacitor]\nturnoff_volts = 4\n"
+                            "turnon_volts = 3\n"),
+               ConfigError);
+  // Sine/square harvest needs a period.
+  EXPECT_THROW(parse_config("[storage]\nenabled = true\n"
+                            "[harvest]\nenabled = true\nprofile = sine\n"
+                            "period_ms = 0\n"),
+               ConfigError);
+  // Per-node overrides are validated with the node named.
+  EXPECT_THROW(parse_config("[network]\nnodes = 2\n"
+                            "[node.2]\nstorage.enabled = true\n"
+                            "battery.capacity_mah = -1\n"),
+               ConfigError);
+  // Unknown storage keys are hard errors like everywhere else.
+  EXPECT_THROW(parse_config("[storage]\nvolts = 3\n"), ConfigError);
+  EXPECT_THROW(parse_config("[harvest]\nprofile = triangle\n"), ConfigError);
+}
+
 }  // namespace
 }  // namespace bansim::core
