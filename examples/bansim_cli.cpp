@@ -42,6 +42,7 @@ struct CliOptions {
   std::optional<std::string> config_file;
   std::optional<std::string> fault_plan_file;
   std::optional<std::string> app;
+  std::optional<std::string> protocol;
   std::optional<std::string> variant;
   std::optional<int> cycle_ms;
   std::optional<int> nodes;
@@ -61,6 +62,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--config FILE] [--app NAME] [--variant "
                "static|dynamic]\n"
+               "          [--protocol static_tdma|dynamic_tdma|aloha|csma_ca]\n"
                "          [--cycle-ms N] [--nodes N] [--seconds N] [--seed N]\n"
                "          [--fidelity ref|model|both] [--analyze] [--csv] "
                "[--dump-config]\n"
@@ -105,6 +107,10 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.app = v;
+    } else if (arg == "--protocol") {
+      const char* v = next();
+      if (!v) return false;
+      options.protocol = v;
     } else if (arg == "--variant") {
       const char* v = next();
       if (!v) return false;
@@ -190,6 +196,24 @@ core::BanConfig build_config(const CliOptions& options) {
 
   if (options.nodes) config.num_nodes = static_cast<std::size_t>(*options.nodes);
   if (options.seed) config.seed = *options.seed;
+  if (options.protocol) {
+    switch (core::parse_mac_protocol(*options.protocol)) {
+      case mac::Protocol::kStaticTdma:
+        config.mac = core::MacKind::kTdma;
+        config.tdma.variant = mac::TdmaVariant::kStatic;
+        break;
+      case mac::Protocol::kDynamicTdma:
+        config.mac = core::MacKind::kTdma;
+        config.tdma.variant = mac::TdmaVariant::kDynamic;
+        break;
+      case mac::Protocol::kAloha:
+        config.mac = core::MacKind::kAloha;
+        break;
+      case mac::Protocol::kCsmaCa:
+        config.mac = core::MacKind::kCsmaCa;
+        break;
+    }
+  }
   if (options.variant) {
     config.tdma.variant = core::parse_tdma_variant(*options.variant);
   }
@@ -385,11 +409,11 @@ int run_campaign(const CliOptions& options, const core::BanConfig& config) {
   check::CampaignOptions campaign;
   campaign.horizon = Duration::seconds(options.seconds);
 
-  std::printf("fault campaign: %s, %zu nodes%s, %s TDMA, %d s horizon, "
+  std::printf("fault campaign: %s, %zu nodes%s, %s MAC, %d s horizon, "
               "seed %llu\n",
               to_string(config.app), config.effective_nodes(),
               config.roster.empty() ? "" : " (roster)",
-              to_string(config.tdma.variant), options.seconds,
+              mac::to_string(config.protocol()), options.seconds,
               static_cast<unsigned long long>(config.seed));
 
   const check::CampaignOutcome faulted = run_fault_campaign(config, campaign);
@@ -448,11 +472,11 @@ int run_lifetime(const CliOptions& options, const core::BanConfig& config) {
   if (options.csv) {
     std::printf("%s", outcome.report.render_csv().c_str());
   } else {
-    std::printf("lifetime campaign: %s, %zu nodes%s, %s TDMA, %d s horizon, "
+    std::printf("lifetime campaign: %s, %zu nodes%s, %s MAC, %d s horizon, "
                 "seed %llu\n",
                 to_string(config.app), config.effective_nodes(),
                 config.roster.empty() ? "" : " (roster)",
-                to_string(config.tdma.variant), options.seconds,
+                mac::to_string(config.protocol()), options.seconds,
                 static_cast<unsigned long long>(config.seed));
     std::printf("%s", outcome.report.render().c_str());
     if (outcome.death_observed) {
@@ -503,10 +527,10 @@ int main(int argc, char** argv) {
 
     if (!options.csv) {
       std::printf(
-          "scenario: %s, %zu nodes%s, %s TDMA, %d s window, seed %llu\n",
+          "scenario: %s, %zu nodes%s, %s MAC, %d s window, seed %llu\n",
           to_string(config.app), config.effective_nodes(),
           config.roster.empty() ? "" : " (roster)",
-          to_string(config.tdma.variant), options.seconds,
+          mac::to_string(config.protocol()), options.seconds,
           static_cast<unsigned long long>(config.seed));
     } else {
       std::printf(

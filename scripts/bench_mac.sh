@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# MAC-zoo perf trajectory: builds bench_mac_comparison in Release, runs the
+# per-protocol benchmark points (BM_TdmaPoint / BM_CsmaPoint / BM_AlohaPoint)
+# with JSON output, and merges the run into BENCH_mac.json at the repo root
+# under a label (default: current short commit hash).  Re-running with the
+# same label replaces that label's entry, so the file accumulates one
+# snapshot per labelled state — before/after pairs for MAC-layer PRs.
+#
+# usage: scripts/bench_mac.sh [label] [benchmark-filter]
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+label=${1:-$(git -C "$repo" rev-parse --short HEAD)}
+filter=${2:-}
+
+cmake -B "$repo/build-bench" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build-bench" -j "$(nproc)" --target bench_mac_comparison
+
+run_json=$(mktemp)
+trap 'rm -f "$run_json"' EXIT
+"$repo/build-bench/bench/bench_mac_comparison" \
+  --benchmark_format=json \
+  ${filter:+--benchmark_filter="$filter"} > "$run_json"
+
+python3 - "$repo/BENCH_mac.json" "$label" "$run_json" <<'EOF'
+import json
+import os
+import sys
+
+out_path, label, run_path = sys.argv[1:4]
+with open(run_path) as f:
+    run = json.load(f)
+
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+
+doc["runs"] = [r for r in doc.get("runs", []) if r.get("label") != label]
+doc["runs"].append({
+    "label": label,
+    "context": run.get("context", {}),
+    "benchmarks": run.get("benchmarks", []),
+})
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"merged run '{label}' into {out_path}")
+EOF

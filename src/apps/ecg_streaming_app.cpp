@@ -40,7 +40,7 @@ std::vector<std::uint16_t> unpack12(const std::vector<std::uint8_t>& bytes) {
 }
 
 EcgStreamingApp::EcgStreamingApp(sim::Simulator& simulator, os::NodeOs& node_os,
-                                 mac::NodeMac& mac,
+                                 mac::NodeMacBase& mac,
                                  const StreamingConfig& config)
     : simulator_{simulator}, os_{node_os}, mac_{mac}, config_{config} {}
 

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "mac/node_mac.hpp"
+#include "mac/mac_base.hpp"
 #include "os/node_os.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,7 +26,7 @@ struct StreamingConfig {
 class EcgStreamingApp {
  public:
   EcgStreamingApp(sim::Simulator& simulator, os::NodeOs& node_os,
-                  mac::NodeMac& mac, const StreamingConfig& config);
+                  mac::NodeMacBase& mac, const StreamingConfig& config);
 
   void start();
   void stop();
@@ -48,7 +48,7 @@ class EcgStreamingApp {
 
   sim::Simulator& simulator_;
   os::NodeOs& os_;
-  mac::NodeMac& mac_;
+  mac::NodeMacBase& mac_;
   StreamingConfig config_;
   std::vector<std::uint16_t> pending_codes_;
   std::vector<std::uint8_t> buffer_;

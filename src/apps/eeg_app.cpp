@@ -17,7 +17,7 @@ void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
 }  // namespace
 
 EegApp::EegApp(sim::Simulator& simulator, os::NodeOs& node_os,
-               mac::NodeMac& mac, const EegAppConfig& config,
+               mac::NodeMacBase& mac, const EegAppConfig& config,
                const EegSynthesizer& source)
     : simulator_{simulator}, os_{node_os}, mac_{mac}, config_{config},
       source_{source}, buffers_(config.channels) {}

@@ -18,7 +18,7 @@
 
 #include "apps/delta_codec.hpp"
 #include "apps/eeg_synthesizer.hpp"
-#include "mac/node_mac.hpp"
+#include "mac/mac_base.hpp"
 #include "net/fragment.hpp"
 #include "os/node_os.hpp"
 #include "sim/simulator.hpp"
@@ -34,8 +34,9 @@ struct EegAppConfig {
 
 class EegApp {
  public:
-  EegApp(sim::Simulator& simulator, os::NodeOs& node_os, mac::NodeMac& mac,
-         const EegAppConfig& config, const EegSynthesizer& source);
+  EegApp(sim::Simulator& simulator, os::NodeOs& node_os,
+         mac::NodeMacBase& mac, const EegAppConfig& config,
+         const EegSynthesizer& source);
 
   void start();
   void stop();
@@ -58,7 +59,7 @@ class EegApp {
 
   sim::Simulator& simulator_;
   os::NodeOs& os_;
-  mac::NodeMac& mac_;
+  mac::NodeMacBase& mac_;
   EegAppConfig config_;
   const EegSynthesizer& source_;
   std::vector<std::vector<std::uint16_t>> buffers_;  ///< per channel

@@ -22,7 +22,7 @@ BeatEvent BeatEvent::deserialize(const std::vector<std::uint8_t>& bytes) {
 }
 
 RpeakApp::RpeakApp(sim::Simulator& simulator, os::NodeOs& node_os,
-                   mac::NodeMac& mac, const RpeakConfig& config)
+                   mac::NodeMacBase& mac, const RpeakConfig& config)
     : simulator_{simulator}, os_{node_os}, mac_{mac}, config_{config},
       detectors_(config.channels, RpeakDetector{config.sample_rate_hz}) {}
 

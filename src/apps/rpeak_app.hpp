@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "apps/rpeak_detector.hpp"
-#include "mac/node_mac.hpp"
+#include "mac/mac_base.hpp"
 #include "os/node_os.hpp"
 #include "sim/simulator.hpp"
 
@@ -35,8 +35,8 @@ struct BeatEvent {
 
 class RpeakApp {
  public:
-  RpeakApp(sim::Simulator& simulator, os::NodeOs& node_os, mac::NodeMac& mac,
-           const RpeakConfig& config);
+  RpeakApp(sim::Simulator& simulator, os::NodeOs& node_os,
+           mac::NodeMacBase& mac, const RpeakConfig& config);
 
   void start();
   void stop();
@@ -53,7 +53,7 @@ class RpeakApp {
 
   sim::Simulator& simulator_;
   os::NodeOs& os_;
-  mac::NodeMac& mac_;
+  mac::NodeMacBase& mac_;
   RpeakConfig config_;
   std::vector<RpeakDetector> detectors_;
   os::TimerService::TimerId timer_{os::TimerService::kInvalidTimer};

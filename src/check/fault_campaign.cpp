@@ -33,7 +33,7 @@ CampaignOutcome run_fault_campaign(const core::BanConfig& config,
     core::SensorNode& node = network.node(i);
     fault::NodeOutcome row;
     row.node = node.name();
-    const mac::NodeMacStats& stats = node.mac().stats();
+    const mac::MacStatsSnapshot stats = node.mac_base().stats_snapshot();
     row.payloads_generated = stats.payloads_queued;
     const auto it = per_node.find(node.address());
     row.payloads_delivered = it != per_node.end() ? it->second.packets : 0;
@@ -41,8 +41,8 @@ CampaignOutcome run_fault_campaign(const core::BanConfig& config,
     row.crashes = stats.crashes;
     row.reboots = stats.reboots;
     row.resyncs = stats.resyncs;
-    row.resync_times = node.mac().resync_times();
-    row.rejoin_times = node.mac().rejoin_times();
+    row.resync_times = node.mac_base().resync_times();
+    row.rejoin_times = node.mac_base().rejoin_times();
     outcome.run.nodes.push_back(std::move(row));
   }
   if (auto* injector = network.fault_injector()) {

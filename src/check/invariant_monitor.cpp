@@ -60,10 +60,32 @@ InvariantMonitor::~InvariantMonitor() {
 
 void InvariantMonitor::watch_network(core::BanNetwork& network) {
   watch_channel(network.channel());
-  const std::uint8_t pan = network.config().tdma.pan_id;
+  const core::BanConfig& config = network.config();
+  std::uint8_t pan = 0;
+  switch (config.mac) {
+    case core::MacKind::kTdma:
+      pan = config.tdma.pan_id;
+      break;
+    case core::MacKind::kCsmaCa:
+      pan = static_cast<std::uint8_t>(config.csma.pan_id);
+      break;
+    case core::MacKind::kAloha:
+      pan = 0;  // no PAN concept; every aloha radio shares tag 0
+      break;
+  }
   watch_board(network.base_station_board(), pan);
-  watch_cell(network.base_station_mac(), network.config().effective_nodes(),
-             network.config().tdma);
+  switch (config.mac) {
+    case core::MacKind::kTdma:
+      watch_cell(network.base_station_mac(), config.effective_nodes(),
+                 config.tdma);
+      break;
+    case core::MacKind::kCsmaCa:
+      watch_contention_cell(pan, mac::Protocol::kCsmaCa, config.csma);
+      break;
+    case core::MacKind::kAloha:
+      watch_contention_cell(pan, mac::Protocol::kAloha);
+      break;
+  }
   for (std::size_t i = 0; i < network.num_nodes(); ++i) {
     watch_board(network.node(i).board(), pan);
   }
@@ -131,6 +153,17 @@ void InvariantMonitor::watch_cell(const mac::BaseStationMac& bs,
   cells_.push_back(CellWatch{&bs, roster_size, config});
 }
 
+void InvariantMonitor::watch_contention_cell(std::uint8_t pan,
+                                             mac::Protocol protocol,
+                                             const mac::CsmaConfig& config) {
+  ContentionWatch watch;
+  watch.pan = pan;
+  watch.protocol = protocol;
+  watch.cca = config.cca;
+  watch.backoff_unit = config.backoff_unit;
+  contention_cells_.push_back(watch);
+}
+
 void InvariantMonitor::watch_storage(const fault::StorageDriver& driver) {
   storage_drivers_.push_back(&driver);
 }
@@ -172,6 +205,14 @@ InvariantMonitor::ChannelWatch* InvariantMonitor::find_channel(
   return nullptr;
 }
 
+InvariantMonitor::ContentionWatch* InvariantMonitor::find_contention(
+    std::uint8_t pan) {
+  for (auto& w : contention_cells_) {
+    if (w.pan == pan) return &w;
+  }
+  return nullptr;
+}
+
 // --- Channel hooks ----------------------------------------------------------
 
 void InvariantMonitor::on_frame_transmit(const void* channel,
@@ -202,20 +243,99 @@ void InvariantMonitor::on_frame_transmit(const void* channel,
     }
   }
 
-  if (info.is_data && !options_.expect_collisions) {
-    for (const std::uint64_t other_id : watch->in_flight_ids) {
-      const auto it = watch->frames.find(other_id);
-      if (it == watch->frames.end()) continue;
-      const FrameInfo& other = it->second;
-      if (!other.is_data) continue;
-      if (other.pan != info.pan || info.pan == 0xFF) continue;
-      if (other.air_end > info.air_start) {
-        violation("tdma-exclusivity", context_.simulator.now(),
-                  "data frame " + std::to_string(frame_id) + " from tx" +
-                      std::to_string(tx_id) + " overlaps data frame " +
-                      std::to_string(other_id) + " from tx" +
-                      std::to_string(other.tx_id) + " in pan " +
-                      std::to_string(info.pan));
+  // Half-duplex: one radio never has two frames on the air at once, under
+  // any protocol.
+  for (const std::uint64_t other_id : watch->in_flight_ids) {
+    const auto it = watch->frames.find(other_id);
+    if (it == watch->frames.end()) continue;
+    const FrameInfo& other = it->second;
+    if (other.tx_id == tx_id && other.air_end > info.air_start) {
+      violation("half-duplex", context_.simulator.now(),
+                "tx" + std::to_string(tx_id) + " started frame " +
+                    std::to_string(frame_id) + " while its frame " +
+                    std::to_string(other_id) + " is still on the air");
+    }
+  }
+
+  ContentionWatch* cell =
+      info.pan == 0xFF ? nullptr : find_contention(info.pan);
+  if (cell && packet && packet->header.type == net::PacketType::kBeacon) {
+    // Anchor the superframe from the beacon itself; the payload carries the
+    // full geometry, so the monitor needs no side-channel into the MAC.
+    if (const auto beacon = net::BeaconPayload::deserialize(packet->payload)) {
+      cell->anchored = true;
+      cell->beacon_start = air_start;
+      cell->cycle = sim::Duration::microseconds(beacon->cycle_us);
+      cell->cfp = sim::Duration::microseconds(beacon->slot_us) *
+                  static_cast<std::int64_t>(beacon->num_slots);
+    }
+  }
+
+  if (info.is_data && !options_.expect_collisions && info.pan != 0xFF) {
+    if (cell == nullptr) {
+      // TDMA cell: strict data-slot exclusivity.
+      for (const std::uint64_t other_id : watch->in_flight_ids) {
+        const auto it = watch->frames.find(other_id);
+        if (it == watch->frames.end()) continue;
+        const FrameInfo& other = it->second;
+        if (!other.is_data) continue;
+        if (other.pan != info.pan) continue;
+        if (other.air_end > info.air_start) {
+          violation("tdma-exclusivity", context_.simulator.now(),
+                    "data frame " + std::to_string(frame_id) + " from tx" +
+                        std::to_string(tx_id) + " overlaps data frame " +
+                        std::to_string(other_id) + " from tx" +
+                        std::to_string(other.tx_id) + " in pan " +
+                        std::to_string(info.pan));
+        }
+      }
+    } else {
+      // Contention cell: overlaps are legal in the CAP; GTS (CFP) frames
+      // keep TDMA-grade exclusivity and CSMA transmitters must have passed
+      // a recent CCA.
+      if (cell->protocol == mac::Protocol::kCsmaCa && cell->anchored &&
+          cell->cfp.is_positive()) {
+        const sim::Duration rel = info.air_start - cell->beacon_start;
+        info.in_cfp = rel >= cell->cycle - cell->cfp && rel < cell->cycle;
+      }
+      if (info.in_cfp) {
+        for (const std::uint64_t other_id : watch->in_flight_ids) {
+          const auto it = watch->frames.find(other_id);
+          if (it == watch->frames.end()) continue;
+          const FrameInfo& other = it->second;
+          if (!other.is_data || !other.in_cfp) continue;
+          if (other.pan != info.pan) continue;
+          if (other.air_end > info.air_start) {
+            violation("gts-exclusivity", context_.simulator.now(),
+                      "GTS data frame " + std::to_string(frame_id) +
+                          " from tx" + std::to_string(tx_id) +
+                          " overlaps GTS frame " + std::to_string(other_id) +
+                          " from tx" + std::to_string(other.tx_id) +
+                          " in pan " + std::to_string(info.pan));
+          }
+        }
+      } else if (cell->protocol == mac::Protocol::kCsmaCa) {
+        // Backoff legality: a frame the transmitter can hear that has been
+        // on the air longer than one CCA window (plus backoff-boundary
+        // alignment, MCU prep and skew) before our air start would have
+        // been seen by any legal clear-channel assessment.
+        const sim::Duration tolerance = cell->cca + cell->backoff_unit * 2;
+        for (const std::uint64_t other_id : watch->in_flight_ids) {
+          const auto it = watch->frames.find(other_id);
+          if (it == watch->frames.end()) continue;
+          const FrameInfo& other = it->second;
+          if (other.pan != info.pan) continue;
+          if (!watch->channel->link(other.tx_id, tx_id)) continue;
+          if (other.air_end > info.air_start &&
+              other.air_start + tolerance < info.air_start) {
+            violation("csma-backoff", context_.simulator.now(),
+                      "tx" + std::to_string(tx_id) + " started data frame " +
+                          std::to_string(frame_id) + " although frame " +
+                          std::to_string(other_id) + " from tx" +
+                          std::to_string(other.tx_id) +
+                          " was already on the air past the CCA window");
+          }
+        }
       }
     }
   }

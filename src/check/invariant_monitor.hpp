@@ -7,10 +7,19 @@
 //     integer-tick identity), and the metered joules equal the independent
 //     recomputation sum(I * Vdd * t_state) + transients from the monitor's
 //     own shadow ledger within an ulp-scaled tolerance.
-//  2. TDMA slot exclusivity.  No two DATA frames of one cell (pan) overlap
-//     on the air — beacon/SSR/grant/ACK contention in the request window is
-//     legal by design and exempt.  The dynamic variant's cycle length must
-//     equal slot * (1 + roster size of the slot table) at every audit.
+//  2. MAC channel discipline, protocol-aware.  For TDMA cells no two DATA
+//     frames of one cell (pan) overlap on the air — beacon/SSR/grant/ACK
+//     contention in the request window is legal by design and exempt — and
+//     the dynamic variant's cycle length must equal slot * (1 + roster size
+//     of the slot table) at every audit.  For contention cells (ALOHA,
+//     slotted CSMA/CA) overlapping data frames are legal, so the strict
+//     audit is replaced by (a) a half-duplex check — one radio never has
+//     two frames on the air at once — and (b) for CSMA/CA, a
+//     backoff-legality check: a node must not start a data transmission
+//     when a frame it can hear (channel link up, same pan) has been on the
+//     air longer than the CCA window plus a tolerance absorbing backoff
+//     alignment, MCU prep and clock skew.  CSMA/CA GTS (CFP) frames keep
+//     the strict TDMA-style exclusivity, anchored on the observed beacons.
 //  3. Packet conservation.  Every frame that entered the medium retires
 //     exactly once, collision-corruption at retire time matches the
 //     collision events, and at teardown
@@ -36,6 +45,8 @@
 #include "hw/mcu.hpp"
 #include "hw/radio_nrf2401.hpp"
 #include "mac/base_station_mac.hpp"
+#include "mac/csma_mac.hpp"
+#include "mac/mac_base.hpp"
 #include "phy/channel.hpp"
 #include "sim/check_hooks.hpp"
 #include "sim/context.hpp"
@@ -90,6 +101,11 @@ class InvariantMonitor final : public sim::CheckHooks {
   /// TDMA slot-table invariants of one cell's base station.
   void watch_cell(const mac::BaseStationMac& bs, std::size_t roster_size,
                   const mac::TdmaConfig& config);
+  /// Registers `pan` as a contention cell (ALOHA or slotted CSMA/CA):
+  /// data-frame overlaps inside it are legal, the half-duplex and (for
+  /// CSMA/CA) backoff-legality / GTS-exclusivity checks apply instead.
+  void watch_contention_cell(std::uint8_t pan, mac::Protocol protocol,
+                             const mac::CsmaConfig& config = {});
   /// Per-node energy-storage accounting: every joule the stores moved must
   /// close against the boards' meters and the harvest integrals
   /// (watch_network registers the network's driver automatically).
@@ -167,6 +183,7 @@ class InvariantMonitor final : public sim::CheckHooks {
     sim::TimePoint air_end;
     bool is_data;
     std::uint8_t pan;  ///< of the transmitting radio; 0xFF if unknown
+    bool in_cfp{false};  ///< data frame inside a CSMA/CA GTS region
     bool collided{false};
     bool retired{false};
   };
@@ -186,6 +203,18 @@ class InvariantMonitor final : public sim::CheckHooks {
     std::size_t roster_size;
     mac::TdmaConfig config;
   };
+  struct ContentionWatch {
+    std::uint8_t pan;
+    mac::Protocol protocol;
+    sim::Duration cca{};
+    sim::Duration backoff_unit{};
+    /// Superframe anchor from the last beacon seen on the air (CSMA/CA
+    /// GTS-exclusivity only; geometry comes from the beacon payload).
+    bool anchored{false};
+    sim::TimePoint beacon_start{};
+    sim::Duration cycle{};
+    sim::Duration cfp{};
+  };
 
   void violation(const char* invariant, sim::TimePoint when,
                  std::string detail);
@@ -193,6 +222,7 @@ class InvariantMonitor final : public sim::CheckHooks {
   McuWatch* find_mcu(const void* tag);
   MeterWatch* find_meter(const void* tag);
   ChannelWatch* find_channel(const void* tag);
+  ContentionWatch* find_contention(std::uint8_t pan);
   void audit_meter(MeterWatch& watch, sim::TimePoint now);
   void audit_cell(const CellWatch& watch, sim::TimePoint now);
   void audit_storage(const fault::StorageDriver& driver, sim::TimePoint now);
@@ -204,6 +234,7 @@ class InvariantMonitor final : public sim::CheckHooks {
   std::vector<MeterWatch> meters_;
   std::vector<ChannelWatch> channels_;
   std::vector<CellWatch> cells_;
+  std::vector<ContentionWatch> contention_cells_;
   std::vector<const fault::StorageDriver*> storage_drivers_;
   std::vector<Violation> violations_;
   std::uint64_t total_violations_{0};

@@ -229,6 +229,53 @@ core::BanConfig make_fuzz_config(std::uint64_t seed) {
       config.roster[victim].storage = hw::StorageParams{};  // disabled
     }
   }
+
+  // MAC-protocol dimension, drawn last like the two above so pre-seam
+  // corpora keep their meaning (a seed that reproduced a TDMA failure
+  // still builds the same TDMA cell).  The TDMA draws simply go unused
+  // when the cell leaves MacKind::kTdma.
+  {
+    const double protocol = rng.uniform(0.0, 1.0);
+    if (protocol < 0.2) {
+      config.mac = core::MacKind::kAloha;
+      config.aloha.ack_data = rng.chance(0.7);
+      config.aloha.max_retries =
+          static_cast<std::uint8_t>(rng.uniform_int(1, 5));
+      config.aloha.backoff_base =
+          sim::Duration::from_milliseconds(rng.uniform(2.0, 8.0));
+    } else if (protocol < 0.4) {
+      config.mac = core::MacKind::kCsmaCa;
+      config.csma.min_be = static_cast<std::uint8_t>(rng.uniform_int(2, 3));
+      config.csma.max_be = static_cast<std::uint8_t>(
+          rng.uniform_int(config.csma.min_be, 5));
+      config.csma.max_backoffs =
+          static_cast<std::uint8_t>(rng.uniform_int(3, 5));
+      config.csma.ack_data = rng.chance(0.7);
+      config.csma.max_retries =
+          static_cast<std::uint8_t>(rng.uniform_int(1, 4));
+      if (rng.chance(0.3)) {
+        // CFP cells: a long superframe keeps the CAP usable next to the
+        // reserved slots, and at least one roster member owns a GTS.
+        config.csma.cycle =
+            sim::Duration::from_milliseconds(rng.uniform(40.0, 60.0));
+        config.csma.gts_slots =
+            static_cast<std::uint8_t>(rng.uniform_int(1, 2));
+        config.csma.gts_slot =
+            sim::Duration::from_milliseconds(rng.uniform(3.0, 5.0));
+        bool any_gts = false;
+        for (core::NodeSpec& spec : config.roster) {
+          if (rng.chance(0.5)) {
+            spec.csma_gts = true;
+            any_gts = true;
+          }
+        }
+        if (!any_gts) config.roster.front().csma_gts = true;
+      } else {
+        config.csma.cycle =
+            sim::Duration::from_milliseconds(rng.uniform(20.0, 50.0));
+      }
+    }
+  }
   return config;
 }
 
@@ -378,6 +425,22 @@ CaseOutcome ScenarioFuzzer::run_case(std::uint64_t seed) const {
         [](core::BanConfig& c) {
           if (!c.fault_plan.any()) return false;
           c.fault_plan = fault::FaultPlan{};
+          return true;
+        },
+        // Downgrade exotic protocols: a failure that survives on static
+        // TDMA is a seam bug, not a protocol bug.
+        [](core::BanConfig& c) {
+          const bool contention = c.mac != core::MacKind::kTdma;
+          const bool dynamic =
+              c.tdma.variant == mac::TdmaVariant::kDynamic;
+          if (!contention && !dynamic) return false;
+          c.mac = core::MacKind::kTdma;
+          c.tdma.variant = mac::TdmaVariant::kStatic;
+          if (c.tdma.max_slots == 0) {
+            c.tdma.max_slots = static_cast<std::uint8_t>(
+                std::max<std::size_t>(c.effective_nodes(), 1));
+          }
+          for (core::NodeSpec& spec : c.roster) spec.csma_gts.reset();
           return true;
         },
         [](core::BanConfig& c) {

@@ -7,8 +7,10 @@ namespace bansim::core {
 CellPlan make_cell_plan(const BanConfig& config) {
   CellPlan plan;
   plan.seed = config.seed;
-  plan.mac = MacKind::kTdma;
+  plan.mac = config.mac;
   plan.tdma = config.tdma;
+  plan.aloha = config.aloha;
+  plan.csma = config.csma;
   plan.address_offset = config.address_offset;
   plan.stagger = config.stagger;
   plan.app = config.app;
@@ -86,9 +88,7 @@ BanNetwork::BanNetwork(const BanConfig& config, os::ModelProbe* probe)
     // Roster order matches channel-id order (bs = 0, node i = i+1), which
     // is the numbering FaultPlan clauses use.
     for (auto& node : cell_.nodes) {
-      if (node->mac_kind() == MacKind::kTdma) {
-        injector_->add_node(node->mac(), node->board());
-      }
+      injector_->add_node(node->mac_base(), node->board());
     }
     if (config_.fault_plan.touches_channel()) {
       injector_->install_error_model(channel_, link_model_.get());
@@ -99,14 +99,11 @@ BanNetwork::BanNetwork(const BanConfig& config, os::ModelProbe* probe)
   // store; nodes whose (possibly overridden) storage stays disabled keep
   // running off the bench supply and are simply not registered.
   for (auto& node : cell_.nodes) {
-    if (node->energy_store() == nullptr ||
-        node->mac_kind() != MacKind::kTdma) {
-      continue;
-    }
+    if (node->energy_store() == nullptr) continue;
     if (!storage_driver_) {
       storage_driver_ = std::make_unique<fault::StorageDriver>(context_);
     }
-    storage_driver_->add_node(node->mac(), node->board(),
+    storage_driver_->add_node(node->mac_base(), node->board(),
                               *node->energy_store());
   }
 }

@@ -37,7 +37,13 @@ struct BanConfig {
   /// Node count for a homogeneous network; ignored when `roster` is
   /// non-empty (the roster length wins).
   std::size_t num_nodes{5};
+  /// MAC protocol for the whole cell ([mac] protocol in config files).
+  /// kTdma reads `tdma` (variant selects static/dynamic), kCsmaCa reads
+  /// `csma`, kAloha reads `aloha`.
+  MacKind mac{MacKind::kTdma};
   mac::TdmaConfig tdma{};
+  mac::AlohaConfig aloha{};
+  mac::CsmaConfig csma{};
   AppKind app{AppKind::kEcgStreaming};
   apps::StreamingConfig streaming{};
   apps::RpeakConfig rpeak{};
@@ -85,6 +91,22 @@ struct BanConfig {
   [[nodiscard]] std::size_t effective_nodes() const {
     return roster.empty() ? num_nodes : roster.size();
   }
+
+  /// The cell's protocol as the four-way enum the seam exposes (kTdma
+  /// splits on tdma.variant).
+  [[nodiscard]] mac::Protocol protocol() const {
+    switch (mac) {
+      case MacKind::kAloha:
+        return mac::Protocol::kAloha;
+      case MacKind::kCsmaCa:
+        return mac::Protocol::kCsmaCa;
+      case MacKind::kTdma:
+        break;
+    }
+    return tdma.variant == mac::TdmaVariant::kStatic
+               ? mac::Protocol::kStaticTdma
+               : mac::Protocol::kDynamicTdma;
+  }
 };
 
 class BanNetwork {
@@ -116,9 +138,12 @@ class BanNetwork {
   [[nodiscard]] const SensorNode& node(std::size_t i) const {
     return *cell_.nodes[i];
   }
+  /// TDMA base station (asserts when the cell runs another protocol);
+  /// protocol-agnostic callers use base_station().
   [[nodiscard]] mac::BaseStationMac& base_station_mac() {
     return cell_.bs->tdma_mac();
   }
+  [[nodiscard]] BaseStationStack& base_station() { return *cell_.bs; }
   [[nodiscard]] apps::BaseStationApp& base_station_app() {
     return cell_.bs->app();
   }

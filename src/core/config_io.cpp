@@ -65,6 +65,17 @@ AppKind parse_app_kind(const std::string& token) {
                     "eeg_monitoring)");
 }
 
+mac::Protocol parse_mac_protocol(const std::string& token) {
+  const std::string v = lower(trim(token));
+  if (v == "static_tdma") return mac::Protocol::kStaticTdma;
+  if (v == "dynamic_tdma") return mac::Protocol::kDynamicTdma;
+  if (v == "aloha") return mac::Protocol::kAloha;
+  if (v == "csma_ca") return mac::Protocol::kCsmaCa;
+  throw ConfigError("unknown mac protocol '" + token +
+                    "' (expected static_tdma | dynamic_tdma | aloha | "
+                    "csma_ca)");
+}
+
 mac::TdmaVariant parse_tdma_variant(const std::string& token) {
   const std::string v = lower(trim(token));
   if (v == "static") return mac::TdmaVariant::kStatic;
@@ -109,6 +120,27 @@ hw::HarvestParams::Profile parse_harvest_profile(const std::string& token) {
 
 namespace {
 
+/// Routes a parsed protocol token into BanConfig (the TDMA variants fold
+/// into MacKind::kTdma + TdmaConfig::variant).
+void apply_mac_protocol(BanConfig& config, mac::Protocol protocol) {
+  switch (protocol) {
+    case mac::Protocol::kStaticTdma:
+      config.mac = MacKind::kTdma;
+      config.tdma.variant = mac::TdmaVariant::kStatic;
+      break;
+    case mac::Protocol::kDynamicTdma:
+      config.mac = MacKind::kTdma;
+      config.tdma.variant = mac::TdmaVariant::kDynamic;
+      break;
+    case mac::Protocol::kAloha:
+      config.mac = MacKind::kAloha;
+      break;
+    case mac::Protocol::kCsmaCa:
+      config.mac = MacKind::kCsmaCa;
+      break;
+  }
+}
+
 /// One buffered `[node.K]` assignment; applied after the whole file is
 /// read so per-node overrides see the final global defaults.
 struct NodeAssignment {
@@ -133,6 +165,19 @@ void apply_node_key(NodeSpec& spec, const BanConfig& config,
         sim::Duration::from_milliseconds(to_double(scoped, a.value));
   } else if (a.key == "fidelity") {
     spec.fidelity = parse_fidelity(a.value);
+  } else if (a.key == "protocol") {
+    // The MAC protocol is cell-wide; a [node.K] entry may only restate it
+    // (mixed-protocol cells would need per-node radios the channel model
+    // does not arbitrate).
+    if (parse_mac_protocol(a.value) != config.protocol()) {
+      throw ConfigError(
+          "line " + std::to_string(a.line_no) + ": '" + scoped +
+          "' conflicts with the cell protocol '" +
+          std::string(mac::to_string(config.protocol())) +
+          "' (the protocol is cell-wide; set it once under [mac])");
+    }
+  } else if (a.key == "csma_gts") {
+    spec.csma_gts = to_bool(scoped, a.value);
   } else if (a.key == "streaming.sample_rate_hz") {
     if (!spec.streaming) spec.streaming = config.streaming;
     spec.streaming->sample_rate_hz = to_double(scoped, a.value);
@@ -308,6 +353,67 @@ BanConfig parse_config(const std::string& text) {
       config.stagger = sim::Duration::from_milliseconds(to_double(scoped, value));
     } else if (scoped == "network.app") {
       config.app = parse_app_kind(value);
+    } else if (scoped == "mac.protocol") {
+      apply_mac_protocol(config, parse_mac_protocol(value));
+    } else if (scoped == "aloha.initial_dither_ms") {
+      config.aloha.initial_dither =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "aloha.ack_data") {
+      config.aloha.ack_data = to_bool(scoped, value);
+    } else if (scoped == "aloha.ack_wait_ms") {
+      config.aloha.ack_wait =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "aloha.max_retries") {
+      config.aloha.max_retries =
+          static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "aloha.backoff_base_ms") {
+      config.aloha.backoff_base =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "csma.pan_id") {
+      config.csma.pan_id = static_cast<std::uint16_t>(to_int(scoped, value));
+    } else if (scoped == "csma.cycle_ms") {
+      config.csma.cycle =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "csma.backoff_unit_us") {
+      config.csma.backoff_unit =
+          sim::Duration::from_microseconds(to_double(scoped, value));
+    } else if (scoped == "csma.min_be") {
+      config.csma.min_be = static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "csma.max_be") {
+      config.csma.max_be = static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "csma.max_backoffs") {
+      config.csma.max_backoffs =
+          static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "csma.cca_us") {
+      config.csma.cca =
+          sim::Duration::from_microseconds(to_double(scoped, value));
+    } else if (scoped == "csma.ack_data") {
+      config.csma.ack_data = to_bool(scoped, value);
+    } else if (scoped == "csma.ack_wait_ms") {
+      config.csma.ack_wait =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "csma.max_retries") {
+      config.csma.max_retries =
+          static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "csma.gts_slots") {
+      config.csma.gts_slots = static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "csma.gts_slot_ms") {
+      config.csma.gts_slot =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "csma.guard_fixed_ms") {
+      config.csma.guard_fixed =
+          sim::Duration::from_milliseconds(to_double(scoped, value));
+    } else if (scoped == "csma.guard_fraction") {
+      config.csma.guard_fraction = to_double(scoped, value);
+    } else if (scoped == "csma.missed_beacon_limit") {
+      config.csma.missed_beacon_limit =
+          static_cast<std::uint8_t>(to_int(scoped, value));
+    } else if (scoped == "csma.beacon_timeout_margin_us") {
+      config.csma.beacon_timeout_margin =
+          sim::Duration::from_microseconds(to_double(scoped, value));
+    } else if (scoped == "csma.tx_queue_cap") {
+      config.csma.tx_queue_cap =
+          static_cast<std::size_t>(to_int(scoped, value));
     } else if (scoped == "tdma.variant") {
       config.tdma.variant = parse_tdma_variant(value);
     } else if (scoped == "tdma.cycle_ms") {
@@ -515,6 +621,13 @@ BanConfig parse_config(const std::string& text) {
   if (const std::string problem = config.tdma.validate(); !problem.empty()) {
     throw ConfigError("[tdma] " + problem);
   }
+  if (config.mac == MacKind::kCsmaCa) {
+    try {
+      config.csma.validate();
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError(std::string("[csma] ") + e.what());
+    }
+  }
   if (const std::string problem = config.fault_plan.validate();
       !problem.empty()) {
     throw ConfigError(problem);
@@ -540,6 +653,13 @@ std::string serialize_config(const BanConfig& config) {
   out << "seed = " << config.seed << "\n";
   out << "stagger_ms = " << config.stagger.to_milliseconds() << "\n";
   out << "app = " << to_string(config.app) << "\n\n";
+
+  // [mac] only for non-default protocols: legacy TDMA configs round-trip
+  // byte-identically with or without the protocol seam.
+  if (config.mac != MacKind::kTdma) {
+    out << "[mac]\n";
+    out << "protocol = " << mac::to_string(config.protocol()) << "\n\n";
+  }
 
   out << "[tdma]\n";
   out << "variant = " << to_string(config.tdma.variant) << "\n";
@@ -570,6 +690,46 @@ std::string serialize_config(const BanConfig& config) {
       << "\n";
   out << "search_backoff_max_ms = "
       << config.tdma.search_backoff_max.to_milliseconds() << "\n\n";
+
+  if (config.mac == MacKind::kAloha) {
+    out << "[aloha]\n";
+    out << "initial_dither_ms = "
+        << config.aloha.initial_dither.to_milliseconds() << "\n";
+    out << "ack_data = " << (config.aloha.ack_data ? "true" : "false")
+        << "\n";
+    out << "ack_wait_ms = " << config.aloha.ack_wait.to_milliseconds()
+        << "\n";
+    out << "max_retries = " << static_cast<int>(config.aloha.max_retries)
+        << "\n";
+    out << "backoff_base_ms = "
+        << config.aloha.backoff_base.to_milliseconds() << "\n\n";
+  }
+  if (config.mac == MacKind::kCsmaCa) {
+    out << "[csma]\n";
+    out << "pan_id = " << config.csma.pan_id << "\n";
+    out << "cycle_ms = " << config.csma.cycle.to_milliseconds() << "\n";
+    out << "backoff_unit_us = "
+        << config.csma.backoff_unit.to_microseconds() << "\n";
+    out << "min_be = " << static_cast<int>(config.csma.min_be) << "\n";
+    out << "max_be = " << static_cast<int>(config.csma.max_be) << "\n";
+    out << "max_backoffs = " << static_cast<int>(config.csma.max_backoffs)
+        << "\n";
+    out << "cca_us = " << config.csma.cca.to_microseconds() << "\n";
+    out << "ack_data = " << (config.csma.ack_data ? "true" : "false") << "\n";
+    out << "ack_wait_ms = " << config.csma.ack_wait.to_milliseconds() << "\n";
+    out << "max_retries = " << static_cast<int>(config.csma.max_retries)
+        << "\n";
+    out << "gts_slots = " << static_cast<int>(config.csma.gts_slots) << "\n";
+    out << "gts_slot_ms = " << config.csma.gts_slot.to_milliseconds() << "\n";
+    out << "guard_fixed_ms = " << config.csma.guard_fixed.to_milliseconds()
+        << "\n";
+    out << "guard_fraction = " << config.csma.guard_fraction << "\n";
+    out << "missed_beacon_limit = "
+        << static_cast<int>(config.csma.missed_beacon_limit) << "\n";
+    out << "beacon_timeout_margin_us = "
+        << config.csma.beacon_timeout_margin.to_microseconds() << "\n";
+    out << "tx_queue_cap = " << config.csma.tx_queue_cap << "\n\n";
+  }
 
   out << "[streaming]\n";
   out << "sample_rate_hz = " << config.streaming.sample_rate_hz << "\n";
@@ -710,6 +870,9 @@ std::string serialize_config(const BanConfig& config) {
       out << "boot_ms = " << spec.boot_offset->to_milliseconds() << "\n";
     }
     if (spec.fidelity) out << "fidelity = " << to_string(*spec.fidelity) << "\n";
+    if (spec.csma_gts) {
+      out << "csma_gts = " << (*spec.csma_gts ? "true" : "false") << "\n";
+    }
     if (spec.streaming) {
       out << "streaming.sample_rate_hz = " << spec.streaming->sample_rate_hz
           << "\n";

@@ -7,6 +7,9 @@
 //   seed = 42
 //   app = ecg_streaming        ; none | ecg_streaming | rpeak | eeg_monitoring
 //
+//   [mac]
+//   protocol = static_tdma     ; static_tdma | dynamic_tdma | aloha | csma_ca
+//
 //   [tdma]
 //   variant = static           ; static | dynamic
 //   cycle_ms = 30              ; static: full cycle (slot derived)
@@ -14,6 +17,12 @@
 //   ack_data = false
 //   fast_grant = true
 //   radio_power_down = false
+//
+//   ; [aloha] / [csma] configure the contention protocols; read whenever
+//   ; present, only consulted when [mac] protocol selects them.
+//   [csma]
+//   cycle_ms = 30
+//   gts_slots = 2
 //
 //   [streaming]
 //   sample_rate_hz = 205
@@ -51,6 +60,7 @@ class ConfigError : public std::runtime_error {
 // point rejects unknown tokens the same way.  Each throws ConfigError
 // naming the offending token and the accepted values.
 [[nodiscard]] AppKind parse_app_kind(const std::string& token);
+[[nodiscard]] mac::Protocol parse_mac_protocol(const std::string& token);
 [[nodiscard]] mac::TdmaVariant parse_tdma_variant(const std::string& token);
 [[nodiscard]] Fidelity parse_fidelity(const std::string& token);
 [[nodiscard]] fault::FaultKind parse_fault_kind(const std::string& token);

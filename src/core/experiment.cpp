@@ -31,13 +31,13 @@ ScenarioResult run_scenario(const BanConfig& config,
   auto& node = network.node(protocol.focus_node);
   const sim::TimePoint t0 = network.simulator().now();
   const auto before = node.board().breakdown(t0);
-  const auto mac_before = node.mac().stats();
+  const auto mac_before = node.mac_base().stats_snapshot();
 
   network.run_until(t0 + protocol.measure);
 
   const sim::TimePoint t1 = network.simulator().now();
   const auto after = node.board().breakdown(t1);
-  const auto mac_after = node.mac().stats();
+  const auto mac_after = node.mac_base().stats_snapshot();
 
   result.radio_mj = component_mj(after, "radio") - component_mj(before, "radio");
   result.mcu_mj = component_mj(after, "mcu") - component_mj(before, "mcu");

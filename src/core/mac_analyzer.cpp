@@ -64,7 +64,7 @@ MacAnalysis analyze_mac(BanNetwork& network,
             ? static_cast<double>(node.board().mcu().wakeups()) / total_s
             : 0;
 
-    const auto& stats = node.mac().stats();
+    const auto stats = node.mac_base().stats_snapshot();
     report.beacons_received = stats.beacons_received;
     report.beacons_missed = stats.beacons_missed;
     report.data_sent = stats.data_sent;

@@ -39,6 +39,8 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
     if (const std::string problem = plan.tdma.validate(); !problem.empty()) {
       throw std::invalid_argument("TdmaConfig: " + problem);
     }
+  } else if (plan.mac == MacKind::kCsmaCa) {
+    plan.csma.validate();  // throws std::invalid_argument with the key name
   }
 
   BuiltCell cell;
@@ -67,7 +69,7 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
   const double bs_skew = skew_rng.uniform(-bs_tol, bs_tol);
   cell.bs = std::make_unique<BaseStationStack>(
       context, channel, plan.bs_name, bs_board, bs_skew, plan.mac, plan.tdma,
-      plan.aloha, probe, bs_nominal);
+      plan.aloha, plan.csma, probe, bs_nominal);
 
   cell.nodes.reserve(plan.roster.size());
   cell.boot_offsets.reserve(plan.roster.size());
@@ -75,9 +77,12 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
   // deliver one node's unicast traffic to another — a mis-assembled roster,
   // not a simulatable topology.  Hard-error before any stack is built.
   std::unordered_set<net::NodeId> used_addresses;
-  const net::NodeId bs_address = plan.mac == MacKind::kTdma
-                                     ? mac::TdmaConfig::bs_address(plan.tdma.pan_id)
-                                     : net::kBaseStationId;
+  net::NodeId bs_address = net::kBaseStationId;
+  if (plan.mac == MacKind::kTdma) {
+    bs_address = mac::TdmaConfig::bs_address(plan.tdma.pan_id);
+  } else if (plan.mac == MacKind::kCsmaCa) {
+    bs_address = mac::CsmaConfig::bs_address(plan.csma.pan_id);
+  }
   used_addresses.insert(bs_address);
   for (std::size_t i = 0; i < plan.roster.size(); ++i) {
     const NodeSpec& spec = plan.roster[i];
@@ -87,6 +92,18 @@ BuiltCell NetworkBuilder::build_cell(sim::SimContext& context,
     init.app = spec.app.value_or(plan.app);
     init.tdma = plan.tdma;
     init.aloha = plan.aloha;
+    init.csma = plan.csma;
+    init.csma_gts = spec.csma_gts.value_or(false);
+    if (init.csma_gts && plan.mac != MacKind::kCsmaCa) {
+      throw std::invalid_argument(
+          "roster entry " + std::to_string(i) +
+          " requests a GTS but the cell does not run CSMA/CA");
+    }
+    if (init.csma_gts && plan.csma.gts_slots == 0) {
+      throw std::invalid_argument(
+          "roster entry " + std::to_string(i) +
+          " requests a GTS but csma.gts_slots is 0");
+    }
     init.streaming = spec.streaming.value_or(plan.streaming);
     init.rpeak = spec.rpeak.value_or(plan.rpeak);
     init.ecg = spec.ecg.value_or(plan.ecg);

@@ -59,6 +59,7 @@ struct CellPlan {
   MacKind mac{MacKind::kTdma};
   mac::TdmaConfig tdma{};
   mac::AlohaConfig aloha{};
+  mac::CsmaConfig csma{};
   net::NodeId address_offset{0};
   /// Nodes boot inside [0, stagger) unless their spec pins boot_offset.
   sim::Duration stagger{sim::Duration::milliseconds(40)};

@@ -45,11 +45,18 @@ enum class AppKind { kNone, kEcgStreaming, kRpeak, kEegMonitoring };
   return "?";
 }
 
-/// Which medium-access layer the stack runs.
-enum class MacKind { kTdma, kAloha };
+/// Which medium-access layer the stack runs.  kTdma covers both TDMA
+/// variants (TdmaConfig::variant selects static vs dynamic); kCsmaCa is
+/// the beacon-enabled slotted CSMA/CA contention MAC.
+enum class MacKind { kTdma, kAloha, kCsmaCa };
 
 [[nodiscard]] constexpr const char* to_string(MacKind k) {
-  return k == MacKind::kTdma ? "tdma" : "aloha";
+  switch (k) {
+    case MacKind::kTdma: return "tdma";
+    case MacKind::kAloha: return "aloha";
+    case MacKind::kCsmaCa: return "csma_ca";
+  }
+  return "?";
 }
 
 struct NodeSpec {
@@ -80,6 +87,12 @@ struct NodeSpec {
   std::optional<apps::EcgConfig> ecg;
   std::optional<apps::EegAppConfig> eeg;
   std::optional<apps::EegConfig> eeg_signal;
+
+  /// CSMA/CA cells only: this node requests a guaranteed time slot and
+  /// transmits contention-free once granted.  The MAC protocol itself is a
+  /// cell-wide property (one base station, one superframe structure), so
+  /// GTS membership is the per-node knob.
+  std::optional<bool> csma_gts;
 };
 
 }  // namespace bansim::core

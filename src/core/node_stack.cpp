@@ -17,12 +17,20 @@ NodeStack::NodeStack(sim::SimContext& context, phy::Channel& channel,
       board_{context, channel, init.name, init.board, init.clock_skew},
       os_{context, board_, probe, nominal_costs} {
   if (init.storage.enabled) store_.emplace(init.storage);
-  if (mac_kind_ == MacKind::kTdma) {
-    tdma_mac_ = std::make_unique<mac::NodeMac>(context, os_, init.tdma,
-                                               address_, mac_rng);
-  } else {
-    aloha_mac_ = std::make_unique<mac::AlohaNodeMac>(context, os_, init.aloha,
-                                                     address_, mac_rng);
+  switch (mac_kind_) {
+    case MacKind::kTdma:
+      mac_ = std::make_unique<mac::NodeMac>(context, os_, init.tdma, address_,
+                                            mac_rng);
+      break;
+    case MacKind::kAloha:
+      mac_ = std::make_unique<mac::AlohaNodeMac>(context, os_, init.aloha,
+                                                 address_, mac_rng);
+      break;
+    case MacKind::kCsmaCa:
+      mac_ = std::make_unique<mac::CsmaNodeMac>(context, os_, init.csma,
+                                                address_, mac_rng,
+                                                init.csma_gts);
+      break;
   }
 
   // The biopotential front-end feeds the ECG waveform into channels 0 and 1
@@ -35,19 +43,22 @@ NodeStack::NodeStack(sim::SimContext& context, phy::Channel& channel,
     return baseline + 0.8 * (ecg_.sample(t) - baseline);
   });
 
-  if (tdma_mac_) {
+  // Applications run against the protocol-agnostic seam; any MAC that can
+  // queue a payload can carry them (the historical ALOHA benches simply
+  // pass AppKind::kNone).
+  {
     switch (app_kind_) {
       case AppKind::kEcgStreaming:
         streaming_ = std::make_unique<apps::EcgStreamingApp>(
-            context.simulator, os_, *tdma_mac_, init.streaming);
+            context.simulator, os_, *mac_, init.streaming);
         break;
       case AppKind::kRpeak:
         rpeak_ = std::make_unique<apps::RpeakApp>(context.simulator, os_,
-                                                  *tdma_mac_, init.rpeak);
+                                                  *mac_, init.rpeak);
         break;
       case AppKind::kEegMonitoring:
         eeg_app_ = std::make_unique<apps::EegApp>(context.simulator, os_,
-                                                  *tdma_mac_, init.eeg, eeg_);
+                                                  *mac_, init.eeg, eeg_);
         break;
       case AppKind::kNone:
         break;
@@ -56,25 +67,31 @@ NodeStack::NodeStack(sim::SimContext& context, phy::Channel& channel,
 }
 
 void NodeStack::start() {
-  if (tdma_mac_) tdma_mac_->start();
-  if (aloha_mac_) aloha_mac_->start();
+  mac_->start();
   if (streaming_) streaming_->start();
   if (rpeak_) rpeak_->start();
   if (eeg_app_) eeg_app_->start();
 }
 
 mac::NodeMac& NodeStack::mac() {
-  assert(tdma_mac_ && "stack runs the ALOHA MAC");
-  return *tdma_mac_;
+  assert(mac_kind_ == MacKind::kTdma && "stack does not run the TDMA MAC");
+  return static_cast<mac::NodeMac&>(*mac_);
+}
+
+const mac::NodeMac& NodeStack::mac() const {
+  assert(mac_kind_ == MacKind::kTdma && "stack does not run the TDMA MAC");
+  return static_cast<const mac::NodeMac&>(*mac_);
 }
 
 mac::AlohaNodeMac& NodeStack::aloha_mac() {
-  assert(aloha_mac_ && "stack runs the TDMA MAC");
-  return *aloha_mac_;
+  assert(mac_kind_ == MacKind::kAloha && "stack does not run the ALOHA MAC");
+  return static_cast<mac::AlohaNodeMac&>(*mac_);
 }
 
-bool NodeStack::joined() const {
-  return tdma_mac_ ? tdma_mac_->joined() : true;
+mac::CsmaNodeMac& NodeStack::csma_mac() {
+  assert(mac_kind_ == MacKind::kCsmaCa &&
+         "stack does not run the CSMA/CA MAC");
+  return static_cast<mac::CsmaNodeMac&>(*mac_);
 }
 
 energy::NodeEnergy NodeStack::energy(sim::TimePoint now) const {
@@ -91,40 +108,43 @@ BaseStationStack::BaseStationStack(sim::SimContext& context,
                                    double clock_skew, MacKind mac,
                                    const mac::TdmaConfig& tdma,
                                    const mac::AlohaConfig& aloha,
+                                   const mac::CsmaConfig& csma,
                                    os::ModelProbe& probe,
                                    const os::CycleCostModel* nominal_costs)
     : mac_kind_{mac},
       board_{context, channel, name, board, clock_skew},
       os_{context, board_, probe, nominal_costs} {
-  if (mac_kind_ == MacKind::kTdma) {
-    tdma_mac_ = std::make_unique<mac::BaseStationMac>(context, os_, tdma);
-  } else {
-    aloha_mac_ = std::make_unique<mac::AlohaBaseStation>(context, os_, aloha);
+  switch (mac_kind_) {
+    case MacKind::kTdma:
+      mac_ = std::make_unique<mac::BaseStationMac>(context, os_, tdma);
+      break;
+    case MacKind::kAloha:
+      mac_ = std::make_unique<mac::AlohaBaseStation>(context, os_, aloha);
+      break;
+    case MacKind::kCsmaCa:
+      mac_ = std::make_unique<mac::CsmaBaseStationMac>(context, os_, csma);
+      break;
   }
 }
 
-void BaseStationStack::start() {
-  if (tdma_mac_) tdma_mac_->start();
-  if (aloha_mac_) aloha_mac_->start();
-}
+void BaseStationStack::start() { mac_->start(); }
 
 mac::BaseStationMac& BaseStationStack::tdma_mac() {
-  assert(tdma_mac_ && "base station runs the ALOHA MAC");
-  return *tdma_mac_;
+  assert(mac_kind_ == MacKind::kTdma &&
+         "base station does not run the TDMA MAC");
+  return static_cast<mac::BaseStationMac&>(*mac_);
 }
 
 mac::AlohaBaseStation& BaseStationStack::aloha_mac() {
-  assert(aloha_mac_ && "base station runs the TDMA MAC");
-  return *aloha_mac_;
+  assert(mac_kind_ == MacKind::kAloha &&
+         "base station does not run the ALOHA MAC");
+  return static_cast<mac::AlohaBaseStation&>(*mac_);
 }
 
-void BaseStationStack::set_data_handler(
-    mac::BaseStationMac::DataHandler handler) {
-  if (tdma_mac_) {
-    tdma_mac_->set_data_handler(std::move(handler));
-  } else {
-    aloha_mac_->set_data_handler(std::move(handler));
-  }
+mac::CsmaBaseStationMac& BaseStationStack::csma_mac() {
+  assert(mac_kind_ == MacKind::kCsmaCa &&
+         "base station does not run the CSMA/CA MAC");
+  return static_cast<mac::CsmaBaseStationMac&>(*mac_);
 }
 
 energy::NodeEnergy BaseStationStack::energy(sim::TimePoint now) const {

@@ -3,8 +3,9 @@
 //
 // NodeStack is the unit every network assembly (BanNetwork, MultiBan,
 // AlohaNetwork) is built from; NetworkBuilder turns a roster of NodeSpec
-// into a vector of these.  The stack is MAC-polymorphic: a TDMA node
-// carries a mac::NodeMac, an ALOHA node a mac::AlohaNodeMac, behind the
+// into a vector of these.  The stack is MAC-polymorphic through the
+// mac::NodeMacBase seam: TDMA, ALOHA and slotted CSMA/CA stacks differ
+// only in which concrete MAC sits behind the one unique_ptr, behind the
 // same board/OS wiring.  BaseStationStack is the sink-side counterpart.
 #pragma once
 
@@ -25,6 +26,8 @@
 #include "hw/energy_store.hpp"
 #include "mac/aloha_mac.hpp"
 #include "mac/base_station_mac.hpp"
+#include "mac/csma_mac.hpp"
+#include "mac/mac_base.hpp"
 #include "mac/node_mac.hpp"
 #include "os/node_os.hpp"
 #include "phy/channel.hpp"
@@ -52,6 +55,8 @@ struct NodeStackInit {
   apps::EegConfig eeg_signal{};
   mac::TdmaConfig tdma{};
   mac::AlohaConfig aloha{};
+  mac::CsmaConfig csma{};
+  bool csma_gts{false};  ///< CSMA/CA cells: this node requests a GTS
 };
 
 class NodeStack {
@@ -71,12 +76,20 @@ class NodeStack {
   [[nodiscard]] const hw::Board& board() const { return board_; }
   [[nodiscard]] os::NodeOs& node_os() { return os_; }
 
-  /// TDMA MAC (asserts when the stack runs ALOHA).
+  /// Protocol-agnostic MAC seam: everything a campaign, fault driver or
+  /// application needs without knowing the concrete protocol.
+  [[nodiscard]] mac::NodeMacBase& mac_base() { return *mac_; }
+  [[nodiscard]] const mac::NodeMacBase& mac_base() const { return *mac_; }
+
+  /// TDMA MAC (asserts when the stack runs another protocol).
   [[nodiscard]] mac::NodeMac& mac();
-  /// ALOHA MAC (asserts when the stack runs TDMA).
+  [[nodiscard]] const mac::NodeMac& mac() const;
+  /// ALOHA MAC (asserts when the stack runs another protocol).
   [[nodiscard]] mac::AlohaNodeMac& aloha_mac();
-  /// True when the node holds a slot (TDMA); ALOHA nodes are always "in".
-  [[nodiscard]] bool joined() const;
+  /// Slotted CSMA/CA MAC (asserts when the stack runs another protocol).
+  [[nodiscard]] mac::CsmaNodeMac& csma_mac();
+  /// True when the node is associated (beacon MACs) or booted (ALOHA).
+  [[nodiscard]] bool joined() const { return mac_->joined(); }
 
   [[nodiscard]] apps::EcgSynthesizer& ecg() { return ecg_; }
   [[nodiscard]] apps::EegSynthesizer& eeg() { return eeg_; }
@@ -104,22 +117,23 @@ class NodeStack {
   apps::EegSynthesizer eeg_;
   hw::Board board_;
   os::NodeOs os_;
-  std::unique_ptr<mac::NodeMac> tdma_mac_;
-  std::unique_ptr<mac::AlohaNodeMac> aloha_mac_;
+  std::unique_ptr<mac::NodeMacBase> mac_;
   std::unique_ptr<apps::EcgStreamingApp> streaming_;
   std::unique_ptr<apps::RpeakApp> rpeak_;
   std::unique_ptr<apps::EegApp> eeg_app_;
   std::optional<hw::EnergyStore> store_;
 };
 
-/// Base-station slice: board, OS, sink MAC (TDMA beaconing base station or
-/// always-listening ALOHA sink) and the traffic-accounting application.
+/// Base-station slice: board, OS, sink MAC (TDMA / CSMA beaconing base
+/// station or always-listening ALOHA sink) and the traffic-accounting
+/// application.
 class BaseStationStack {
  public:
   BaseStationStack(sim::SimContext& context, phy::Channel& channel,
                    const std::string& name, const hw::BoardParams& board,
                    double clock_skew, MacKind mac, const mac::TdmaConfig& tdma,
-                   const mac::AlohaConfig& aloha, os::ModelProbe& probe,
+                   const mac::AlohaConfig& aloha, const mac::CsmaConfig& csma,
+                   os::ModelProbe& probe,
                    const os::CycleCostModel* nominal_costs);
 
   void start();
@@ -128,12 +142,16 @@ class BaseStationStack {
   [[nodiscard]] MacKind mac_kind() const { return mac_kind_; }
   [[nodiscard]] hw::Board& board() { return board_; }
   [[nodiscard]] os::NodeOs& node_os() { return os_; }
+  [[nodiscard]] mac::BaseStationMacBase& mac_base() { return *mac_; }
   [[nodiscard]] mac::BaseStationMac& tdma_mac();
   [[nodiscard]] mac::AlohaBaseStation& aloha_mac();
+  [[nodiscard]] mac::CsmaBaseStationMac& csma_mac();
   [[nodiscard]] apps::BaseStationApp& app() { return app_; }
 
   /// Routes incoming data frames (whichever MAC runs) to `handler`.
-  void set_data_handler(mac::BaseStationMac::DataHandler handler);
+  void set_data_handler(mac::BaseStationMacBase::DataHandler handler) {
+    mac_->set_data_handler(std::move(handler));
+  }
 
   [[nodiscard]] energy::NodeEnergy energy(sim::TimePoint now) const;
 
@@ -141,8 +159,7 @@ class BaseStationStack {
   MacKind mac_kind_;
   hw::Board board_;
   os::NodeOs os_;
-  std::unique_ptr<mac::BaseStationMac> tdma_mac_;
-  std::unique_ptr<mac::AlohaBaseStation> aloha_mac_;
+  std::unique_ptr<mac::BaseStationMacBase> mac_;
   apps::BaseStationApp app_;
 };
 

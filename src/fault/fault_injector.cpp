@@ -19,7 +19,7 @@ FaultInjector::FaultInjector(sim::SimContext& context, const FaultPlan& plan)
       fade_rng_{sim::Rng::stream(context.seed(), "fault/fade")},
       crash_rng_{sim::Rng::stream(context.seed(), "fault/crash")} {}
 
-void FaultInjector::add_node(mac::NodeMac& mac, hw::Board& board) {
+void FaultInjector::add_node(mac::NodeMacBase& mac, hw::Board& board) {
   NodeRec rec{&mac, &board, hw::Battery{brownout_cell(plan_.brownout)}, 0.0,
               false};
   nodes_.push_back(std::move(rec));

@@ -17,7 +17,7 @@
 #include "fault/fault_plan.hpp"
 #include "hw/battery.hpp"
 #include "hw/board.hpp"
-#include "mac/node_mac.hpp"
+#include "mac/mac_base.hpp"
 #include "phy/channel.hpp"
 #include "phy/link_model.hpp"
 #include "sim/context.hpp"
@@ -39,7 +39,7 @@ class FaultInjector {
 
   /// Registers one sensor node, in roster order: the first call describes
   /// the node with channel id 1 — the id FaultPlan clauses call "node 1".
-  void add_node(mac::NodeMac& mac, hw::Board& board);
+  void add_node(mac::NodeMacBase& mac, hw::Board& board);
 
   /// Replaces the channel's frame-error model with the composition of the
   /// plan's impairments over the base model: `link_model` (nullable) with
@@ -63,7 +63,7 @@ class FaultInjector {
 
  private:
   struct NodeRec {
-    mac::NodeMac* mac{nullptr};
+    mac::NodeMacBase* mac{nullptr};
     hw::Board* board{nullptr};
     hw::Battery battery;
     double drawn_joules{0.0};  ///< board energy already charged to the cell

@@ -8,7 +8,7 @@ namespace bansim::fault {
 
 StorageDriver::StorageDriver(sim::SimContext& context) : context_{context} {}
 
-void StorageDriver::add_node(mac::NodeMac& mac, hw::Board& board,
+void StorageDriver::add_node(mac::NodeMacBase& mac, hw::Board& board,
                              hw::EnergyStore& store) {
   NodeRec rec;
   rec.mac = &mac;

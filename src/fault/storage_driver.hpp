@@ -23,7 +23,7 @@
 
 #include "hw/board.hpp"
 #include "hw/energy_store.hpp"
-#include "mac/node_mac.hpp"
+#include "mac/mac_base.hpp"
 #include "sim/context.hpp"
 
 namespace bansim::fault {
@@ -60,7 +60,7 @@ class StorageDriver {
 
   /// Registers one sensor node, in roster order.  The store is owned by
   /// the node's stack and must outlive the driver.
-  void add_node(mac::NodeMac& mac, hw::Board& board, hw::EnergyStore& store);
+  void add_node(mac::NodeMacBase& mac, hw::Board& board, hw::EnergyStore& store);
 
   /// Records the bench-supply baselines and arms the per-node sampling
   /// events (call once, after add_node calls, when the cell starts).
@@ -81,7 +81,7 @@ class StorageDriver {
 
  private:
   struct NodeRec {
-    mac::NodeMac* mac{nullptr};
+    mac::NodeMacBase* mac{nullptr};
     hw::Board* board{nullptr};
     hw::EnergyStore* store{nullptr};
     double baseline_joules{0.0};  ///< paid by the bench supply pre-start

@@ -101,6 +101,13 @@ class RadioNrf2401 final : public phy::MediumListener {
   /// This radio's listener id on the channel (AirFrame::tx_id).
   [[nodiscard]] std::uint32_t channel_id() const { return channel_id_; }
 
+  /// Energy-detect carrier sense at this radio's position (see
+  /// phy::Channel::busy_at).  The nRF2401 itself has no CCA; this models
+  /// the CCA-capable front end contention MACs assume.
+  [[nodiscard]] bool channel_busy() const {
+    return channel_.busy_at(channel_id_);
+  }
+
   /// Fault injection: wedges the receiver — the chip keeps drawing its
   /// mode current and reports itself listening, but never latches another
   /// frame until it is power-cycled (power_down() clears the condition),

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "mac/mac_base.hpp"
 #include "mac/tdma_config.hpp"
 #include "net/packet.hpp"
 #include "os/node_os.hpp"
@@ -45,20 +46,44 @@ struct AlohaNodeStats {
   std::uint64_t acks_received{0};
   std::uint64_t retransmissions{0};
   std::uint64_t retry_drops{0};
+  std::uint64_t payloads_queued{0};
   std::uint64_t payloads_dropped{0};
+  std::uint64_t crashes{0};
+  std::uint64_t reboots{0};
 };
 
 /// Sensor-node side.
-class AlohaNodeMac {
+class AlohaNodeMac final : public NodeMacBase {
  public:
   AlohaNodeMac(sim::SimContext& context, os::NodeOs& node_os,
                const AlohaConfig& config, net::NodeId self, sim::Rng rng);
 
-  void start();
-  void queue_payload(std::vector<std::uint8_t> payload);
+  void start() override;
+  void queue_payload(std::vector<std::uint8_t> payload) override;
 
-  [[nodiscard]] std::size_t queue_depth() const { return tx_queue_.size(); }
+  /// There is no association handshake: a node is "joined" as soon as its
+  /// radio finished the cold-boot power-up.
+  [[nodiscard]] bool joined() const override { return ready_; }
+  [[nodiscard]] std::size_t queue_depth() const override {
+    return tx_queue_.size();
+  }
+  [[nodiscard]] std::size_t queue_capacity() const override {
+    return kMaxQueue;
+  }
   [[nodiscard]] const AlohaNodeStats& stats() const { return stats_; }
+
+  [[nodiscard]] Protocol protocol() const override { return Protocol::kAloha; }
+  [[nodiscard]] MacStatsSnapshot stats_snapshot() const override;
+
+  // --- Fault interface -----------------------------------------------------
+
+  /// Hard fault: queue, retry state and armed timers are lost, posted MAC
+  /// work is invalidated, the radio is cut to power-down.
+  void crash() override;
+  /// Cold boot after crash(): powers the radio back up; transmission
+  /// resumes as soon as the application queues the next payload.
+  void reboot() override;
+  [[nodiscard]] bool crashed() const override { return crashed_; }
 
   static constexpr std::size_t kMaxQueue = 16;
 
@@ -67,9 +92,11 @@ class AlohaNodeMac {
   void attempt();         ///< transmits the head-of-queue payload
   void on_packet(const net::Packet& packet);
   void on_ack_timeout();
+  void stop_timer(os::TimerService::TimerId& id);
 
   sim::Simulator& simulator_;
   sim::Tracer& tracer_;
+  sim::TraceNodeId trace_node_;
   os::NodeOs& os_;
   AlohaConfig config_;
   net::NodeId self_;
@@ -81,23 +108,37 @@ class AlohaNodeMac {
   std::uint8_t seq_{0};
   bool ready_{false};
   os::TimerService::TimerId ack_timer_{os::TimerService::kInvalidTimer};
+  os::TimerService::TimerId attempt_timer_{os::TimerService::kInvalidTimer};
+  /// Crash teardown cannot cancel already-posted scheduler tasks; every
+  /// posted closure captures the epoch at post time and no-ops if a crash
+  /// bumped it since (see NodeMac::boot_epoch_).
+  std::uint64_t boot_epoch_{0};
+  bool crashed_{false};
   AlohaNodeStats stats_;
 };
 
 /// Base-station side: always listening, ACKs every data frame.
-class AlohaBaseStation {
+class AlohaBaseStation final : public BaseStationMacBase {
  public:
-  using DataHandler = std::function<void(
-      net::NodeId, std::span<const std::uint8_t>, sim::TimePoint)>;
+  using DataHandler = BaseStationMacBase::DataHandler;
 
   AlohaBaseStation(sim::SimContext& context, os::NodeOs& node_os,
                    const AlohaConfig& config);
 
-  void set_data_handler(DataHandler handler) { handler_ = std::move(handler); }
-  void start();
+  void set_data_handler(DataHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  void start() override;
 
   [[nodiscard]] std::uint64_t data_received() const { return data_received_; }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+
+  /// Distinct sources heard so far — contention MACs have no association
+  /// table, so "joined" means "has gotten at least one frame through".
+  [[nodiscard]] std::size_t joined_nodes() const override {
+    return sources_heard_.size();
+  }
+  [[nodiscard]] Protocol protocol() const override { return Protocol::kAloha; }
 
  private:
   void on_packet(const net::Packet& packet);
@@ -107,6 +148,7 @@ class AlohaBaseStation {
   os::NodeOs& os_;
   AlohaConfig config_;
   DataHandler handler_;
+  std::vector<net::NodeId> sources_heard_;  ///< sorted, distinct
   std::uint64_t data_received_{0};
   std::uint64_t acks_sent_{0};
 };

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "mac/mac_base.hpp"
 #include "mac/tdma_config.hpp"
 #include "net/packet.hpp"
 #include "os/node_os.hpp"
@@ -37,26 +38,31 @@ struct BaseStationStats {
   std::uint64_t slots_reclaimed{0};    ///< silent owners evicted
 };
 
-class BaseStationMac {
+class BaseStationMac final : public BaseStationMacBase {
  public:
   /// Called for every data frame: (source, payload, arrival time).
-  using DataHandler = std::function<void(
-      net::NodeId, std::span<const std::uint8_t>, sim::TimePoint)>;
+  using DataHandler = BaseStationMacBase::DataHandler;
 
   BaseStationMac(sim::SimContext& context, os::NodeOs& node_os,
                  const TdmaConfig& config);
 
-  void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
+  void set_data_handler(DataHandler handler) override {
+    data_handler_ = std::move(handler);
+  }
 
   /// Powers the radio and begins the beacon cycle.
-  void start();
+  void start() override;
 
   [[nodiscard]] const std::vector<net::NodeId>& slot_owners() const {
     return slot_owners_;
   }
   [[nodiscard]] sim::Duration current_cycle() const;
   [[nodiscard]] const BaseStationStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t joined_nodes() const;
+  [[nodiscard]] std::size_t joined_nodes() const override;
+  [[nodiscard]] Protocol protocol() const override {
+    return config_.variant == TdmaVariant::kStatic ? Protocol::kStaticTdma
+                                                   : Protocol::kDynamicTdma;
+  }
 
  private:
   void begin_cycle();

@@ -1,0 +1,7 @@
+#include "mac/mac_base.hpp"
+
+namespace bansim::mac {
+
+const std::vector<sim::Duration> NodeMacBase::kNoDurations{};
+
+}  // namespace bansim::mac

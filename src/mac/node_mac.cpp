@@ -17,6 +17,22 @@ const char* to_string(NodeMacState s) {
   return "?";
 }
 
+MacStatsSnapshot NodeMac::stats_snapshot() const {
+  MacStatsSnapshot s;
+  s.payloads_queued = stats_.payloads_queued;
+  s.payloads_dropped = stats_.payloads_dropped;
+  s.data_sent = stats_.data_sent;
+  s.acks_received = stats_.acks_received;
+  s.retransmissions = stats_.retransmissions;
+  s.retry_drops = stats_.retry_drops;
+  s.beacons_received = stats_.beacons_received;
+  s.beacons_missed = stats_.beacons_missed;
+  s.resyncs = stats_.resyncs;
+  s.crashes = stats_.crashes;
+  s.reboots = stats_.reboots;
+  return s;
+}
+
 NodeMac::NodeMac(sim::SimContext& context, os::NodeOs& node_os,
                  const TdmaConfig& config, net::NodeId self, sim::Rng rng)
     : simulator_{context.simulator}, tracer_{context.tracer},

@@ -21,6 +21,7 @@
 #include <deque>
 #include <vector>
 
+#include "mac/mac_base.hpp"
 #include "mac/tdma_config.hpp"
 #include "net/packet.hpp"
 #include "os/node_os.hpp"
@@ -59,29 +60,39 @@ struct NodeMacStats {
   std::uint64_t reboots{0};          ///< cold boots after a crash
 };
 
-class NodeMac {
+class NodeMac final : public NodeMacBase {
  public:
   NodeMac(sim::SimContext& context, os::NodeOs& node_os,
           const TdmaConfig& config, net::NodeId self, sim::Rng rng);
 
   /// Powers the radio and begins searching for the network.
-  void start();
+  void start() override;
 
   // --- Application interface -----------------------------------------------
 
   /// Queues a payload for transmission in this node's next owned slot (one
   /// frame per cycle).  Oldest entries are dropped beyond the queue bound.
-  void queue_payload(std::vector<std::uint8_t> payload);
+  void queue_payload(std::vector<std::uint8_t> payload) override;
 
-  [[nodiscard]] bool joined() const { return state_ == NodeMacState::kJoined; }
+  [[nodiscard]] bool joined() const override {
+    return state_ == NodeMacState::kJoined;
+  }
   [[nodiscard]] NodeMacState state() const { return state_; }
   [[nodiscard]] int slot_index() const { return my_slot_; }
   [[nodiscard]] sim::Duration known_cycle() const { return cycle_; }
-  [[nodiscard]] std::size_t queue_depth() const { return tx_queue_.size(); }
-  [[nodiscard]] std::size_t queue_capacity() const {
+  [[nodiscard]] std::size_t queue_depth() const override {
+    return tx_queue_.size();
+  }
+  [[nodiscard]] std::size_t queue_capacity() const override {
     return config_.tx_queue_cap;
   }
   [[nodiscard]] const NodeMacStats& stats() const { return stats_; }
+
+  [[nodiscard]] Protocol protocol() const override {
+    return config_.variant == TdmaVariant::kStatic ? Protocol::kStaticTdma
+                                                   : Protocol::kDynamicTdma;
+  }
+  [[nodiscard]] MacStatsSnapshot stats_snapshot() const override;
 
   /// Default transmit-queue bound (TdmaConfig::tx_queue_cap overrides).
   static constexpr std::size_t kMaxQueue = 8;
@@ -92,23 +103,23 @@ class NodeMac {
   /// the slot, the schedule — is lost, posted MAC work is invalidated, and
   /// the radio is cut to power-down mid-whatever-it-was-doing.  The node
   /// stays dead until reboot().
-  void crash();
+  void crash() override;
 
   /// Cold boot after crash(): powers the radio back up and re-enters the
   /// search.  The node re-associates explicitly — even if the next beacon
   /// still lists its old slot it requests again, so the base station
   /// re-confirms ownership before the node transmits data.
-  void reboot();
+  void reboot() override;
 
-  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] bool crashed() const override { return crashed_; }
 
   /// Search -> beacon latencies (one entry per completed resync) and
   /// reboot -> joined latencies (one entry per completed rejoin); the raw
   /// material of a campaign's recovery-time distributions.
-  [[nodiscard]] const std::vector<sim::Duration>& resync_times() const {
+  [[nodiscard]] const std::vector<sim::Duration>& resync_times() const override {
     return resync_times_;
   }
-  [[nodiscard]] const std::vector<sim::Duration>& rejoin_times() const {
+  [[nodiscard]] const std::vector<sim::Duration>& rejoin_times() const override {
     return rejoin_times_;
   }
 

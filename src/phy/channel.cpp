@@ -30,6 +30,14 @@ bool Channel::link(std::uint32_t a, std::uint32_t b) const {
   return links_[a][b];
 }
 
+bool Channel::busy_at(std::uint32_t rx_id) const {
+  for (const AirFrame& f : in_flight_) {
+    if (f.tx_id == rx_id) continue;
+    if (links_[f.tx_id][rx_id]) return true;
+  }
+  return false;
+}
+
 void Channel::detect_collisions() {
   for (std::size_t i = 0; i < in_flight_.size(); ++i) {
     for (std::size_t j = i + 1; j < in_flight_.size(); ++j) {

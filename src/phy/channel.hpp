@@ -80,6 +80,12 @@ class Channel {
   /// Frames currently on the air (teardown conservation accounting).
   [[nodiscard]] std::size_t frames_in_flight() const { return in_flight_.size(); }
 
+  /// Energy-detect carrier sense: true when any in-flight frame from a
+  /// connected transmitter is audible at `rx_id`.  This is the CCA a
+  /// 802.15.4-class radio performs; the nRF2401 cannot, so only MACs that
+  /// model a CCA-capable front end query it.
+  [[nodiscard]] bool busy_at(std::uint32_t rx_id) const;
+
  private:
   struct Active {
     AirFrame frame;
