@@ -1,0 +1,178 @@
+// Campaign-unit throughput: rebuild-per-run vs reset-per-run vs
+// reset+columnar, across population sizes.
+//
+// A population campaign executes the same short "snapshot" unit thousands
+// of times: derive patient i's config, run the ward briefly, collect a few
+// scalars.  At that grain the unit's cost is dominated by setup and
+// collection, not simulation — which is exactly what the run-reset
+// protocol and the columnar accumulators remove.  Three modes:
+//   rebuild   construct a fresh BanNetwork per patient, collect the legacy
+//             per-run NodeEnergy report (strings + per-state vectors)
+//   reset     one warmed cell, reset per patient, same legacy report
+//   columnar  one warmed cell, reset per patient, scalars appended to
+//             CampaignColumns straight from the meters
+// The arg is the population size the patient index cycles through (how
+// many distinct configs the generator derives).  runs/sec is the metric
+// scripts/bench_campaign.sh records in BENCH_campaign.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/bansim.hpp"
+#include "energy/campaign_columns.hpp"
+
+namespace {
+
+using namespace bansim;
+using sim::Duration;
+using sim::TimePoint;
+
+/// The default ECG ward: 5 streaming nodes, static TDMA, 30 ms cycle.
+/// Boot stagger is pulled inside the snapshot window so every node is up.
+core::BanConfig ward_config() {
+  core::BanConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.tdma = mac::TdmaConfig::static_plan(Duration::milliseconds(30), 5);
+  cfg.app = core::AppKind::kEcgStreaming;
+  cfg.streaming.sample_rate_hz = 205;
+  cfg.stagger = Duration::milliseconds(2);
+  return cfg;
+}
+
+constexpr Duration kSnapshotHorizon = Duration::milliseconds(3);
+
+core::PopulationGenerator make_generator() {
+  return core::PopulationGenerator{ward_config(), core::PopulationConfig{}};
+}
+
+void BM_CampaignRebuildPerRun(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  const auto population = static_cast<std::size_t>(state.range(0));
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const core::BanConfig cfg = generator.patient(index++ % population);
+    core::BanNetwork network{cfg};
+    network.start();
+    network.run_until(TimePoint::zero() + kSnapshotHorizon);
+    const auto report = network.energy_snapshot();
+    benchmark::DoNotOptimize(report.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("rebuild");
+}
+
+void BM_CampaignResetPerRun(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  const auto population = static_cast<std::size_t>(state.range(0));
+  core::BanNetwork network{generator.patient(0)};
+  std::size_t index = 0;
+  for (auto _ : state) {
+    network.reset(generator.patient(index++ % population));
+    network.start();
+    network.run_until(TimePoint::zero() + kSnapshotHorizon);
+    const auto report = network.energy_snapshot();
+    benchmark::DoNotOptimize(report.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("reset");
+}
+
+void BM_CampaignResetColumnar(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  const auto population = static_cast<std::size_t>(state.range(0));
+  core::BanNetwork network{generator.patient(0)};
+  energy::CampaignColumns columns;
+  columns.reserve(population);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const core::BanConfig cfg = generator.patient(index++ % population);
+    network.reset(cfg);
+    network.start();
+    network.run_until(TimePoint::zero() + kSnapshotHorizon);
+    const TimePoint now = network.simulator().now();
+    double mcu = 0, radio = 0, asic = 0;
+    std::uint64_t packets = 0;
+    for (std::size_t n = 0; n < network.num_nodes(); ++n) {
+      hw::Board& board = network.node(n).board();
+      mcu += board.mcu().meter().total_energy(now);
+      radio += board.radio().meter().total_energy(now);
+      asic += board.asic().energy(now);
+      packets += network.node(n).mac_base().stats_snapshot().data_sent;
+    }
+    if (columns.runs() >= population) columns.clear();
+    columns.append_run(cfg.seed, (mcu + radio + asic) * 1e3, radio * 1e3,
+                       mcu * 1e3, asic * 1e3, 0.0, packets, true);
+    benchmark::DoNotOptimize(columns.total_mj.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("reset_columnar");
+}
+
+// Cost-split probes: where a campaign unit's time actually goes (patient
+// derivation / reset / reset+start / legacy snapshot / construct+start).
+// These pinned the EEG-synth reset as the dominant per-node reset cost and
+// keep future regressions diagnosable from BENCH_campaign.json alone.
+void BM_ProbePatientOnly(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const core::BanConfig cfg = generator.patient(index++ % 16);
+    benchmark::DoNotOptimize(cfg.seed);
+  }
+}
+BENCHMARK(BM_ProbePatientOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeResetStartOnly(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  core::BanNetwork network{generator.patient(0)};
+  std::size_t index = 0;
+  for (auto _ : state) {
+    network.reset(generator.patient(index++ % 16));
+    network.start();
+  }
+}
+BENCHMARK(BM_ProbeResetStartOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeResetNoStart(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  core::BanNetwork network{generator.patient(0)};
+  std::size_t index = 0;
+  for (auto _ : state) {
+    network.reset(generator.patient(index++ % 16));
+  }
+}
+BENCHMARK(BM_ProbeResetNoStart)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeSnapshotOnly(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  core::BanNetwork network{generator.patient(0)};
+  network.start();
+  network.run_until(TimePoint::zero() + kSnapshotHorizon);
+  for (auto _ : state) {
+    const auto report = network.energy_snapshot();
+    benchmark::DoNotOptimize(report.data());
+  }
+}
+BENCHMARK(BM_ProbeSnapshotOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeConstructOnly(benchmark::State& state) {
+  const core::PopulationGenerator generator = make_generator();
+  std::size_t index = 0;
+  for (auto _ : state) {
+    core::BanNetwork network{generator.patient(index++ % 16)};
+    network.start();
+    benchmark::DoNotOptimize(&network);
+  }
+}
+BENCHMARK(BM_ProbeConstructOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK(BM_CampaignRebuildPerRun)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CampaignResetPerRun)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CampaignResetColumnar)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Campaign-throughput trajectory: builds bench_campaign_throughput in
+# Release, runs it with JSON output, and merges the run into
+# BENCH_campaign.json at the repo root under a label (default: current
+# short commit hash).  Re-running with the same label replaces that
+# label's entry.  The merge also records the rebuild-vs-reset and
+# rebuild-vs-columnar throughput ratios per population size, so the
+# reset-per-run speedup on the default ECG ward sweep is pinned in the
+# file, not recomputed by readers.
+#
+# usage: scripts/bench_campaign.sh [label] [benchmark-filter]
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+label=${1:-$(git -C "$repo" rev-parse --short HEAD)}
+filter=${2:-}
+
+cmake -B "$repo/build-bench" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build-bench" -j "$(nproc)" --target bench_campaign_throughput
+
+run_json=$(mktemp)
+trap 'rm -f "$run_json"' EXIT
+"$repo/build-bench/bench/bench_campaign_throughput" \
+  --benchmark_format=json \
+  ${filter:+--benchmark_filter="$filter"} > "$run_json"
+
+python3 - "$repo/BENCH_campaign.json" "$label" "$run_json" <<'EOF'
+import json
+import os
+import sys
+
+out_path, label, run_path = sys.argv[1:4]
+with open(run_path) as f:
+    run = json.load(f)
+
+benchmarks = run.get("benchmarks", [])
+
+def rate(name):
+    for b in benchmarks:
+        if b.get("name") == name:
+            return b.get("items_per_second")
+    return None
+
+speedups = {}
+for arg in sorted({b["name"].rsplit("/", 1)[1]
+                   for b in benchmarks if "/" in b.get("name", "")}):
+    rebuild = rate(f"BM_CampaignRebuildPerRun/{arg}")
+    reset = rate(f"BM_CampaignResetPerRun/{arg}")
+    columnar = rate(f"BM_CampaignResetColumnar/{arg}")
+    if rebuild:
+        speedups[f"population_{arg}"] = {
+            "rebuild_runs_per_sec": rebuild,
+            "reset_runs_per_sec": reset,
+            "reset_columnar_runs_per_sec": columnar,
+            "reset_speedup": (reset / rebuild) if reset else None,
+            "reset_columnar_speedup": (columnar / rebuild) if columnar else None,
+        }
+
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+
+doc["runs"] = [r for r in doc.get("runs", []) if r.get("label") != label]
+doc["runs"].append({
+    "label": label,
+    "context": run.get("context", {}),
+    "speedups": speedups,
+    "benchmarks": benchmarks,
+})
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"merged run '{label}' into {out_path}")
+for arg, s in speedups.items():
+    print(f"  {arg}: reset {s['reset_speedup']:.2f}x, "
+          f"reset+columnar {s['reset_columnar_speedup']:.2f}x")
+EOF

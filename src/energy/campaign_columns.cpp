@@ -1,0 +1,163 @@
+#include "energy/campaign_columns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace bansim::energy {
+
+void CampaignColumns::reserve(std::size_t runs) {
+  seed.reserve(runs);
+  total_mj.reserve(runs);
+  radio_mj.reserve(runs);
+  mcu_mj.reserve(runs);
+  asic_mj.reserve(runs);
+  lifetime_hours.reserve(runs);
+  data_packets.reserve(runs);
+  joined.reserve(runs);
+}
+
+void CampaignColumns::clear() {
+  seed.clear();
+  total_mj.clear();
+  radio_mj.clear();
+  mcu_mj.clear();
+  asic_mj.clear();
+  lifetime_hours.clear();
+  data_packets.clear();
+  joined.clear();
+}
+
+void CampaignColumns::append_run(std::uint64_t run_seed, double run_total_mj,
+                                 double run_radio_mj, double run_mcu_mj,
+                                 double run_asic_mj, double run_lifetime_hours,
+                                 std::uint64_t run_data_packets,
+                                 bool run_joined) {
+  seed.push_back(run_seed);
+  total_mj.push_back(run_total_mj);
+  radio_mj.push_back(run_radio_mj);
+  mcu_mj.push_back(run_mcu_mj);
+  asic_mj.push_back(run_asic_mj);
+  lifetime_hours.push_back(run_lifetime_hours);
+  data_packets.push_back(run_data_packets);
+  joined.push_back(run_joined ? 1 : 0);
+}
+
+void CampaignColumns::append_columns(const CampaignColumns& other) {
+  const auto extend = [](auto& dst, const auto& src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+  };
+  extend(seed, other.seed);
+  extend(total_mj, other.total_mj);
+  extend(radio_mj, other.radio_mj);
+  extend(mcu_mj, other.mcu_mj);
+  extend(asic_mj, other.asic_mj);
+  extend(lifetime_hours, other.lifetime_hours);
+  extend(data_packets, other.data_packets);
+  extend(joined, other.joined);
+}
+
+double column_mean(std::span<const double> column) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (double v : column) {
+    if (!std::isfinite(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double column_percentile(std::span<const double> column, double q,
+                         std::vector<double>& scratch) {
+  if (column.empty()) return 0.0;
+  scratch.assign(column.begin(), column.end());
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the ceil(q*n)-th smallest value (1-based).
+  const std::size_t n = scratch.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(rank),
+                   scratch.end());
+  return scratch[rank];
+}
+
+MetricCdf MetricCdf::build(std::span<const double> column, std::size_t bins) {
+  MetricCdf cdf;
+  if (bins == 0) bins = 1;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sum = 0;
+  for (double v : column) {
+    if (!std::isfinite(v)) {
+      ++cdf.unbounded;
+      continue;
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+    ++cdf.count;
+  }
+  if (cdf.count == 0) return cdf;
+  cdf.lo = lo;
+  cdf.hi = hi;
+  cdf.mean = sum / static_cast<double>(cdf.count);
+
+  const double width = hi > lo ? (hi - lo) / static_cast<double>(bins) : 1.0;
+  std::vector<std::uint64_t> histogram(bins, 0);
+  for (double v : column) {
+    if (!std::isfinite(v)) continue;
+    auto bin = static_cast<std::size_t>((v - lo) / width);
+    if (bin >= bins) bin = bins - 1;  // v == hi lands past the last edge
+    ++histogram[bin];
+  }
+
+  const auto total =
+      static_cast<double>(cdf.count + cdf.unbounded);
+  cdf.upper_edge.reserve(bins);
+  cdf.cum_fraction.reserve(bins);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    running += histogram[b];
+    cdf.upper_edge.push_back(lo + width * static_cast<double>(b + 1));
+    cdf.cum_fraction.push_back(static_cast<double>(running) / total);
+  }
+  return cdf;
+}
+
+double MetricCdf::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double bounded_fraction =
+      static_cast<double>(count) / static_cast<double>(count + unbounded);
+  if (q > bounded_fraction) return std::numeric_limits<double>::infinity();
+  double below = 0;
+  double lower = lo;
+  for (std::size_t b = 0; b < cum_fraction.size(); ++b) {
+    if (cum_fraction[b] >= q) {
+      const double span = cum_fraction[b] - below;
+      const double t = span > 0 ? (q - below) / span : 1.0;
+      return lower + t * (upper_edge[b] - lower);
+    }
+    below = cum_fraction[b];
+    lower = upper_edge[b];
+  }
+  return hi;
+}
+
+std::string MetricCdf::render_csv() const {
+  std::string csv = "value,cum_fraction\n";
+  char row[64];
+  for (std::size_t b = 0; b < upper_edge.size(); ++b) {
+    std::snprintf(row, sizeof(row), "%.6g,%.6g\n", upper_edge[b],
+                  cum_fraction[b]);
+    csv += row;
+  }
+  return csv;
+}
+
+}  // namespace bansim::energy

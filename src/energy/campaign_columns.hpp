@@ -1,0 +1,85 @@
+// Columnar (struct-of-arrays) campaign metrics.
+//
+// A population-scale Monte Carlo campaign runs thousands of patients, and a
+// short campaign unit finishes in tens of microseconds — at that scale,
+// materialising a per-run report object (NodeEnergy's strings + per-state
+// vectors) costs more than the simulation it describes.  CampaignColumns
+// keeps one scalar per metric per run in parallel columns instead: a run
+// appends by reading its meters directly, with no intermediate report, and
+// the reductions the campaign needs (mean, percentiles, the lifetime CDF)
+// stream over a column in one pass.  reserve() once per campaign; appends
+// are then allocation-free, matching the reset-per-run steady state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bansim::energy {
+
+/// Per-run metric columns of one campaign.  Every column has exactly
+/// runs() entries; append_run() grows them in lockstep.
+struct CampaignColumns {
+  std::vector<std::uint64_t> seed;
+  std::vector<double> total_mj;
+  std::vector<double> radio_mj;
+  std::vector<double> mcu_mj;
+  std::vector<double> asic_mj;
+  /// Projected hours until the ward's first store depletes (+inf when
+  /// harvest covers the load; see MetricCdf's unbounded tail).
+  std::vector<double> lifetime_hours;
+  std::vector<std::uint64_t> data_packets;
+  std::vector<std::uint8_t> joined;
+
+  void reserve(std::size_t runs);
+  void clear();
+  [[nodiscard]] std::size_t runs() const { return seed.size(); }
+
+  /// Appends one run's scalars to every column.
+  void append_run(std::uint64_t run_seed, double run_total_mj,
+                  double run_radio_mj, double run_mcu_mj, double run_asic_mj,
+                  double run_lifetime_hours, std::uint64_t run_data_packets,
+                  bool run_joined);
+
+  /// Appends every run of `other` (merging per-worker columns).
+  void append_columns(const CampaignColumns& other);
+};
+
+/// Mean of a column (0 for an empty one); non-finite entries are skipped.
+[[nodiscard]] double column_mean(std::span<const double> column);
+
+/// Exact nearest-rank percentile of a column, q in [0, 1].  `scratch` is
+/// the caller's sort buffer, reused across calls so a summary that asks
+/// for p5/p50/p95 allocates at most once.
+[[nodiscard]] double column_percentile(std::span<const double> column,
+                                       double q, std::vector<double>& scratch);
+
+/// Fixed-bin cumulative distribution built in one streaming pass over a
+/// column — the campaign's CDF artifact without storing a sorted copy.
+/// Non-finite entries (a node that never depletes projects +inf hours)
+/// count into `unbounded`, so cum_fraction asymptotes below 1 when part of
+/// the population outlives any horizon.
+struct MetricCdf {
+  double lo{0};
+  double hi{0};
+  double mean{0};
+  std::uint64_t count{0};      ///< finite entries binned below
+  std::uint64_t unbounded{0};  ///< non-finite entries (never-depleting)
+  std::vector<double> upper_edge;    ///< bin upper edges, ascending
+  std::vector<double> cum_fraction;  ///< fraction of ALL entries <= edge
+
+  /// Two passes over `column`: min/max/mean, then the histogram.
+  [[nodiscard]] static MetricCdf build(std::span<const double> column,
+                                       std::size_t bins = 64);
+
+  /// Value below which fraction q of ALL entries falls (linear within the
+  /// bin); +inf when q reaches into the unbounded tail.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// CSV rows `value,cum_fraction` (header included) — the artifact a
+  /// campaign smoke job uploads.
+  [[nodiscard]] std::string render_csv() const;
+};
+
+}  // namespace bansim::energy

@@ -1,5 +1,6 @@
 #include "energy/energy_meter.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -35,6 +36,12 @@ void EnergyMeter::transition(int state, sim::TimePoint when) {
 
 void EnergyMeter::end_state(sim::TimePoint when) {
   residency_.close(when);
+}
+
+void EnergyMeter::reset(sim::TimePoint start) {
+  std::fill(transient_joules_.begin(), transient_joules_.end(), 0.0);
+  residency_.reset(0, start);
+  start_ = start;
 }
 
 double EnergyMeter::energy_in(int state, sim::TimePoint now) const {

@@ -79,6 +79,21 @@ void AlohaNodeMac::reboot() {
   start();
 }
 
+void AlohaNodeMac::reset_for_reuse(sim::Rng rng) {
+  rng_ = rng;
+  tx_queue_.clear();
+  attempt_pending_ = false;
+  awaiting_ack_ = false;
+  retries_ = 0;
+  seq_ = 0;
+  ready_ = false;
+  ack_timer_ = os::TimerService::kInvalidTimer;
+  attempt_timer_ = os::TimerService::kInvalidTimer;
+  boot_epoch_ = 0;
+  crashed_ = false;
+  stats_ = AlohaNodeStats{};
+}
+
 MacStatsSnapshot AlohaNodeMac::stats_snapshot() const {
   MacStatsSnapshot snap;
   snap.payloads_queued = stats_.payloads_queued;
@@ -192,6 +207,12 @@ AlohaBaseStation::AlohaBaseStation(sim::SimContext& context,
 
 void AlohaBaseStation::start() {
   os_.radio().init([this] { os_.radio().start_listen(); });
+}
+
+void AlohaBaseStation::reset_for_reuse() {
+  sources_heard_.clear();
+  data_received_ = 0;
+  acks_sent_ = 0;
 }
 
 void AlohaBaseStation::on_packet(const net::Packet& packet) {

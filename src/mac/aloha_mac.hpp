@@ -85,6 +85,8 @@ class AlohaNodeMac final : public NodeMacBase {
   void reboot() override;
   [[nodiscard]] bool crashed() const override { return crashed_; }
 
+  void reset_for_reuse(sim::Rng rng) override;
+
   static constexpr std::size_t kMaxQueue = 16;
 
  private:
@@ -129,6 +131,8 @@ class AlohaBaseStation final : public BaseStationMacBase {
     handler_ = std::move(handler);
   }
   void start() override;
+
+  void reset_for_reuse() override;
 
   [[nodiscard]] std::uint64_t data_received() const { return data_received_; }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }

@@ -128,6 +128,46 @@ void CsmaNodeMac::reboot() {
   start();
 }
 
+void CsmaNodeMac::reset_for_reuse(sim::Rng rng) {
+  rng_ = rng;
+  tx_queue_.clear();
+  data_seq_ = 0;
+  synced_ = false;
+  searching_ = true;
+  cycle_known_ = sim::Duration::zero();
+  last_cycle_start_ = sim::TimePoint{};
+  cap_start_ = sim::TimePoint{};
+  last_beacon_wire_bytes_ = 0;
+  missed_ = 0;
+  beacon_gts_slots_ = 0;
+  beacon_gts_slot_ = sim::Duration::zero();
+  my_gts_ = -1;
+  attempt_active_ = false;
+  attempt_is_request_ = false;
+  nb_ = 0;
+  be_ = 0;
+  retries_ = 0;
+  awaiting_ack_ = false;
+  awaiting_grant_ = false;
+  wake_timer_ = os::TimerService::kInvalidTimer;
+  timeout_timer_ = os::TimerService::kInvalidTimer;
+  backoff_timer_ = os::TimerService::kInvalidTimer;
+  cca_timer_ = os::TimerService::kInvalidTimer;
+  ack_timer_ = os::TimerService::kInvalidTimer;
+  grant_timer_ = os::TimerService::kInvalidTimer;
+  gts_timer_ = os::TimerService::kInvalidTimer;
+  boot_epoch_ = 0;
+  must_reassociate_ = false;
+  crashed_ = false;
+  search_started_ = sim::TimePoint{};
+  search_pending_ = false;
+  reboot_at_ = sim::TimePoint{};
+  rejoin_pending_ = false;
+  resync_times_.clear();
+  rejoin_times_.clear();
+  stats_ = CsmaNodeStats{};
+}
+
 void CsmaNodeMac::queue_payload(std::vector<std::uint8_t> payload) {
   assert(payload.size() <= net::kMaxPayloadBytes);
   ++stats_.payloads_queued;
@@ -659,6 +699,14 @@ CsmaBaseStationMac::CsmaBaseStationMac(sim::SimContext& context,
       CsmaConfig::bs_address(config_.pan_id));
   os_.radio().set_receive_handler(
       [this](const net::Packet& p) { on_packet(p); });
+}
+
+void CsmaBaseStationMac::reset_for_reuse() {
+  gts_owners_.assign(config_.gts_slots, kFreeSlot);
+  sources_heard_.clear();
+  beacon_seq_ = 0;
+  next_cycle_at_ = sim::TimePoint{};
+  stats_ = CsmaBaseStationStats{};
 }
 
 void CsmaBaseStationMac::start() {

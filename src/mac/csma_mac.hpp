@@ -134,6 +134,7 @@ class CsmaNodeMac final : public NodeMacBase {
   void crash() override;
   void reboot() override;
   [[nodiscard]] bool crashed() const override { return crashed_; }
+  void reset_for_reuse(sim::Rng rng) override;
   [[nodiscard]] Protocol protocol() const override { return Protocol::kCsmaCa; }
   [[nodiscard]] MacStatsSnapshot stats_snapshot() const override;
   [[nodiscard]] const std::vector<sim::Duration>& resync_times() const override {
@@ -258,6 +259,7 @@ class CsmaBaseStationMac final : public BaseStationMacBase {
   void set_data_handler(DataHandler handler) override {
     data_handler_ = std::move(handler);
   }
+  void reset_for_reuse() override;
   [[nodiscard]] std::size_t joined_nodes() const override {
     return sources_heard_.size();
   }

@@ -116,6 +116,41 @@ void NodeMac::reboot() {
   start();
 }
 
+void NodeMac::reset_for_reuse(sim::Rng rng) {
+  rng_ = rng;
+  state_ = NodeMacState::kBooting;
+  tx_queue_.clear();
+  data_seq_ = 0;
+  cycle_ = sim::Duration::zero();
+  slot_width_ = sim::Duration::zero();
+  owners_.clear();
+  my_slot_ = -1;
+  last_cycle_start_ = sim::TimePoint{};
+  last_beacon_wire_bytes_ = 0;
+  missed_ = 0;
+  timeout_timer_ = os::TimerService::kInvalidTimer;
+  grant_timer_ = os::TimerService::kInvalidTimer;
+  ack_timer_ = os::TimerService::kInvalidTimer;
+  slot_timer_ = os::TimerService::kInvalidTimer;
+  wake_timer_ = os::TimerService::kInvalidTimer;
+  ssr_timer_ = os::TimerService::kInvalidTimer;
+  powerup_timer_ = os::TimerService::kInvalidTimer;
+  search_timer_ = os::TimerService::kInvalidTimer;
+  retries_ = 0;
+  awaiting_ack_ = false;
+  boot_epoch_ = 0;
+  must_reassociate_ = false;
+  crashed_ = false;
+  search_backoff_level_ = 0;
+  search_started_ = sim::TimePoint{};
+  search_pending_ = false;
+  reboot_at_ = sim::TimePoint{};
+  rejoin_pending_ = false;
+  resync_times_.clear();
+  rejoin_times_.clear();
+  stats_ = NodeMacStats{};
+}
+
 void NodeMac::queue_payload(std::vector<std::uint8_t> payload) {
   assert(payload.size() <= net::kMaxPayloadBytes);
   ++stats_.payloads_queued;

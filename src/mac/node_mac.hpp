@@ -113,6 +113,8 @@ class NodeMac final : public NodeMacBase {
 
   [[nodiscard]] bool crashed() const override { return crashed_; }
 
+  void reset_for_reuse(sim::Rng rng) override;
+
   /// Search -> beacon latencies (one entry per completed resync) and
   /// reboot -> joined latencies (one entry per completed rejoin); the raw
   /// material of a campaign's recovery-time distributions.

@@ -1,5 +1,6 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -84,6 +85,15 @@ void StateResidency::transition(int new_state, TimePoint when) {
   state_ = new_state;
   since_ = when;
   ++entries_[static_cast<std::size_t>(new_state)];
+}
+
+void StateResidency::reset(int initial_state, TimePoint start) {
+  assert(static_cast<std::size_t>(initial_state) < acc_.size());
+  std::fill(acc_.begin(), acc_.end(), Duration::zero());
+  std::fill(entries_.begin(), entries_.end(), std::uint64_t{0});
+  state_ = initial_state;
+  since_ = start;
+  ++entries_[static_cast<std::size_t>(initial_state)];
 }
 
 void StateResidency::close(TimePoint when) {
