@@ -100,8 +100,16 @@ void BM_CampaignResetColumnar(benchmark::State& state) {
       packets += network.node(n).mac_base().stats_snapshot().data_sent;
     }
     if (columns.runs() >= population) columns.clear();
-    columns.append_run(cfg.seed, (mcu + radio + asic) * 1e3, radio * 1e3,
-                       mcu * 1e3, asic * 1e3, 0.0, packets, true);
+    energy::CampaignRunRow row;
+    row.seed = cfg.seed;
+    row.total_mj = (mcu + radio + asic) * 1e3;
+    row.radio_mj = radio * 1e3;
+    row.mcu_mj = mcu * 1e3;
+    row.asic_mj = asic * 1e3;
+    row.lifetime_hours = 0.0;
+    row.data_packets = packets;
+    row.joined = true;
+    columns.append_run(row);
     benchmark::DoNotOptimize(columns.total_mj.data());
   }
   state.SetItemsProcessed(state.iterations());

@@ -213,22 +213,8 @@ core::BanConfig build_config(const CliOptions& options) {
   if (options.nodes) config.num_nodes = static_cast<std::size_t>(*options.nodes);
   if (options.seed) config.seed = *options.seed;
   if (options.protocol) {
-    switch (core::parse_mac_protocol(*options.protocol)) {
-      case mac::Protocol::kStaticTdma:
-        config.mac = core::MacKind::kTdma;
-        config.tdma.variant = mac::TdmaVariant::kStatic;
-        break;
-      case mac::Protocol::kDynamicTdma:
-        config.mac = core::MacKind::kTdma;
-        config.tdma.variant = mac::TdmaVariant::kDynamic;
-        break;
-      case mac::Protocol::kAloha:
-        config.mac = core::MacKind::kAloha;
-        break;
-      case mac::Protocol::kCsmaCa:
-        config.mac = core::MacKind::kCsmaCa;
-        break;
-    }
+    core::apply_mac_protocol(config,
+                             core::parse_mac_protocol(*options.protocol));
   }
   if (options.variant) {
     config.tdma.variant = core::parse_tdma_variant(*options.variant);

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Orchestrator-throughput datapoint: times the same population ward three
+# ways — the resumable orchestrator in-process (workers=0, serial), the
+# orchestrator over a multi-process worker pool, and the pre-existing
+# bansim_cli thread-pool population campaign — and merges the
+# patients-per-second numbers into BENCH_campaign.json under an
+# "orchestrator" entry.  The multi-process-vs-thread-pool ratio is the
+# cost of crash-durability: the process pool pays fork/exec + per-record
+# store framing for the ability to be SIGKILLed and resumed.
+#
+# usage: scripts/bench_campaign_orchestrator.sh [label] [patients]
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+label=${1:-$(git -C "$repo" rev-parse --short HEAD)}
+patients=${2:-1000}
+
+cmake -B "$repo/build-bench" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build-bench" -j "$(nproc)" \
+  --target bansim_campaign_cli bansim_cli
+
+python3 - "$repo" "$label" "$patients" <<'EOF'
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+repo, label, patients = sys.argv[1], sys.argv[2], int(sys.argv[3])
+camp = os.path.join(repo, "build-bench/examples/bansim_campaign")
+cli = os.path.join(repo, "build-bench/examples/bansim_cli")
+config = os.path.join(repo, "examples/configs/population_ward.ini")
+jobs = os.cpu_count() or 1
+
+
+def timed(argv):
+    start = time.monotonic()
+    subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
+    return time.monotonic() - start
+
+
+work = tempfile.mkdtemp(prefix="bansim_orch_bench_")
+try:
+    spec = [camp, "run", None, "--config", config,
+            "--patients", str(patients), "--shard-size", "100",
+            "--measure-ms", "500"]
+
+    spec[2] = os.path.join(work, "serial")
+    serial_s = timed(spec + ["--workers", "0"])
+    spec[2] = os.path.join(work, "pool")
+    multiproc_s = timed(spec + ["--workers", str(max(2, jobs))])
+    # The pre-orchestrator thread-pool path: same ward, same patient
+    # count, ~the same simulated window (0.5 s + settle), shared-memory
+    # threads instead of store-backed worker processes.
+    threadpool_s = timed([cli, "--config", config, "--population",
+                          str(patients), "--seconds", "1", "--jobs", "0"])
+finally:
+    shutil.rmtree(work, ignore_errors=True)
+
+entry = {
+    "label": f"{label}-orchestrator",
+    "context": {"num_cpus": jobs, "patients": patients,
+                "workers": max(2, jobs)},
+    "orchestrator": {
+        "inprocess_serial_patients_per_sec": patients / serial_s,
+        "multiprocess_patients_per_sec": patients / multiproc_s,
+        "threadpool_patients_per_sec": patients / threadpool_s,
+        "multiprocess_vs_threadpool": threadpool_s / multiproc_s,
+        "multiprocess_vs_serial": serial_s / multiproc_s,
+    },
+}
+
+out_path = os.path.join(repo, "BENCH_campaign.json")
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+doc["runs"] = [r for r in doc.get("runs", [])
+               if r.get("label") != entry["label"]]
+doc["runs"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+
+o = entry["orchestrator"]
+print(f"merged run '{entry['label']}' into {out_path}")
+print(f"  serial {o['inprocess_serial_patients_per_sec']:.0f}/s, "
+      f"multiprocess {o['multiprocess_patients_per_sec']:.0f}/s, "
+      f"threadpool {o['threadpool_patients_per_sec']:.0f}/s "
+      f"(multiprocess/threadpool {o['multiprocess_vs_threadpool']:.2f}x)")
+EOF

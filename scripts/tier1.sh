@@ -29,7 +29,8 @@ echo "== tier 1: ASan/UBSan regression subset =="
 sanitize_tests=(test_delta_fragment test_energy_meter test_event_queue
                 test_simulator test_scenario_runner test_heterogeneous_ban
                 test_invariant_monitor test_fault_campaigns test_battery
-                test_energy_store test_lifetime test_run_reset)
+                test_energy_store test_lifetime test_run_reset
+                test_campaign_store test_campaign_orchestrator)
 cmake -B "$repo/build-asan" -S "$repo" -DBANSIM_SANITIZE=ON \
   -DBANSIM_WARNINGS_AS_ERRORS=ON
 cmake --build "$repo/build-asan" -j "$jobs" \
@@ -40,6 +41,34 @@ for t in "${sanitize_tests[@]}"; do
 done
 echo "-- bansim_check (asan, 10 seeds) --"
 "$repo/build-asan/tests/bansim_check" --seeds 10
+
+echo "== tier 1: campaign kill-at-50%-then-resume smoke =="
+# Drive the resumable orchestrator through its CLI exactly the way a crash
+# would: run a 16-shard campaign to completion, run the same campaign again
+# but SIGKILL the whole process tree at 8 shards, resume the survivor, and
+# require the two report artifacts to be byte-identical.
+campdir=$(mktemp -d)
+trap 'rm -rf "$campdir"' EXIT
+camp="$repo/build/examples/bansim_campaign"
+spec=(--patients 16 --shard-size 2 --measure-ms 300 --workers 2
+      --protocols static_tdma,csma_ca)
+"$camp" run "$campdir/whole" "${spec[@]}" >/dev/null
+"$camp" report "$campdir/whole" > "$campdir/whole.txt"
+kill_rc=0
+"$camp" run "$campdir/killed" "${spec[@]}" --die-after 8 >/dev/null \
+  || kill_rc=$?
+if [ "$kill_rc" -ne 137 ]; then
+  echo "tier 1: expected --die-after to die by SIGKILL (137), got $kill_rc" >&2
+  exit 1
+fi
+"$camp" resume "$campdir/killed" --workers 2 >/dev/null
+"$camp" verify "$campdir/killed" >/dev/null
+"$camp" report "$campdir/killed" > "$campdir/killed.txt"
+if ! diff -u "$campdir/whole.txt" "$campdir/killed.txt"; then
+  echo "tier 1: resumed campaign report differs from uninterrupted run" >&2
+  exit 1
+fi
+echo "campaign kill+resume smoke: OK (reports identical)"
 
 echo "== tier 1: Release bench smoke =="
 cmake -B "$repo/build-bench" -S "$repo" -DCMAKE_BUILD_TYPE=Release

@@ -1,0 +1,454 @@
+#include "campaign/orchestrator.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "campaign/shard_runner.hpp"
+#include "campaign/store.hpp"
+
+namespace bansim::campaign {
+namespace {
+
+/// argv[1] sentinel that routes a re-exec'd child into worker mode.  The
+/// double-underscore shape keeps it from colliding with any real CLI verb.
+constexpr const char* kWorkerSentinel = "__bansim_campaign_worker__";
+
+/// Shard index peeked from a kShardResult payload without full decode —
+/// the completeness diff only needs the key.
+[[nodiscard]] std::optional<std::uint64_t> peek_shard_index(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(payload[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Global shard indices already durable in the store.
+[[nodiscard]] std::set<std::size_t> completed_shards(
+    const std::filesystem::path& dir) {
+  std::set<std::size_t> done;
+  const StoreScan scan = scan_store(dir);
+  for (const SegmentScan& segment : scan.segments) {
+    for (const Record& record : segment.records) {
+      if (record.type != RecordType::kShardResult) continue;
+      if (const auto index = peek_shard_index(record.payload)) {
+        done.insert(static_cast<std::size_t>(*index));
+      }
+    }
+  }
+  return done;
+}
+
+struct ChaosSpec {
+  std::size_t ordinal{0};  ///< 1-based shard count at which to die (0 = off)
+  enum class Mode { kMid, kTorn, kPost } mode{Mode::kMid};
+};
+
+[[nodiscard]] ChaosSpec parse_chaos(const std::string& text) {
+  ChaosSpec chaos;
+  if (text.empty() || text == "-") return chaos;
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    throw StoreError("worker chaos spec must be <ordinal>:<mode>, got '" +
+                     text + "'");
+  }
+  chaos.ordinal = std::stoul(text.substr(0, colon));
+  const std::string mode = text.substr(colon + 1);
+  if (mode == "mid") {
+    chaos.mode = ChaosSpec::Mode::kMid;
+  } else if (mode == "torn") {
+    chaos.mode = ChaosSpec::Mode::kTorn;
+  } else if (mode == "post") {
+    chaos.mode = ChaosSpec::Mode::kPost;
+  } else {
+    throw StoreError("worker chaos mode must be mid|torn|post, got '" + mode +
+                     "'");
+  }
+  return chaos;
+}
+
+[[noreturn]] void kill_self() {
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable; placate noreturn if the raise is blocked
+}
+
+/// The worker loop: read global shard indices off stdin (one per line),
+/// execute each against warmed cells, append the result to this worker's
+/// segment, reply "done <k>".  EOF on stdin is the normal shutdown.
+int worker_main(const std::filesystem::path& dir, std::uint32_t generation,
+                std::uint32_t worker_id, std::size_t checkpoint_every,
+                const std::string& chaos_text) {
+  const ChaosSpec chaos = parse_chaos(chaos_text);
+  const LoadedCampaign campaign = load_campaign(dir);
+  const std::vector<ShardSpec> shards = plan_shards(campaign.spec);
+  ShardRunner runner(campaign.spec, campaign.base);
+  SegmentWriter writer(dir, SegmentId{generation, worker_id});
+
+  std::size_t executed = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::size_t index = 0;
+    try {
+      index = std::stoul(line);
+    } catch (const std::exception&) {
+      std::cerr << "worker " << worker_id << ": bad shard index '" << line
+                << "'\n";
+      return 2;
+    }
+    if (index >= shards.size()) {
+      std::cerr << "worker " << worker_id << ": shard " << index
+                << " out of range (" << shards.size() << " planned)\n";
+      return 2;
+    }
+    ++executed;
+    const bool chaos_here = chaos.ordinal != 0 && executed == chaos.ordinal;
+    if (chaos_here && chaos.mode == ChaosSpec::Mode::kMid) kill_self();
+
+    const ShardResult result = runner.run(shards[index]);
+    const std::vector<std::uint8_t> payload = encode_shard_result(result);
+    if (chaos_here && chaos.mode == ChaosSpec::Mode::kTorn) {
+      // Die mid-write: land the frame header plus half the payload, the
+      // organic torn tail a SIGKILL during write() produces.
+      writer.append_torn(RecordType::kShardResult, payload,
+                         12 + payload.size() / 2);
+      kill_self();
+    }
+    writer.append(RecordType::kShardResult, payload);
+    if (chaos_here && chaos.mode == ChaosSpec::Mode::kPost) kill_self();
+
+    if (checkpoint_every != 0 && executed % checkpoint_every == 0) {
+      Checkpoint checkpoint;
+      checkpoint.shards_completed = executed;
+      checkpoint.last_shard = index;
+      writer.append(RecordType::kCheckpoint, encode_checkpoint(checkpoint));
+    }
+    std::cout << "done " << index << "\n" << std::flush;
+  }
+  return 0;
+}
+
+/// One spawned worker process and its work-queue plumbing.
+struct WorkerProc {
+  pid_t pid{-1};
+  int to_child{-1};    ///< write end: shard assignments
+  int from_child{-1};  ///< read end: "done <k>" replies
+  std::uint32_t id{0};
+  std::string buf;
+  std::optional<std::size_t> inflight;
+  bool alive{false};
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+[[nodiscard]] WorkerProc spawn_worker(const std::filesystem::path& dir,
+                                      std::uint32_t generation,
+                                      std::uint32_t worker_id,
+                                      std::size_t checkpoint_every,
+                                      const std::string& chaos) {
+  int in_pipe[2];   // orchestrator -> worker stdin
+  int out_pipe[2];  // worker stdout -> orchestrator
+  if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0) {
+    throw StoreError(std::string("pipe: ") + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw StoreError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    const std::string dir_str = dir.string();
+    const std::string gen_str = std::to_string(generation);
+    const std::string id_str = std::to_string(worker_id);
+    const std::string ckpt_str = std::to_string(checkpoint_every);
+    const std::string chaos_str = chaos.empty() ? "-" : chaos;
+    const char* argv[] = {"bansim-campaign-worker",
+                          kWorkerSentinel,
+                          dir_str.c_str(),
+                          gen_str.c_str(),
+                          id_str.c_str(),
+                          ckpt_str.c_str(),
+                          chaos_str.c_str(),
+                          nullptr};
+    ::execv("/proc/self/exe", const_cast<char* const*>(argv));
+    std::perror("execv /proc/self/exe");
+    ::_exit(127);
+  }
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  WorkerProc worker;
+  worker.pid = pid;
+  worker.to_child = in_pipe[1];
+  worker.from_child = out_pipe[0];
+  worker.id = worker_id;
+  worker.alive = true;
+  return worker;
+}
+
+/// Assigns the next pending shard, or closes the worker's queue when no
+/// work remains.  Returns false when the write found the worker dead (the
+/// shard goes back on the queue; the poll loop reaps the corpse).
+bool dispatch(WorkerProc& worker, std::deque<std::size_t>& pending) {
+  if (worker.inflight) return true;
+  if (pending.empty()) {
+    close_fd(worker.to_child);
+    return true;
+  }
+  const std::size_t index = pending.front();
+  const std::string line = std::to_string(index) + "\n";
+  const ssize_t n = ::write(worker.to_child, line.data(), line.size());
+  if (n != static_cast<ssize_t>(line.size())) return false;
+  pending.pop_front();
+  worker.inflight = index;
+  return true;
+}
+
+RunCampaignResult run_multiprocess(const std::filesystem::path& dir,
+                                   const RunCampaignOptions& options,
+                                   std::uint32_t generation,
+                                   std::deque<std::size_t> pending,
+                                   RunCampaignResult result) {
+  // A dead worker's queue pipe raises SIGPIPE on write; we want the EPIPE
+  // return instead so the shard can be requeued.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<WorkerProc> workers;
+  std::uint32_t next_worker_id = 0;
+  const auto spawn = [&] {
+    const std::string chaos =
+        next_worker_id == 0 ? options.worker_chaos : std::string{};
+    workers.push_back(spawn_worker(dir, generation, next_worker_id++,
+                                   options.checkpoint_every, chaos));
+    ++result.workers_spawned;
+  };
+  const unsigned initial =
+      std::min<unsigned>(options.workers,
+                         static_cast<unsigned>(std::max<std::size_t>(
+                             pending.size(), 1)));
+  for (unsigned i = 0; i < initial; ++i) spawn();
+  // A poison shard that kills every worker assigned to it would otherwise
+  // respawn forever; after this many deaths the run gives up and returns
+  // incomplete (resume can try again).
+  const unsigned respawn_budget = 4 * options.workers + 8;
+
+  const auto reap = [&](WorkerProc& worker) {
+    worker.alive = false;
+    close_fd(worker.to_child);
+    close_fd(worker.from_child);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    ++result.workers_died;
+    if (worker.inflight) {
+      pending.push_front(*worker.inflight);
+      worker.inflight.reset();
+    }
+  };
+
+  bool stopping = false;
+  const auto maybe_chaos_stop = [&] {
+    if (options.die_after_shards != 0 &&
+        result.shards_run >= options.die_after_shards) {
+      for (WorkerProc& worker : workers) {
+        if (worker.alive) ::kill(worker.pid, SIGKILL);
+      }
+      kill_self();
+    }
+    if (options.stop_after_shards != 0 &&
+        result.shards_run >= options.stop_after_shards) {
+      stopping = true;
+      pending.clear();
+    }
+  };
+
+  while (true) {
+    // Keep every live worker fed (or its queue closed).
+    for (WorkerProc& worker : workers) {
+      if (worker.alive && !dispatch(worker, pending)) reap(worker);
+    }
+    std::size_t live = 0, busy = 0;
+    for (const WorkerProc& worker : workers) {
+      if (worker.alive) ++live;
+      if (worker.alive && worker.inflight) ++busy;
+    }
+    if (pending.empty() && busy == 0) break;
+    if (live == 0) {
+      if (options.respawn_dead_workers &&
+          result.workers_died < respawn_budget && !stopping) {
+        spawn();
+        continue;
+      }
+      result.incomplete = true;
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_owner;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].alive) continue;
+      fds.push_back(pollfd{workers[i].from_child, POLLIN, 0});
+      fd_owner.push_back(i);
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw StoreError(std::string("poll: ") + std::strerror(errno));
+    }
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerProc& worker = workers[fd_owner[f]];
+      char chunk[256];
+      const ssize_t n = ::read(worker.from_child, chunk, sizeof chunk);
+      if (n <= 0) {
+        reap(worker);
+        if (options.respawn_dead_workers &&
+            result.workers_died < respawn_budget && !stopping &&
+            !pending.empty()) {
+          spawn();
+        }
+        continue;
+      }
+      worker.buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = worker.buf.find('\n')) != std::string::npos) {
+        const std::string line = worker.buf.substr(0, nl);
+        worker.buf.erase(0, nl + 1);
+        std::size_t index = 0;
+        if (std::sscanf(line.c_str(), "done %zu", &index) != 1 ||
+            !worker.inflight || *worker.inflight != index) {
+          // Garbage or out-of-protocol reply: treat the worker as broken.
+          ::kill(worker.pid, SIGKILL);
+          reap(worker);
+          break;
+        }
+        worker.inflight.reset();
+        ++result.shards_run;
+        maybe_chaos_stop();
+      }
+    }
+  }
+
+  for (WorkerProc& worker : workers) {
+    if (!worker.alive) continue;
+    close_fd(worker.to_child);
+    close_fd(worker.from_child);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+  }
+  result.incomplete = result.incomplete || stopping ||
+                      result.shards_run + result.shards_already_complete <
+                          result.shards_total;
+  return result;
+}
+
+RunCampaignResult run_in_process(const std::filesystem::path& dir,
+                                 const RunCampaignOptions& options,
+                                 std::uint32_t generation,
+                                 const LoadedCampaign& campaign,
+                                 const std::deque<std::size_t>& pending,
+                                 RunCampaignResult result) {
+  const std::vector<ShardSpec> shards = plan_shards(campaign.spec);
+  ShardRunner runner(campaign.spec, campaign.base);
+  SegmentWriter writer(dir, SegmentId{generation, 0});
+  std::size_t executed = 0;
+  for (std::size_t index : pending) {
+    const ShardResult shard_result = runner.run(shards[index]);
+    writer.append(RecordType::kShardResult,
+                  encode_shard_result(shard_result));
+    ++executed;
+    ++result.shards_run;
+    if (options.checkpoint_every != 0 &&
+        executed % options.checkpoint_every == 0) {
+      Checkpoint checkpoint;
+      checkpoint.shards_completed = executed;
+      checkpoint.last_shard = index;
+      writer.append(RecordType::kCheckpoint, encode_checkpoint(checkpoint));
+    }
+    if (options.die_after_shards != 0 &&
+        result.shards_run >= options.die_after_shards) {
+      kill_self();
+    }
+    if (options.stop_after_shards != 0 &&
+        result.shards_run >= options.stop_after_shards) {
+      result.incomplete =
+          result.shards_run + result.shards_already_complete <
+          result.shards_total;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+void create_campaign(const std::filesystem::path& dir, const CampaignSpec& spec,
+                     const core::BanConfig& base) {
+  write_campaign(dir, spec, base);
+}
+
+RunCampaignResult run_campaign(const std::filesystem::path& dir,
+                               const RunCampaignOptions& options) {
+  const LoadedCampaign campaign = load_campaign(dir);
+  const std::vector<ShardSpec> shards = plan_shards(campaign.spec);
+  const std::set<std::size_t> done = completed_shards(dir);
+
+  RunCampaignResult result;
+  result.generation = max_generation(dir) + 1;
+  result.shards_total = shards.size();
+  std::deque<std::size_t> pending;
+  for (const ShardSpec& shard : shards) {
+    if (done.count(shard.index) != 0) {
+      ++result.shards_already_complete;
+    } else {
+      pending.push_back(shard.index);
+    }
+  }
+  if (pending.empty()) return result;
+
+  if (options.workers == 0) {
+    return run_in_process(dir, options, result.generation, campaign, pending,
+                          result);
+  }
+  return run_multiprocess(dir, options, result.generation, std::move(pending),
+                          result);
+}
+
+int maybe_worker_main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) != kWorkerSentinel) return -1;
+  if (argc != 7) {
+    std::cerr << "worker mode needs <dir> <gen> <worker> <ckpt> <chaos>\n";
+    return 2;
+  }
+  try {
+    return worker_main(argv[2],
+                       static_cast<std::uint32_t>(std::stoul(argv[3])),
+                       static_cast<std::uint32_t>(std::stoul(argv[4])),
+                       std::stoul(argv[5]), argv[6]);
+  } catch (const std::exception& e) {
+    std::cerr << "campaign worker failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace bansim::campaign

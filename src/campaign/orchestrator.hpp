@@ -1,0 +1,100 @@
+// Campaign orchestrator: shard dispatch, worker processes, crash recovery.
+//
+// `run_campaign` loads the manifest, diffs the planned shard list against
+// the store's completed records, and executes only what is missing — which
+// makes a first run and a resume the same operation ("resume" is just a
+// run over a non-empty store).  Every invocation claims a fresh
+// generation; its writers never touch older segments, so nothing a crashed
+// run left behind can be damaged by recovering from it.
+//
+// Two execution modes:
+//  * workers == 0 — in-process: one ShardRunner executes remaining shards
+//    in index order in this process (used by tests and the fuzzer's
+//    shard-resume oracle, where fork() is off the table);
+//  * workers >= 1 — multi-process: the orchestrator re-execs its own
+//    binary (/proc/self/exe) `workers` times in worker mode and feeds
+//    shard indices over a pipe work-queue, one in flight per worker.
+//    Workers append results to their own segment and reply "done <k>"; a
+//    worker that dies (crash, SIGKILL, chaos) just stops replying — the
+//    orchestrator reaps it, puts its in-flight shard back on the queue,
+//    and optionally respawns a replacement under a fresh worker id.
+//
+// Worker mode is entered through maybe_worker_main(), which every binary
+// that calls run_campaign with workers >= 1 must invoke at the top of
+// main() — the child finds its way back into worker code through the
+// sentinel argv, not through a separate executable, so CMake needs no
+// binary-path plumbing and the test binary's workers run the test build.
+//
+// Chaos hooks (tests and CI only): worker_chaos injects a SIGKILL into
+// the first worker at a chosen shard ordinal — before the record lands
+// ("mid"), halfway through the record write ("torn"), or after the record
+// but before the "done" reply ("post").  die_after_shards SIGKILLs the
+// whole process group mid-campaign, the outside-in version the CI
+// kill-and-resume smoke drives.  stop_after_shards is the polite variant:
+// stop dispatching after N completions and return, leaving a valid
+// partial store (the fuzzer's split-point lever).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "campaign/manifest.hpp"
+
+namespace bansim::campaign {
+
+struct RunCampaignOptions {
+  /// 0 = in-process execution; N >= 1 forks N worker processes.
+  unsigned workers{0};
+  /// Append a checkpoint record every N completed shards per worker.
+  std::size_t checkpoint_every{4};
+  /// Replace a dead worker with a fresh one (new worker id, same
+  /// generation) as long as work remains.
+  bool respawn_dead_workers{true};
+
+  /// Chaos: stop dispatching after this many newly completed shards and
+  /// return normally (0 = run to completion).  The store is left valid
+  /// but incomplete — a later run resumes it.
+  std::size_t stop_after_shards{0};
+  /// Chaos: after this many newly completed shards, SIGKILL every worker
+  /// and then this process itself (0 = never).  Nothing after the kill
+  /// runs; the caller observes it as a fork()ed child that died.
+  std::size_t die_after_shards{0};
+  /// Chaos spec for the FIRST worker spawned this run: "<ordinal>:<mode>"
+  /// where ordinal is the 1-based count of shards that worker executes
+  /// and mode is mid|torn|post.  Empty = no chaos.  Multi-process mode
+  /// only.
+  std::string worker_chaos{};
+};
+
+struct RunCampaignResult {
+  std::uint32_t generation{0};
+  std::size_t shards_total{0};
+  /// Already durable before this run started (the resume diff).
+  std::size_t shards_already_complete{0};
+  /// Newly completed (and durable) by this run.
+  std::size_t shards_run{0};
+  unsigned workers_spawned{0};
+  unsigned workers_died{0};
+  /// True when the run returned with shards still missing — either a
+  /// stop_after_shards chaos stop, or every worker died with respawn off.
+  bool incomplete{false};
+};
+
+/// Creates the campaign directory: manifest.ini + base_config.ini.
+/// Throws StoreError if `dir` already holds a manifest.
+void create_campaign(const std::filesystem::path& dir, const CampaignSpec& spec,
+                     const core::BanConfig& base);
+
+/// Runs (or resumes — same thing) the campaign at `dir`.  Returns once
+/// every planned shard is durable, or earlier under chaos options.
+[[nodiscard]] RunCampaignResult run_campaign(const std::filesystem::path& dir,
+                                             const RunCampaignOptions& options);
+
+/// Worker-mode entry hook.  Call first in main(); returns -1 when argv is
+/// not a worker invocation (normal startup continues), else runs the
+/// worker loop to completion and returns its exit code (return it from
+/// main immediately).
+[[nodiscard]] int maybe_worker_main(int argc, char** argv);
+
+}  // namespace bansim::campaign

@@ -1,0 +1,104 @@
+// Campaign store readers: aggregation, reporting, and verification.
+//
+// Everything here is a pure function of the store's bytes, and the
+// aggregate is deliberately independent of *how* those bytes got there:
+// shard results are keyed by global shard index, duplicates resolve
+// last-writer-wins by (generation, worker, record order), and merging
+// happens in shard-index order.  A campaign run uninterrupted by one
+// worker, run by eight, or SIGKILLed and resumed three times therefore
+// aggregates to bit-identical columns and CDFs — the invariant the
+// crash-recovery battery pins exact-double.
+//
+// render_report() emits no wall-clock, path, or segment-count data, so
+// two stores with equal aggregates render byte-identical reports (the CI
+// kill-and-resume smoke literally diffs them).  Provenance detail lives
+// in verify_store()'s output instead.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "campaign/shard_runner.hpp"
+#include "campaign/store.hpp"
+#include "energy/campaign_columns.hpp"
+
+namespace bansim::campaign {
+
+/// Decoded shard results, deduplicated last-writer-wins.
+struct CollectedResults {
+  /// Global shard index -> newest decodable result for it.
+  std::map<std::size_t, ShardResult> by_shard;
+  /// Records whose payload failed to decode despite a valid CRC (writer
+  /// bugs; empty in healthy stores).
+  std::vector<std::string> decode_errors;
+  /// kShardResult records beyond the first per shard (resume overlap).
+  std::size_t duplicates{0};
+};
+
+/// Scans segments/ and decodes every shard record.  Segments are visited
+/// in (generation, worker) order, so a later write for the same shard
+/// replaces an earlier one.
+[[nodiscard]] CollectedResults collect_results(const std::filesystem::path& dir);
+
+/// One variant's population aggregate, rows in patient-index order.
+struct VariantAggregate {
+  VariantSpec variant;
+  energy::CampaignColumns columns;
+  std::size_t failed_joins{0};
+};
+
+struct CampaignAggregates {
+  CampaignSpec spec;
+  std::vector<VariantAggregate> variants;
+  /// Population lifetime CDF across every variant, assembled the
+  /// shard-mergeable way: one global range pass, one build_with_range per
+  /// shard, merged in shard-index order.
+  energy::MetricCdf lifetime_cdf;
+  std::size_t shards_present{0};
+  std::size_t shards_total{0};
+  [[nodiscard]] bool complete() const {
+    return shards_present == shards_total;
+  }
+};
+
+/// Merges collected shard results into per-variant columns + the global
+/// lifetime CDF, in shard-index order regardless of store layout.
+[[nodiscard]] CampaignAggregates aggregate(const LoadedCampaign& campaign,
+                                           const CollectedResults& results);
+
+/// Human-readable summary: per-variant energy means, join-latency and PDR
+/// percentiles, global lifetime CDF percentiles.  Deterministic: depends
+/// only on the aggregates.
+[[nodiscard]] std::string render_report(const CampaignAggregates& aggregates);
+
+/// Per-patient CSV (header + one row per variant x patient), doubles at
+/// full round-trip precision.
+[[nodiscard]] std::string render_csv(const CampaignAggregates& aggregates);
+
+/// Store health check: segment CRC walk, manifest consistency, checkpoint
+/// cross-check.
+struct VerifyReport {
+  /// True when the manifest loads, every planned shard has a decodable
+  /// result, and checkpoints agree with their segments.  Torn tails in
+  /// old generations are expected crash debris and stay warnings.
+  bool ok{false};
+  std::size_t segments{0};
+  std::size_t records{0};
+  std::size_t shard_records{0};
+  std::size_t checkpoints{0};
+  std::size_t duplicates{0};
+  std::size_t shards_present{0};
+  std::size_t shards_total{0};
+  std::vector<std::string> errors;    ///< clear `ok`
+  std::vector<std::string> warnings;  ///< informational (torn tails)
+
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] VerifyReport verify_store(const std::filesystem::path& dir);
+
+}  // namespace bansim::campaign

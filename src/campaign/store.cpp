@@ -1,0 +1,258 @@
+#include "campaign/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace bansim::campaign {
+namespace {
+
+/// Segment header: magic + version + identity, CRC'd so a torn header is
+/// distinguishable from an empty-but-valid segment.
+constexpr std::array<char, 8> kMagic = {'B', 'A', 'N', 'S',
+                                        'E', 'G', '0', '1'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 4 + 4;  // magic,v,gen,w,crc
+/// Record frame: payload_size, frame_crc, type, flags, payload.  The CRC
+/// covers type+flags+payload (everything after the crc field).
+constexpr std::size_t kFrameOverhead = 4 + 4 + 2 + 2;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+[[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> encode_header(const SegmentId& id) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize);
+  for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, kStoreFormatVersion);
+  put_u32(out, id.generation);
+  put_u32(out, id.worker);
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    RecordType type, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameOverhead + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  // CRC body: type + flags + payload.
+  std::vector<std::uint8_t> body;
+  body.reserve(4 + payload.size());
+  put_u16(body, static_cast<std::uint16_t>(type));
+  put_u16(body, 0);  // flags, reserved
+  body.insert(body.end(), payload.begin(), payload.end());
+  put_u32(out, crc32(body.data(), body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32(const std::string& text) {
+  return crc32(reinterpret_cast<const std::uint8_t*>(text.data()),
+               text.size());
+}
+
+std::filesystem::path segments_dir(const std::filesystem::path& dir) {
+  return dir / "segments";
+}
+
+SegmentWriter::SegmentWriter(const std::filesystem::path& dir, SegmentId id)
+    : id_(id) {
+  const std::filesystem::path seg_dir = segments_dir(dir);
+  std::filesystem::create_directories(seg_dir);
+  std::ostringstream name;
+  name << "gen" << id.generation << "-w" << id.worker << ".seg";
+  path_ = seg_dir / name.str();
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw StoreError("cannot create segment " + path_.string() + ": " +
+                     std::strerror(errno));
+  }
+  const std::vector<std::uint8_t> header = encode_header(id_);
+  write_all(header.data(), header.size());
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SegmentWriter::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd_, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StoreError("write to " + path_.string() + " failed: " +
+                       std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SegmentWriter::append(RecordType type,
+                           const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  write_all(frame.data(), frame.size());
+}
+
+void SegmentWriter::append_torn(RecordType type,
+                                const std::vector<std::uint8_t>& payload,
+                                std::size_t bytes) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  write_all(frame.data(), std::min(bytes, frame.size()));
+}
+
+SegmentScan scan_segment(const std::filesystem::path& path) {
+  SegmentScan scan;
+  scan.path = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    scan.tail_error = "cannot open segment";
+    return scan;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  scan.file_bytes = bytes.size();
+
+  const auto fail_at = [&](std::uint64_t offset, const std::string& why) {
+    std::ostringstream msg;
+    msg << why << " at offset " << offset;
+    scan.tail_error = msg.str();
+    return scan;
+  };
+
+  if (bytes.size() < kHeaderSize) {
+    return fail_at(0, "short header (" + std::to_string(bytes.size()) +
+                          " of " + std::to_string(kHeaderSize) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0) {
+    return fail_at(0, "bad magic");
+  }
+  const std::uint32_t version = get_u32(bytes.data() + 8);
+  const std::uint32_t header_crc = get_u32(bytes.data() + kHeaderSize - 4);
+  if (crc32(bytes.data(), kHeaderSize - 4) != header_crc) {
+    return fail_at(0, "header CRC mismatch");
+  }
+  // Version check happens after the CRC so a corrupted version field reads
+  // as a torn header, not a spurious hard error.
+  if (version != kStoreFormatVersion) {
+    throw StoreError("segment " + path.string() + " has format version " +
+                     std::to_string(version) + "; this build reads version " +
+                     std::to_string(kStoreFormatVersion));
+  }
+  scan.id.generation = get_u32(bytes.data() + 12);
+  scan.id.worker = get_u32(bytes.data() + 16);
+
+  std::size_t off = kHeaderSize;
+  scan.valid_bytes = off;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kFrameOverhead) {
+      return fail_at(off, "torn record frame (short frame header)");
+    }
+    const std::uint32_t payload_size = get_u32(bytes.data() + off);
+    const std::uint32_t frame_crc = get_u32(bytes.data() + off + 4);
+    const std::size_t body_size = 4 + payload_size;  // type+flags+payload
+    if (bytes.size() - off - 8 < body_size) {
+      return fail_at(off, "torn record frame (short payload)");
+    }
+    const std::uint8_t* body = bytes.data() + off + 8;
+    if (crc32(body, body_size) != frame_crc) {
+      return fail_at(off, "record CRC mismatch");
+    }
+    Record rec;
+    rec.type = static_cast<RecordType>(get_u16(body));
+    rec.payload.assign(body + 4, body + body_size);
+    scan.records.push_back(std::move(rec));
+    off += 8 + body_size;
+    scan.valid_bytes = off;
+  }
+  return scan;
+}
+
+StoreScan scan_store(const std::filesystem::path& dir) {
+  StoreScan scan;
+  const std::filesystem::path seg_dir = segments_dir(dir);
+  if (!std::filesystem::is_directory(seg_dir)) return scan;
+  for (const auto& entry : std::filesystem::directory_iterator(seg_dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".seg") {
+      continue;
+    }
+    scan.segments.push_back(scan_segment(entry.path()));
+  }
+  std::sort(scan.segments.begin(), scan.segments.end(),
+            [](const SegmentScan& a, const SegmentScan& b) {
+              return a.id == b.id ? a.path.filename() < b.path.filename()
+                                  : a.id < b.id;
+            });
+  return scan;
+}
+
+std::uint32_t max_generation(const std::filesystem::path& dir) {
+  std::uint32_t max_gen = 0;
+  const std::filesystem::path seg_dir = segments_dir(dir);
+  if (!std::filesystem::is_directory(seg_dir)) return 0;
+  for (const auto& entry : std::filesystem::directory_iterator(seg_dir)) {
+    const std::string name = entry.path().filename().string();
+    // Parse "gen<G>-w<W>.seg" from the filename rather than the header so
+    // a fully torn segment still bumps the generation (its writer may have
+    // died before the header landed, but the generation was claimed).
+    if (name.rfind("gen", 0) != 0) continue;
+    std::size_t pos = 3;
+    std::uint32_t gen = 0;
+    bool any = false;
+    while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') {
+      gen = gen * 10 + static_cast<std::uint32_t>(name[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (any) max_gen = std::max(max_gen, gen);
+  }
+  return max_gen;
+}
+
+}  // namespace bansim::campaign

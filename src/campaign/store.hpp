@@ -1,0 +1,161 @@
+// Append-only on-disk campaign store: CRC-framed segment files.
+//
+// A campaign directory accumulates results in `segments/`: one append-only
+// file per (generation, worker), where the generation counts run/resume
+// invocations and the worker id is unique within a generation.  Workers
+// never write the same file, so there is no cross-process locking — crash
+// isolation falls out of the layout.  Each segment is a fixed header
+// followed by CRC32-framed records; a record becomes durable the instant
+// its last byte hits the file, and a SIGKILL mid-write leaves a torn tail
+// the scanner treats exactly like a shorter file.
+//
+// Scan semantics (the crash-recovery contract):
+//  * a segment is read as its longest valid prefix — the first framing
+//    error (short header, short record, CRC mismatch) ends the segment,
+//    and everything after it is unreachable;
+//  * an unreachable or missing shard record simply means "incomplete":
+//    resume re-runs that shard into a new generation, and the re-run is
+//    bit-identical because shards are pure functions of the manifest;
+//  * duplicate records for one shard (a resume that re-ran a shard whose
+//    old record later became readable again) resolve last-writer-wins by
+//    (generation, worker, file order);
+//  * a header whose format version differs is a hard error (StoreError) —
+//    new code must never silently misread an old store, or vice versa.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bansim::campaign {
+
+class StoreError : public std::runtime_error {
+ public:
+  explicit StoreError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over a byte span — the frame
+/// checksum and the manifest's base-config fingerprint.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+[[nodiscard]] std::uint32_t crc32(const std::string& text);
+
+/// On-disk format version of segment files (and the manifest).  Bump on
+/// any layout change; readers hard-error on mismatch.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+enum class RecordType : std::uint16_t {
+  kShardResult = 1,
+  kCheckpoint = 2,
+};
+
+/// One decoded record frame (payload still opaque bytes).
+struct Record {
+  RecordType type{RecordType::kShardResult};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Identity of one segment file, parsed back out of its header.
+struct SegmentId {
+  std::uint32_t generation{0};
+  std::uint32_t worker{0};
+
+  [[nodiscard]] bool operator<(const SegmentId& other) const {
+    return generation != other.generation ? generation < other.generation
+                                          : worker < other.worker;
+  }
+  [[nodiscard]] bool operator==(const SegmentId& other) const = default;
+};
+
+/// Appends records to one segment file.  Each record is staged into one
+/// buffer and written with a single sequential write so a kill can only
+/// tear the file's tail, never interleave two records.
+class SegmentWriter {
+ public:
+  /// Creates `segments/gen<G>-w<W>.seg` under `dir` (the campaign
+  /// directory) and writes the header.  Throws StoreError if the file
+  /// already exists — generations exist so that no writer ever appends to
+  /// another run's segment.
+  SegmentWriter(const std::filesystem::path& dir, SegmentId id);
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Appends one framed record and flushes it to the file.
+  void append(RecordType type, const std::vector<std::uint8_t>& payload);
+
+  /// Test seam for torn-tail batteries: appends only the first `bytes`
+  /// bytes of the frame that append() would have written, then flushes —
+  /// the file now ends mid-record, as after a SIGKILL mid-write.
+  void append_torn(RecordType type, const std::vector<std::uint8_t>& payload,
+                   std::size_t bytes);
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] const SegmentId& id() const { return id_; }
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t size);
+
+  std::filesystem::path path_;
+  SegmentId id_;
+  int fd_{-1};
+};
+
+/// One scanned segment: its valid-prefix records plus why scanning
+/// stopped.
+struct SegmentScan {
+  std::filesystem::path path;
+  SegmentId id;
+  std::vector<Record> records;
+  /// Empty when the segment ended cleanly at EOF; otherwise a one-line
+  /// description of the torn/corrupt tail (offset + reason).  Records
+  /// before the tear are still valid.
+  std::string tail_error;
+  /// Bytes of the file that verified (header + valid records).
+  std::uint64_t valid_bytes{0};
+  /// Total file size; > valid_bytes exactly when tail_error is set.
+  std::uint64_t file_bytes{0};
+};
+
+/// Scan of a whole campaign directory's segments, ordered by SegmentId.
+struct StoreScan {
+  std::vector<SegmentScan> segments;
+
+  [[nodiscard]] std::size_t total_records() const {
+    std::size_t n = 0;
+    for (const auto& s : segments) n += s.records.size();
+    return n;
+  }
+  [[nodiscard]] bool any_tail_error() const {
+    for (const auto& s : segments) {
+      if (!s.tail_error.empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// The segments/ subdirectory of a campaign directory.
+[[nodiscard]] std::filesystem::path segments_dir(
+    const std::filesystem::path& dir);
+
+/// Reads one segment as its longest valid prefix.  Throws StoreError only
+/// for a version-mismatch header; every other malformation (short file,
+/// bad magic, bad CRC) is reported via tail_error with zero or more valid
+/// records, because a torn file is an expected crash artifact while a
+/// wrong version is an operator error.
+[[nodiscard]] SegmentScan scan_segment(const std::filesystem::path& path);
+
+/// Scans every `*.seg` under segments/, ordered by (generation, worker).
+/// A missing segments/ directory scans as empty (a created-but-never-run
+/// campaign).
+[[nodiscard]] StoreScan scan_store(const std::filesystem::path& dir);
+
+/// Highest generation among existing segment files (0 when none) — the
+/// next run/resume writes generation max+1.
+[[nodiscard]] std::uint32_t max_generation(const std::filesystem::path& dir);
+
+}  // namespace bansim::campaign

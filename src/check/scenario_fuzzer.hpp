@@ -17,7 +17,11 @@
 //    one worker and on N workers must produce bit-identical energies;
 //  * fault-campaign termination — a faulted config re-run through the
 //    campaign runner (injector stopped at the horizon, in-flight faults
-//    drained) must close the conservation books with zero violations.
+//    drained) must close the conservation books with zero violations;
+//  * shard-resume — one small campaign run whole and a second run stopped
+//    after a seed-chosen shard count then resumed must aggregate to
+//    bit-identical per-patient rows and lifetime CDFs (the persistence
+//    layer's determinism contract, checked without forking workers).
 //
 // A failing case reports its seed and a greedily minimized configuration
 // serialized as config_io INI, so `bansim_check --seed <s>` reproduces it
@@ -46,6 +50,9 @@ struct FuzzOptions {
   sim::Duration join_deadline{sim::Duration::seconds(12)};
   /// Seeds re-run serially for the serial-vs-parallel oracle.
   std::size_t parallel_oracle_seeds{6};
+  /// Run the whole-vs-split-and-resumed campaign-store oracle (two tiny
+  /// in-process campaigns under the system temp dir).
+  bool shard_resume_oracle{true};
   /// Greedily minimize failing configurations before reporting.
   bool shrink{true};
 };
@@ -64,8 +71,12 @@ struct FuzzSummary {
   std::vector<CaseOutcome> failed;  ///< failing cases only
   bool parallel_oracle_ok{true};
   std::string parallel_oracle_detail;
+  bool shard_resume_oracle_ok{true};
+  std::string shard_resume_oracle_detail;
 
-  [[nodiscard]] bool ok() const { return failures == 0 && parallel_oracle_ok; }
+  [[nodiscard]] bool ok() const {
+    return failures == 0 && parallel_oracle_ok && shard_resume_oracle_ok;
+  }
 };
 
 /// The seeded random configuration for one fuzz case.  Deterministic: the

@@ -118,10 +118,6 @@ hw::HarvestParams::Profile parse_harvest_profile(const std::string& token) {
                     "' (expected constant | sine | square)");
 }
 
-namespace {
-
-/// Routes a parsed protocol token into BanConfig (the TDMA variants fold
-/// into MacKind::kTdma + TdmaConfig::variant).
 void apply_mac_protocol(BanConfig& config, mac::Protocol protocol) {
   switch (protocol) {
     case mac::Protocol::kStaticTdma:
@@ -140,6 +136,8 @@ void apply_mac_protocol(BanConfig& config, mac::Protocol protocol) {
       break;
   }
 }
+
+namespace {
 
 /// One buffered `[node.K]` assignment; applied after the whole file is
 /// read so per-node overrides see the final global defaults.

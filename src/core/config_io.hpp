@@ -68,6 +68,13 @@ class ConfigError : public std::runtime_error {
 [[nodiscard]] hw::HarvestParams::Profile parse_harvest_profile(
     const std::string& token);
 
+/// Routes a parsed protocol into BanConfig (the TDMA variants fold into
+/// MacKind::kTdma + TdmaConfig::variant) — shared by the file parser, the
+/// bansim_cli --protocol override, and the campaign orchestrator's
+/// protocol-sweep variants so a protocol override means the same thing at
+/// every entry point.
+void apply_mac_protocol(BanConfig& config, mac::Protocol protocol);
+
 /// Parses INI text into a BanConfig (starting from defaults).  [node.K]
 /// sections fill config.roster; global keys may appear before or after
 /// them (the roster is resolved once the whole file is read).

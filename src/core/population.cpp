@@ -127,25 +127,6 @@ BanConfig PopulationGenerator::patient(std::size_t index) const {
 
 namespace {
 
-/// One run's scalar metrics, filled in place on the worker (no report
-/// objects); the runner's pre-sized slot vector is the only storage.
-struct PatientRow {
-  std::uint64_t seed{0};
-  double total_mj{0};
-  double radio_mj{0};
-  double mcu_mj{0};
-  double asic_mj{0};
-  double lifetime_hours{std::numeric_limits<double>::infinity()};
-  std::uint64_t data_packets{0};
-  bool joined{false};
-};
-
-/// A worker's warmed cell: built on the worker's first patient, reset for
-/// every later one.
-struct WorkerCell {
-  std::unique_ptr<BanNetwork> net;
-};
-
 struct ComponentJoules {
   double mcu{0};
   double radio{0};
@@ -164,90 +145,104 @@ ComponentJoules node_joules(NodeStack& node, sim::TimePoint now) {
 
 }  // namespace
 
+energy::CampaignRunRow PatientRunner::run(const PopulationGenerator& generator,
+                                          const PatientWindow& window,
+                                          std::size_t index) {
+  const BanConfig config = generator.patient(index);
+  if (!net_) {
+    net_ = std::make_unique<BanNetwork>(config);
+  } else {
+    net_->reset(config);
+    ++runs_reused_;
+  }
+  BanNetwork& net = *net_;
+  net.start();
+
+  energy::CampaignRunRow row;
+  row.seed = config.seed;
+  row.joined = net.run_until_joined(
+      window.settle, sim::TimePoint::zero() + window.join_deadline);
+  if (!row.joined) return row;
+
+  const std::size_t nodes = net.num_nodes();
+  const sim::TimePoint t0 = net.simulator().now();
+  // run_until_joined returns settle past the join instant; subtracting the
+  // settle recovers the join latency itself.
+  row.join_ms = (t0.since_epoch() - window.settle).to_seconds() * 1e3;
+  ComponentJoules before_sum;
+  std::uint64_t packets_before = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const ComponentJoules j = node_joules(net.node(n), t0);
+    before_sum.mcu += j.mcu;
+    before_sum.radio += j.radio;
+    before_sum.asic += j.asic;
+    packets_before += net.node(n).mac_base().stats_snapshot().data_sent;
+  }
+  const std::uint64_t delivered_before =
+      net.base_station_app().total_packets();
+
+  net.run_until(t0 + window.measure);
+  const sim::TimePoint t1 = net.simulator().now();
+  const double window_s = (t1 - t0).to_seconds();
+
+  double lifetime = std::numeric_limits<double>::infinity();
+  ComponentJoules after_sum;
+  std::uint64_t packets_after = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const ComponentJoules j = node_joules(net.node(n), t1);
+    after_sum.mcu += j.mcu;
+    after_sum.radio += j.radio;
+    after_sum.asic += j.asic;
+    packets_after += net.node(n).mac_base().stats_snapshot().data_sent;
+
+    const hw::EnergyStore* store = net.node(n).energy_store();
+    if (store == nullptr) continue;
+    double hours;
+    if (store->depleted()) {
+      hours = t1.to_seconds() / 3600.0;  // died inside the horizon
+    } else {
+      const ComponentJoules j0 = node_joules(net.node(n), t0);
+      const double watts =
+          window_s > 0 ? (j.total() - j0.total()) / window_s : 0.0;
+      const hw::StorageParams& params = store->params();
+      const double harvest_watts =
+          params.harvest.enabled ? params.harvest.average_watts() : 0.0;
+      hours = hw::projected_hours(params, watts, harvest_watts);
+    }
+    lifetime = std::min(lifetime, hours);
+  }
+
+  row.mcu_mj = (after_sum.mcu - before_sum.mcu) * 1e3;
+  row.radio_mj = (after_sum.radio - before_sum.radio) * 1e3;
+  row.asic_mj = (after_sum.asic - before_sum.asic) * 1e3;
+  row.total_mj = row.mcu_mj + row.radio_mj + row.asic_mj;
+  row.data_packets = packets_after - packets_before;
+  row.delivered_packets =
+      net.base_station_app().total_packets() - delivered_before;
+  row.lifetime_hours = lifetime;
+  return row;
+}
+
 PopulationCampaignResult run_population_campaign(
     const PopulationGenerator& generator,
     const PopulationCampaignOptions& options) {
   sim::ScenarioRunner runner{options.jobs};
 
-  const std::function<PatientRow(WorkerCell&, std::size_t)> one_patient =
-      [&](WorkerCell& cell, std::size_t index) {
-        const BanConfig config = generator.patient(index);
-        if (!cell.net) {
-          cell.net = std::make_unique<BanNetwork>(config);
-        } else {
-          cell.net->reset(config);
-        }
-        BanNetwork& net = *cell.net;
-        net.start();
-
-        PatientRow row;
-        row.seed = config.seed;
-        row.joined = net.run_until_joined(
-            options.settle, sim::TimePoint::zero() + options.join_deadline);
-        if (!row.joined) return row;
-
-        const std::size_t nodes = net.num_nodes();
-        const sim::TimePoint t0 = net.simulator().now();
-        ComponentJoules before_sum;
-        std::uint64_t packets_before = 0;
-        for (std::size_t n = 0; n < nodes; ++n) {
-          const ComponentJoules j = node_joules(net.node(n), t0);
-          before_sum.mcu += j.mcu;
-          before_sum.radio += j.radio;
-          before_sum.asic += j.asic;
-          packets_before += net.node(n).mac_base().stats_snapshot().data_sent;
-        }
-
-        net.run_until(t0 + options.measure);
-        const sim::TimePoint t1 = net.simulator().now();
-        const double window_s = (t1 - t0).to_seconds();
-
-        double lifetime = std::numeric_limits<double>::infinity();
-        ComponentJoules after_sum;
-        std::uint64_t packets_after = 0;
-        for (std::size_t n = 0; n < nodes; ++n) {
-          const ComponentJoules j = node_joules(net.node(n), t1);
-          after_sum.mcu += j.mcu;
-          after_sum.radio += j.radio;
-          after_sum.asic += j.asic;
-          packets_after += net.node(n).mac_base().stats_snapshot().data_sent;
-
-          const hw::EnergyStore* store = net.node(n).energy_store();
-          if (store == nullptr) continue;
-          double hours;
-          if (store->depleted()) {
-            hours = t1.to_seconds() / 3600.0;  // died inside the horizon
-          } else {
-            const ComponentJoules j0 = node_joules(net.node(n), t0);
-            const double watts =
-                window_s > 0 ? (j.total() - j0.total()) / window_s : 0.0;
-            const hw::StorageParams& params = store->params();
-            const double harvest_watts =
-                params.harvest.enabled ? params.harvest.average_watts() : 0.0;
-            hours = hw::projected_hours(params, watts, harvest_watts);
-          }
-          lifetime = std::min(lifetime, hours);
-        }
-
-        row.mcu_mj = (after_sum.mcu - before_sum.mcu) * 1e3;
-        row.radio_mj = (after_sum.radio - before_sum.radio) * 1e3;
-        row.asic_mj = (after_sum.asic - before_sum.asic) * 1e3;
-        row.total_mj = row.mcu_mj + row.radio_mj + row.asic_mj;
-        row.data_packets = packets_after - packets_before;
-        row.lifetime_hours = lifetime;
-        return row;
+  const PatientWindow window{options.measure, options.settle,
+                             options.join_deadline};
+  const std::function<energy::CampaignRunRow(PatientRunner&, std::size_t)>
+      one_patient = [&](PatientRunner& cell, std::size_t index) {
+        return cell.run(generator, window, index);
       };
 
-  const std::vector<PatientRow> rows =
-      runner.run_with_context<PatientRow, WorkerCell>(options.patients,
-                                                      one_patient);
+  const std::vector<energy::CampaignRunRow> rows =
+      runner.run_with_context<energy::CampaignRunRow, PatientRunner>(
+          options.patients, one_patient);
 
   PopulationCampaignResult result;
   result.columns.reserve(rows.size());
-  for (const PatientRow& row : rows) {
-    result.columns.append_run(row.seed, row.total_mj, row.radio_mj, row.mcu_mj,
-                              row.asic_mj, row.lifetime_hours,
-                              row.data_packets, row.joined);
+  for (const energy::CampaignRunRow& row : rows) {
+    result.columns.append_run(row);
     if (!row.joined) ++result.failed_joins;
   }
   result.lifetime_cdf =

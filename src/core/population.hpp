@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/ban_network.hpp"
@@ -90,6 +91,44 @@ class PopulationGenerator {
  private:
   BanConfig base_;
   PopulationConfig population_;
+};
+
+/// Measurement window of one patient run — the campaign unit's protocol,
+/// shared by the in-process thread-pool campaign below and the
+/// multi-process shard workers in src/campaign/.
+struct PatientWindow {
+  /// Per-patient measured window (after join + settle).
+  sim::Duration measure{sim::Duration::seconds(30)};
+  sim::Duration settle{sim::Duration::seconds(1)};
+  sim::Duration join_deadline{sim::Duration::seconds(30)};
+};
+
+/// Warmed-cell per-patient executor: the first run() builds a BanNetwork
+/// from that patient's config, every later run() resets it in place (the
+/// schedule-reset-run seam).  One runner therefore serves exactly one
+/// same-shape scenario family — reusing it across generators whose base
+/// configs differ in shape (another MAC protocol, roster, storage
+/// activeness) throws from BanNetwork::reset; keep one runner per family.
+/// run(i) is a pure function of (generator, window, i): bit-identical
+/// whichever runner executes it, which is what makes shard results
+/// merge-order invariant.
+class PatientRunner {
+ public:
+  PatientRunner() = default;
+
+  /// Runs patient `index` and returns its scalar row (energies over the
+  /// measured window, join latency, sent/delivered packets, projected
+  /// ward lifetime).
+  [[nodiscard]] energy::CampaignRunRow run(const PopulationGenerator& generator,
+                                           const PatientWindow& window,
+                                           std::size_t index);
+
+  /// Runs executed on a reused (reset) cell rather than a fresh build.
+  [[nodiscard]] std::size_t runs_reused() const { return runs_reused_; }
+
+ private:
+  std::unique_ptr<BanNetwork> net_;
+  std::size_t runs_reused_{0};
 };
 
 struct PopulationCampaignOptions {

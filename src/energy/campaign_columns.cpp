@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <stdexcept>
 
 namespace bansim::energy {
 
@@ -14,7 +15,9 @@ void CampaignColumns::reserve(std::size_t runs) {
   mcu_mj.reserve(runs);
   asic_mj.reserve(runs);
   lifetime_hours.reserve(runs);
+  join_ms.reserve(runs);
   data_packets.reserve(runs);
+  delivered_packets.reserve(runs);
   joined.reserve(runs);
 }
 
@@ -25,23 +28,38 @@ void CampaignColumns::clear() {
   mcu_mj.clear();
   asic_mj.clear();
   lifetime_hours.clear();
+  join_ms.clear();
   data_packets.clear();
+  delivered_packets.clear();
   joined.clear();
 }
 
-void CampaignColumns::append_run(std::uint64_t run_seed, double run_total_mj,
-                                 double run_radio_mj, double run_mcu_mj,
-                                 double run_asic_mj, double run_lifetime_hours,
-                                 std::uint64_t run_data_packets,
-                                 bool run_joined) {
-  seed.push_back(run_seed);
-  total_mj.push_back(run_total_mj);
-  radio_mj.push_back(run_radio_mj);
-  mcu_mj.push_back(run_mcu_mj);
-  asic_mj.push_back(run_asic_mj);
-  lifetime_hours.push_back(run_lifetime_hours);
-  data_packets.push_back(run_data_packets);
-  joined.push_back(run_joined ? 1 : 0);
+void CampaignColumns::append_run(const CampaignRunRow& row) {
+  seed.push_back(row.seed);
+  total_mj.push_back(row.total_mj);
+  radio_mj.push_back(row.radio_mj);
+  mcu_mj.push_back(row.mcu_mj);
+  asic_mj.push_back(row.asic_mj);
+  lifetime_hours.push_back(row.lifetime_hours);
+  join_ms.push_back(row.join_ms);
+  data_packets.push_back(row.data_packets);
+  delivered_packets.push_back(row.delivered_packets);
+  joined.push_back(row.joined ? 1 : 0);
+}
+
+CampaignRunRow CampaignColumns::row(std::size_t i) const {
+  CampaignRunRow r;
+  r.seed = seed.at(i);
+  r.total_mj = total_mj.at(i);
+  r.radio_mj = radio_mj.at(i);
+  r.mcu_mj = mcu_mj.at(i);
+  r.asic_mj = asic_mj.at(i);
+  r.lifetime_hours = lifetime_hours.at(i);
+  r.join_ms = join_ms.at(i);
+  r.data_packets = data_packets.at(i);
+  r.delivered_packets = delivered_packets.at(i);
+  r.joined = joined.at(i) != 0;
+  return r;
 }
 
 void CampaignColumns::append_columns(const CampaignColumns& other) {
@@ -54,8 +72,22 @@ void CampaignColumns::append_columns(const CampaignColumns& other) {
   extend(mcu_mj, other.mcu_mj);
   extend(asic_mj, other.asic_mj);
   extend(lifetime_hours, other.lifetime_hours);
+  extend(join_ms, other.join_ms);
   extend(data_packets, other.data_packets);
+  extend(delivered_packets, other.delivered_packets);
   extend(joined, other.joined);
+}
+
+std::vector<double> CampaignColumns::pdr_column() const {
+  std::vector<double> out;
+  out.reserve(runs());
+  for (std::size_t i = 0; i < runs(); ++i) {
+    out.push_back(data_packets[i] == 0
+                      ? 1.0
+                      : static_cast<double>(delivered_packets[i]) /
+                            static_cast<double>(data_packets[i]));
+  }
+  return out;
 }
 
 double column_mean(std::span<const double> column) {
@@ -85,10 +117,42 @@ double column_percentile(std::span<const double> column, double q,
   return scratch[rank];
 }
 
-MetricCdf MetricCdf::build(std::span<const double> column, std::size_t bins) {
-  MetricCdf cdf;
-  if (bins == 0) bins = 1;
+namespace {
 
+/// Shared histogram pass: edges span [range_lo, range_hi]; finite entries
+/// clamp into the edge bins.  The caller has already filled lo/hi/mean/
+/// count/unbounded.
+void fill_histogram(MetricCdf& cdf, std::span<const double> column,
+                    double range_lo, double range_hi, std::size_t bins) {
+  const double width =
+      range_hi > range_lo ? (range_hi - range_lo) / static_cast<double>(bins)
+                          : 1.0;
+  cdf.bin_count.assign(bins, 0);
+  for (double v : column) {
+    if (!std::isfinite(v)) continue;
+    double offset = v - range_lo;
+    if (offset < 0) offset = 0;  // below-range entries clamp into bin 0
+    auto bin = static_cast<std::size_t>(offset / width);
+    if (bin >= bins) bin = bins - 1;  // v >= hi lands past the last edge
+    ++cdf.bin_count[bin];
+  }
+
+  const auto total = static_cast<double>(cdf.count + cdf.unbounded);
+  cdf.upper_edge.clear();
+  cdf.cum_fraction.clear();
+  cdf.upper_edge.reserve(bins);
+  cdf.cum_fraction.reserve(bins);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    running += cdf.bin_count[b];
+    cdf.upper_edge.push_back(range_lo + width * static_cast<double>(b + 1));
+    cdf.cum_fraction.push_back(
+        total > 0 ? static_cast<double>(running) / total : 0.0);
+  }
+}
+
+/// Min/max/mean/count pass shared by both builders.
+void fill_moments(MetricCdf& cdf, std::span<const double> column) {
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
   double sum = 0;
@@ -102,31 +166,71 @@ MetricCdf MetricCdf::build(std::span<const double> column, std::size_t bins) {
     sum += v;
     ++cdf.count;
   }
-  if (cdf.count == 0) return cdf;
+  if (cdf.count == 0) return;
   cdf.lo = lo;
   cdf.hi = hi;
   cdf.mean = sum / static_cast<double>(cdf.count);
+}
 
-  const double width = hi > lo ? (hi - lo) / static_cast<double>(bins) : 1.0;
-  std::vector<std::uint64_t> histogram(bins, 0);
-  for (double v : column) {
-    if (!std::isfinite(v)) continue;
-    auto bin = static_cast<std::size_t>((v - lo) / width);
-    if (bin >= bins) bin = bins - 1;  // v == hi lands past the last edge
-    ++histogram[bin];
-  }
+}  // namespace
 
-  const auto total =
-      static_cast<double>(cdf.count + cdf.unbounded);
-  cdf.upper_edge.reserve(bins);
-  cdf.cum_fraction.reserve(bins);
-  std::uint64_t running = 0;
-  for (std::size_t b = 0; b < bins; ++b) {
-    running += histogram[b];
-    cdf.upper_edge.push_back(lo + width * static_cast<double>(b + 1));
-    cdf.cum_fraction.push_back(static_cast<double>(running) / total);
-  }
+MetricCdf MetricCdf::build(std::span<const double> column, std::size_t bins) {
+  MetricCdf cdf;
+  if (bins == 0) bins = 1;
+  fill_moments(cdf, column);
+  if (cdf.count == 0) return cdf;
+  fill_histogram(cdf, column, cdf.lo, cdf.hi, bins);
   return cdf;
+}
+
+MetricCdf MetricCdf::build_with_range(std::span<const double> column,
+                                      double range_lo, double range_hi,
+                                      std::size_t bins) {
+  if (!(range_lo <= range_hi)) {
+    throw std::invalid_argument(
+        "MetricCdf::build_with_range: range_lo must be <= range_hi");
+  }
+  MetricCdf cdf;
+  if (bins == 0) bins = 1;
+  fill_moments(cdf, column);
+  // Fixed edges even for an empty shard, so empty CDFs still merge.
+  fill_histogram(cdf, column, range_lo, range_hi, bins);
+  return cdf;
+}
+
+void MetricCdf::merge(const MetricCdf& other) {
+  if (upper_edge.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.upper_edge.empty() && other.count == 0 && other.unbounded == 0) {
+    return;
+  }
+  if (other.upper_edge != upper_edge) {
+    throw std::invalid_argument(
+        "MetricCdf::merge: bin edges differ (both sides must be built with "
+        "the same build_with_range range and bin count)");
+  }
+  const std::uint64_t merged_count = count + other.count;
+  if (merged_count > 0) {
+    // Weighted recombination; deterministic for a fixed merge order.
+    mean = (mean * static_cast<double>(count) +
+            other.mean * static_cast<double>(other.count)) /
+           static_cast<double>(merged_count);
+    lo = count == 0 ? other.lo : other.count == 0 ? lo : std::min(lo, other.lo);
+    hi = count == 0 ? other.hi : other.count == 0 ? hi : std::max(hi, other.hi);
+  }
+  count = merged_count;
+  unbounded += other.unbounded;
+  for (std::size_t b = 0; b < bin_count.size(); ++b) {
+    bin_count[b] += other.bin_count[b];
+  }
+  const auto total = static_cast<double>(count + unbounded);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < bin_count.size(); ++b) {
+    running += bin_count[b];
+    cum_fraction[b] = total > 0 ? static_cast<double>(running) / total : 0.0;
+  }
 }
 
 double MetricCdf::percentile(double q) const {

@@ -12,11 +12,44 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace bansim::energy {
+
+/// One run's scalar metrics — the row every column stores one entry of.
+/// This is also the unit the campaign store serializes, so keep it plain
+/// scalars (bit-exact round-trip through the on-disk record framing).
+struct CampaignRunRow {
+  std::uint64_t seed{0};
+  double total_mj{0};
+  double radio_mj{0};
+  double mcu_mj{0};
+  double asic_mj{0};
+  /// Projected hours until the ward's first store depletes (+inf when
+  /// harvest covers the load; see MetricCdf's unbounded tail).
+  double lifetime_hours{std::numeric_limits<double>::infinity()};
+  /// Time until the whole cell had joined and settled (the campaign's
+  /// join-latency metric); 0 when the run never joined.
+  double join_ms{0};
+  std::uint64_t data_packets{0};
+  /// Payloads counted at the base station over the measured window; with
+  /// data_packets this gives the run's delivery ratio.
+  std::uint64_t delivered_packets{0};
+  bool joined{false};
+
+  /// Delivered / sent over the measured window (1 when nothing was sent —
+  /// an idle cell dropped nothing).
+  [[nodiscard]] double pdr() const {
+    return data_packets == 0 ? 1.0
+                             : static_cast<double>(delivered_packets) /
+                                   static_cast<double>(data_packets);
+  }
+
+  [[nodiscard]] bool operator==(const CampaignRunRow&) const = default;
+};
 
 /// Per-run metric columns of one campaign.  Every column has exactly
 /// runs() entries; append_run() grows them in lockstep.
@@ -26,10 +59,10 @@ struct CampaignColumns {
   std::vector<double> radio_mj;
   std::vector<double> mcu_mj;
   std::vector<double> asic_mj;
-  /// Projected hours until the ward's first store depletes (+inf when
-  /// harvest covers the load; see MetricCdf's unbounded tail).
   std::vector<double> lifetime_hours;
+  std::vector<double> join_ms;
   std::vector<std::uint64_t> data_packets;
+  std::vector<std::uint64_t> delivered_packets;
   std::vector<std::uint8_t> joined;
 
   void reserve(std::size_t runs);
@@ -37,13 +70,21 @@ struct CampaignColumns {
   [[nodiscard]] std::size_t runs() const { return seed.size(); }
 
   /// Appends one run's scalars to every column.
-  void append_run(std::uint64_t run_seed, double run_total_mj,
-                  double run_radio_mj, double run_mcu_mj, double run_asic_mj,
-                  double run_lifetime_hours, std::uint64_t run_data_packets,
-                  bool run_joined);
+  void append_run(const CampaignRunRow& row);
 
-  /// Appends every run of `other` (merging per-worker columns).
+  /// The i-th run read back out of the columns.
+  [[nodiscard]] CampaignRunRow row(std::size_t i) const;
+
+  /// Appends every run of `other` (merging per-worker/per-shard columns).
   void append_columns(const CampaignColumns& other);
+
+  /// Per-run delivery ratios (delivered/sent, 1 when idle) — the PDR
+  /// distribution column report percentiles run over.
+  [[nodiscard]] std::vector<double> pdr_column() const;
+
+  /// Exact elementwise equality across every column (the currency of the
+  /// resumed-vs-uninterrupted aggregate checks).
+  [[nodiscard]] bool operator==(const CampaignColumns& other) const = default;
 };
 
 /// Mean of a column (0 for an empty one); non-finite entries are skipped.
@@ -66,12 +107,30 @@ struct MetricCdf {
   double mean{0};
   std::uint64_t count{0};      ///< finite entries binned below
   std::uint64_t unbounded{0};  ///< non-finite entries (never-depleting)
-  std::vector<double> upper_edge;    ///< bin upper edges, ascending
-  std::vector<double> cum_fraction;  ///< fraction of ALL entries <= edge
+  std::vector<double> upper_edge;       ///< bin upper edges, ascending
+  std::vector<std::uint64_t> bin_count; ///< finite entries per bin
+  std::vector<double> cum_fraction;     ///< fraction of ALL entries <= edge
 
   /// Two passes over `column`: min/max/mean, then the histogram.
   [[nodiscard]] static MetricCdf build(std::span<const double> column,
                                        std::size_t bins = 64);
+
+  /// Histogram over caller-fixed edges [range_lo, range_hi] instead of the
+  /// column's own min/max — the shard-mergeable form: two CDFs built over
+  /// the same range and bin count merge exactly.  Finite entries outside
+  /// the range clamp into the first/last bin.  Requires range_lo <=
+  /// range_hi (throws std::invalid_argument otherwise).
+  [[nodiscard]] static MetricCdf build_with_range(
+      std::span<const double> column, double range_lo, double range_hi,
+      std::size_t bins = 64);
+
+  /// Exact streaming merge: adds `other`'s entries into this CDF.  Both
+  /// sides must share identical bin edges (same range and bin count, as
+  /// built by build_with_range) — throws std::invalid_argument otherwise.
+  /// An empty side (no edges yet) adopts the other's edges.  Counts add
+  /// integrally and the mean recombines by weight, so merging shard CDFs
+  /// in any order yields the same bin counts as one whole-column build.
+  void merge(const MetricCdf& other);
 
   /// Value below which fraction q of ALL entries falls (linear within the
   /// bin); +inf when q reaches into the unbounded tail.

@@ -164,10 +164,14 @@ int main(int argc, char** argv) {
   if (!summary.parallel_oracle_ok) {
     std::printf("FAIL %s\n", summary.parallel_oracle_detail.c_str());
   }
+  if (!summary.shard_resume_oracle_ok) {
+    std::printf("FAIL %s\n", summary.shard_resume_oracle_detail.c_str());
+  }
   std::printf("fuzz: %zu case(s) from seed %llu, %zu failure(s), "
-              "parallel oracle %s\n",
+              "parallel oracle %s, shard-resume oracle %s\n",
               summary.cases_run,
               static_cast<unsigned long long>(options.start_seed),
-              summary.failures, summary.parallel_oracle_ok ? "ok" : "FAILED");
+              summary.failures, summary.parallel_oracle_ok ? "ok" : "FAILED",
+              summary.shard_resume_oracle_ok ? "ok" : "FAILED");
   return summary.ok() ? 0 : 1;
 }

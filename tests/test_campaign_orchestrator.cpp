@@ -1,0 +1,363 @@
+// Crash-recovery battery for the campaign orchestrator.
+//
+// Every test pins the same contract from a different failure angle: a
+// campaign that is killed, torn, corrupted or split mid-flight and then
+// resumed must produce aggregates EXACTLY equal (bit-identical doubles)
+// to the same campaign run once, uninterrupted — across all four MAC
+// protocols at once (every spec here sweeps static TDMA, dynamic TDMA,
+// ALOHA and slotted CSMA/CA as variants).
+//
+// The binary carries a custom main(): worker children that the
+// orchestrator re-execs via /proc/self/exe re-enter through
+// maybe_worker_main() before gtest ever initializes, so the forked
+// workers run this test build's code.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/orchestrator.hpp"
+#include "campaign/report.hpp"
+#include "campaign/shard_runner.hpp"
+#include "campaign/store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace bansim;
+
+/// The battery's scenario space: all four MAC protocols, 4 patients per
+/// variant, one patient per shard (maximum kill granularity) -> 16 shards.
+campaign::CampaignSpec battery_spec() {
+  campaign::CampaignSpec spec;
+  spec.patients = 4;
+  spec.shard_size = 1;
+  spec.protocols = {mac::Protocol::kStaticTdma, mac::Protocol::kDynamicTdma,
+                    mac::Protocol::kAloha, mac::Protocol::kCsmaCa};
+  spec.seeds = {11};
+  spec.measure = sim::Duration::milliseconds(300);
+  spec.settle = sim::Duration::milliseconds(500);
+  spec.join_deadline = sim::Duration::seconds(20);
+  spec.cdf_bins = 16;
+  return spec;
+}
+
+core::BanConfig battery_base() {
+  core::BanConfig config;
+  config.num_nodes = 3;
+  config.tdma =
+      mac::TdmaConfig::static_plan(sim::Duration::milliseconds(30), 3);
+  config.app = core::AppKind::kEcgStreaming;
+  config.streaming.sample_rate_hz = 205;
+  config.stagger = sim::Duration::milliseconds(2);
+  config.storage.enabled = true;
+  config.storage.battery.capacity_mah = 20.0;  // finite lifetimes
+  return config;
+}
+
+campaign::CampaignAggregates aggregates_of(const fs::path& dir) {
+  return campaign::aggregate(campaign::load_campaign(dir),
+                             campaign::collect_results(dir));
+}
+
+/// Exact-equality assertion between two stores' aggregates: per-variant
+/// columns compare as raw doubles (operator== is elementwise, bit-exact),
+/// the lifetime CDFs as integral bin counts + identical edges, and the
+/// rendered artifacts byte-for-byte.
+void expect_identical_aggregates(const fs::path& reference_dir,
+                                 const fs::path& candidate_dir) {
+  const campaign::CampaignAggregates a = aggregates_of(reference_dir);
+  const campaign::CampaignAggregates b = aggregates_of(candidate_dir);
+  ASSERT_TRUE(a.complete());
+  ASSERT_TRUE(b.complete());
+  ASSERT_EQ(a.variants.size(), b.variants.size());
+  for (std::size_t v = 0; v < a.variants.size(); ++v) {
+    EXPECT_TRUE(a.variants[v].columns == b.variants[v].columns)
+        << "variant " << a.variants[v].variant.label()
+        << " columns differ (exact-double comparison)";
+    EXPECT_EQ(a.variants[v].failed_joins, b.variants[v].failed_joins);
+  }
+  EXPECT_EQ(a.lifetime_cdf.bin_count, b.lifetime_cdf.bin_count);
+  EXPECT_EQ(a.lifetime_cdf.upper_edge, b.lifetime_cdf.upper_edge);
+  EXPECT_EQ(a.lifetime_cdf.count, b.lifetime_cdf.count);
+  EXPECT_EQ(a.lifetime_cdf.unbounded, b.lifetime_cdf.unbounded);
+  EXPECT_EQ(campaign::render_csv(a), campaign::render_csv(b));
+  EXPECT_EQ(campaign::render_report(a), campaign::render_report(b));
+}
+
+class CampaignOrchestratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("orch_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// Creates and runs the battery campaign start-to-finish in-process —
+  /// the uninterrupted reference every chaos scenario compares against.
+  fs::path run_reference() {
+    const fs::path dir = root_ / "reference";
+    campaign::create_campaign(dir, battery_spec(), battery_base());
+    campaign::RunCampaignOptions in_process;
+    in_process.workers = 0;
+    const auto result = campaign::run_campaign(dir, in_process);
+    EXPECT_FALSE(result.incomplete);
+    return dir;
+  }
+
+  fs::path make_campaign(const std::string& name) {
+    const fs::path dir = root_ / name;
+    campaign::create_campaign(dir, battery_spec(), battery_base());
+    return dir;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(CampaignOrchestratorTest, MultiProcessMatchesInProcess) {
+  const fs::path reference = run_reference();
+  const fs::path dir = make_campaign("multiproc");
+  campaign::RunCampaignOptions options;
+  options.workers = 3;
+  const auto result = campaign::run_campaign(dir, options);
+  EXPECT_FALSE(result.incomplete);
+  EXPECT_EQ(result.workers_spawned, 3U);
+  EXPECT_EQ(result.workers_died, 0U);
+  EXPECT_EQ(result.shards_run, 16U);
+  expect_identical_aggregates(reference, dir);
+
+  const campaign::VerifyReport verify = campaign::verify_store(dir);
+  EXPECT_TRUE(verify.ok) << verify.render();
+}
+
+TEST_F(CampaignOrchestratorTest, WorkerSigkilledMidShardAtManyPoints) {
+  // The first worker is SIGKILLed at a sweep of shard ordinals before its
+  // record lands ("mid").  A respawned worker re-runs the lost shard; the
+  // final aggregates must not show a trace of the crash.
+  const fs::path reference = run_reference();
+  for (const std::size_t ordinal : {1UL, 3UL, 7UL, 16UL}) {
+    const fs::path dir =
+        make_campaign("kill_mid_" + std::to_string(ordinal));
+    campaign::RunCampaignOptions options;
+    options.workers = 1;  // every shard flows through the chaos worker
+    options.worker_chaos = std::to_string(ordinal) + ":mid";
+    const auto result = campaign::run_campaign(dir, options);
+    EXPECT_FALSE(result.incomplete) << "ordinal " << ordinal;
+    EXPECT_GE(result.workers_died, 1U) << "ordinal " << ordinal;
+    expect_identical_aggregates(reference, dir);
+  }
+}
+
+TEST_F(CampaignOrchestratorTest, WorkerTornWriteAndPostWriteKills) {
+  const fs::path reference = run_reference();
+  // "torn": killed halfway through the record write — the store gains a
+  // torn tail, the shard re-runs.  "post": killed after the record but
+  // before reporting — the shard is durable, the orchestrator re-runs it
+  // anyway (it cannot know), and last-writer-wins dedups the result.
+  for (const std::string mode : {"torn", "post"}) {
+    const fs::path dir = make_campaign("kill_" + mode);
+    campaign::RunCampaignOptions options;
+    options.workers = 2;
+    options.worker_chaos = "2:" + mode;
+    const auto result = campaign::run_campaign(dir, options);
+    EXPECT_FALSE(result.incomplete) << mode;
+    EXPECT_GE(result.workers_died, 1U) << mode;
+    expect_identical_aggregates(reference, dir);
+
+    const campaign::StoreScan scan = campaign::scan_store(dir);
+    if (mode == "torn") {
+      EXPECT_TRUE(scan.any_tail_error()) << "torn kill left no torn tail?";
+    } else {
+      EXPECT_GE(campaign::collect_results(dir).duplicates +
+                    campaign::verify_store(dir).duplicates,
+                1U)
+          << "post kill should leave a duplicate record";
+    }
+    // Either way the store still verifies complete: torn tails are
+    // warnings, duplicates are legal.
+    EXPECT_TRUE(campaign::verify_store(dir).ok);
+  }
+}
+
+TEST_F(CampaignOrchestratorTest, WholeCampaignSigkilledThenResumed) {
+  // The outside-in crash: the whole orchestrator process group (parent +
+  // workers) is SIGKILLed mid-campaign at a sweep of points, then a fresh
+  // process resumes the directory.  This is the scenario the CI smoke
+  // drives through the CLI; here it runs in-API via fork().
+  const fs::path reference = run_reference();
+  for (const std::size_t kill_after : {2UL, 8UL, 15UL}) {
+    const fs::path dir =
+        make_campaign("sigkill_" + std::to_string(kill_after));
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // In the child: run with workers and die_after — run_campaign
+      // SIGKILLs the workers and then this process.  Nothing returns.
+      campaign::RunCampaignOptions options;
+      options.workers = 2;
+      options.die_after_shards = kill_after;
+      try {
+        (void)campaign::run_campaign(dir, options);
+      } catch (...) {
+      }
+      _exit(99);  // only reachable if the kill failed
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited instead of dying (status " << status << ")";
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // The store is valid but incomplete; resume finishes it.
+    const campaign::VerifyReport before = campaign::verify_store(dir);
+    EXPECT_FALSE(before.ok);
+    EXPECT_GE(before.shards_present, kill_after);
+    campaign::RunCampaignOptions resume;
+    resume.workers = 2;
+    const auto resumed = campaign::run_campaign(dir, resume);
+    EXPECT_FALSE(resumed.incomplete);
+    EXPECT_GT(resumed.shards_already_complete, 0U);
+    expect_identical_aggregates(reference, dir);
+    EXPECT_TRUE(campaign::verify_store(dir).ok);
+  }
+}
+
+TEST_F(CampaignOrchestratorTest, TruncatedStoreTailResumes) {
+  // Chop bytes off a finished segment's tail (fs-level damage after a
+  // power cut): the truncated records become invisible, resume re-runs
+  // exactly those shards, aggregates stay identical.
+  const fs::path reference = run_reference();
+  const fs::path dir = make_campaign("truncate");
+  campaign::RunCampaignOptions in_process;
+  in_process.workers = 0;
+  (void)campaign::run_campaign(dir, in_process);
+
+  const fs::path segment = campaign::segments_dir(dir) / "gen1-w0.seg";
+  ASSERT_TRUE(fs::exists(segment));
+  const auto size = fs::file_size(segment);
+  fs::resize_file(segment, size - 37);  // tear mid-record
+
+  const campaign::StoreScan scan = campaign::scan_store(dir);
+  ASSERT_TRUE(scan.any_tail_error());
+  const auto resumed = campaign::run_campaign(dir, in_process);
+  EXPECT_FALSE(resumed.incomplete);
+  EXPECT_GE(resumed.shards_run, 1U);
+  expect_identical_aggregates(reference, dir);
+}
+
+TEST_F(CampaignOrchestratorTest, BitFlipPlusDoubleResumeDedupsLastWriterWins) {
+  // The nastiest store history we can manufacture: corrupt a mid-segment
+  // record (hiding it and everything after), resume (re-runs those shards
+  // into generation 2), then REPAIR the flipped bit — now both the old
+  // generation-1 records and the new generation-2 records are visible for
+  // the same shards.  Last-writer-wins must pick generation 2, and the
+  // aggregates must still be bit-identical to the uninterrupted run.
+  const fs::path reference = run_reference();
+  const fs::path dir = make_campaign("bitflip");
+  campaign::RunCampaignOptions in_process;
+  in_process.workers = 0;
+  (void)campaign::run_campaign(dir, in_process);
+
+  const fs::path segment = campaign::segments_dir(dir) / "gen1-w0.seg";
+  const campaign::SegmentScan before = campaign::scan_segment(segment);
+  ASSERT_GE(before.records.size(), 16U);
+
+  // Flip a bit inside the 5th record's payload.
+  std::uint64_t offset = 24;  // header
+  for (int r = 0; r < 4; ++r) offset += 12 + before.records[r].payload.size();
+  offset += 30;  // inside record 4's payload
+  const auto flip = [&] {
+    std::fstream file(segment,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x08);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+  };
+  flip();
+  ASSERT_LT(campaign::scan_segment(segment).records.size(), 16U);
+
+  // First resume: re-runs every hidden shard into generation 2.
+  const auto resume1 = campaign::run_campaign(dir, in_process);
+  EXPECT_FALSE(resume1.incomplete);
+  EXPECT_GE(resume1.shards_run, 1U);
+
+  // Repair the bit: the generation-1 originals reappear as duplicates.
+  flip();
+  ASSERT_EQ(campaign::scan_segment(segment).records.size(),
+            before.records.size());
+  const campaign::CollectedResults collected = campaign::collect_results(dir);
+  EXPECT_GE(collected.duplicates, 1U);
+  expect_identical_aggregates(reference, dir);
+
+  // Second resume: everything is durable, so it must be a no-op...
+  const auto resume2 = campaign::run_campaign(dir, in_process);
+  EXPECT_EQ(resume2.shards_run, 0U);
+  EXPECT_FALSE(resume2.incomplete);
+  // ...and the aggregates still hold after the double resume.
+  expect_identical_aggregates(reference, dir);
+  EXPECT_TRUE(campaign::verify_store(dir).ok);
+}
+
+TEST_F(CampaignOrchestratorTest, StopAfterShardsLeavesResumableStore) {
+  const fs::path reference = run_reference();
+  const fs::path dir = make_campaign("stop");
+  campaign::RunCampaignOptions stop;
+  stop.workers = 0;
+  stop.stop_after_shards = 5;
+  const auto partial = campaign::run_campaign(dir, stop);
+  EXPECT_TRUE(partial.incomplete);
+  EXPECT_EQ(partial.shards_run, 5U);
+
+  campaign::RunCampaignOptions in_process;
+  in_process.workers = 0;
+  const auto resumed = campaign::run_campaign(dir, in_process);
+  EXPECT_FALSE(resumed.incomplete);
+  EXPECT_EQ(resumed.shards_already_complete, 5U);
+  EXPECT_EQ(resumed.shards_run, 11U);
+  expect_identical_aggregates(reference, dir);
+}
+
+TEST_F(CampaignOrchestratorTest, WorkerDeathWithoutRespawnReportsIncomplete) {
+  const fs::path dir = make_campaign("norespawn");
+  campaign::RunCampaignOptions options;
+  options.workers = 1;
+  options.respawn_dead_workers = false;
+  options.worker_chaos = "3:mid";
+  const auto result = campaign::run_campaign(dir, options);
+  EXPECT_TRUE(result.incomplete);
+  EXPECT_EQ(result.workers_died, 1U);
+  EXPECT_LT(result.shards_run, result.shards_total);
+  EXPECT_FALSE(campaign::verify_store(dir).ok);  // incomplete, by design
+
+  // And a resume with healthy workers completes it.
+  campaign::RunCampaignOptions resume;
+  resume.workers = 2;
+  const auto resumed = campaign::run_campaign(dir, resume);
+  EXPECT_FALSE(resumed.incomplete);
+  EXPECT_TRUE(campaign::verify_store(dir).ok);
+}
+
+}  // namespace
+
+// Custom main: the worker hook must run before gtest — orchestrator tests
+// re-exec this binary as their worker processes.
+int main(int argc, char** argv) {
+  if (const int rc = bansim::campaign::maybe_worker_main(argc, argv); rc >= 0) {
+    return rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
