@@ -14,16 +14,31 @@
 //   --fault-modes m,..    off,on (on enables the config's fault plan)
 //   --motion              sample per-patient motion episodes
 //   --measure-ms N --settle-ms N --join-deadline-ms N
+//   --retry-budget N      failed attempts before a shard is quarantined
+//   --deadline-floor-ms N --deadline-ceiling-ms N --deadline-factor F
+//                         per-shard watchdog deadline policy (manifest)
 //   --workers N           worker processes (0 = in this process)
 //   --checkpoint-every N  checkpoint record cadence       (default 4)
+//   --backoff-ms N        retry backoff base (doubles per attempt)
+//   --worker-cpu-limit-s N --worker-mem-limit-mb N
+//                         setrlimit caps applied inside each worker
 //   --die-after N         chaos: SIGKILL everything after N shards
 //   --stop-after N        chaos: stop cleanly after N shards
-//   --worker-chaos SPEC   chaos: first worker dies per "<ordinal>:<mode>"
+//   --worker-chaos SPEC   chaos list: "<ordinal>:<mid|torn|post|hang>"
+//                         (first worker) and/or "shard=<k>:<hang|crash>"
+//                         (poison shard, every worker)
 //
 // `run` on a directory that already holds a manifest resumes it (creation
-// options are then rejected — the manifest is the definition).  Exit code
-// 0 = campaign complete; 3 = returned incomplete (chaos stop / worker
-// exhaustion); 4 = verify found errors.
+// options are then rejected — the manifest is the definition).
+//
+// Exit codes:
+//   0  run: campaign complete | report: aggregates complete | verify: OK
+//   2  usage error, or report/resume/verify on a directory with no campaign
+//   3  run returned incomplete (chaos stop / SIGTERM / worker exhaustion)
+//      | report: aggregates incomplete
+//   4  verify found errors
+//   5  complete except quarantined: every planned shard is either durable
+//      or quarantined, and at least one is quarantined (run/report/verify)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -159,10 +174,39 @@ struct CliOptions {
       cli.spec.join_deadline = sim::Duration::milliseconds(
           static_cast<std::int64_t>(num(need_value(i++))));
       cli.spec_touched = true;
+    } else if (arg == "--retry-budget") {
+      cli.spec.retry_budget = num(need_value(i++));
+      cli.spec_touched = true;
+    } else if (arg == "--deadline-floor-ms") {
+      cli.spec.deadline_floor_ms =
+          static_cast<std::uint32_t>(num(need_value(i++)));
+      cli.spec_touched = true;
+    } else if (arg == "--deadline-ceiling-ms") {
+      cli.spec.deadline_ceiling_ms =
+          static_cast<std::uint32_t>(num(need_value(i++)));
+      cli.spec_touched = true;
+    } else if (arg == "--deadline-factor") {
+      const std::string value = need_value(i++);
+      try {
+        std::size_t pos = 0;
+        cli.spec.deadline_factor = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        usage("--deadline-factor: bad number '" + value + "'");
+      }
+      cli.spec_touched = true;
     } else if (arg == "--workers") {
       cli.run.workers = static_cast<unsigned>(num(need_value(i++)));
     } else if (arg == "--checkpoint-every") {
       cli.run.checkpoint_every = num(need_value(i++));
+    } else if (arg == "--backoff-ms") {
+      cli.run.backoff_base_ms = static_cast<std::uint32_t>(num(need_value(i++)));
+    } else if (arg == "--worker-cpu-limit-s") {
+      cli.run.worker_cpu_limit_s =
+          static_cast<std::uint32_t>(num(need_value(i++)));
+    } else if (arg == "--worker-mem-limit-mb") {
+      cli.run.worker_mem_limit_mb =
+          static_cast<std::uint32_t>(num(need_value(i++)));
     } else if (arg == "--die-after") {
       cli.run.die_after_shards = num(need_value(i++));
     } else if (arg == "--stop-after") {
@@ -189,14 +233,23 @@ void write_text(const std::string& path, const std::string& text) {
   }
 }
 
+[[nodiscard]] bool has_manifest(const std::string& dir) {
+  return std::filesystem::exists(std::filesystem::path(dir) / "manifest.ini");
+}
+
+/// report/verify/resume on a directory without a campaign is an operator
+/// mistake, not store corruption — one actionable line, exit 2, no
+/// StoreError backtrace.
+[[nodiscard]] int missing_campaign(const std::string& dir) {
+  std::cerr << "error: no campaign at " << dir
+            << " (missing manifest.ini); create one with `bansim_campaign "
+               "run " << dir << " [options]`\n";
+  return 2;
+}
+
 int run_verb(const CliOptions& cli) {
-  const bool exists =
-      std::filesystem::exists(std::filesystem::path(cli.dir) / "manifest.ini");
-  if (!exists) {
-    if (cli.verb == "resume") {
-      std::cerr << "error: " << cli.dir << " holds no campaign to resume\n";
-      return 2;
-    }
+  if (!has_manifest(cli.dir)) {
+    if (cli.verb == "resume") return missing_campaign(cli.dir);
     core::BanConfig base = default_ward();
     if (cli.config_path) {
       std::ifstream in(*cli.config_path, std::ios::binary);
@@ -225,12 +278,24 @@ int run_verb(const CliOptions& cli) {
             << result.shards_run << " shard(s), "
             << result.shards_already_complete << " already complete of "
             << result.shards_total;
+  const std::size_t quarantined =
+      result.shards_quarantined + result.shards_already_quarantined;
+  if (quarantined != 0) {
+    std::cout << ", " << quarantined << " quarantined";
+  }
   if (result.workers_spawned != 0) {
     std::cout << " (" << result.workers_spawned << " worker(s), "
-              << result.workers_died << " died)";
+              << result.workers_died << " died, " << result.workers_hung
+              << " hung)";
   }
-  std::cout << (result.incomplete ? " [INCOMPLETE]" : "") << "\n";
-  return result.incomplete ? 3 : 0;
+  std::cout << (result.incomplete
+                    ? " [INCOMPLETE]"
+                    : (result.complete_except_quarantined()
+                           ? " [COMPLETE EXCEPT QUARANTINED]"
+                           : ""))
+            << "\n";
+  if (result.incomplete) return 3;
+  return result.complete_except_quarantined() ? 5 : 0;
 }
 
 int report_verb(const CliOptions& cli) {
@@ -244,7 +309,8 @@ int report_verb(const CliOptions& cli) {
   if (cli.cdf_csv_path) {
     write_text(*cli.cdf_csv_path, aggregates.lifetime_cdf.render_csv());
   }
-  return aggregates.complete() ? 0 : 3;
+  if (aggregates.complete()) return 0;
+  return aggregates.complete_except_quarantined() ? 5 : 3;
 }
 
 }  // namespace
@@ -257,11 +323,16 @@ int main(int argc, char** argv) {
   try {
     const CliOptions cli = parse_cli(argc, argv);
     if (cli.verb == "run" || cli.verb == "resume") return run_verb(cli);
-    if (cli.verb == "report") return report_verb(cli);
+    if (cli.verb == "report") {
+      if (!has_manifest(cli.dir)) return missing_campaign(cli.dir);
+      return report_verb(cli);
+    }
     if (cli.verb == "verify") {
+      if (!has_manifest(cli.dir)) return missing_campaign(cli.dir);
       const campaign::VerifyReport report = campaign::verify_store(cli.dir);
       std::cout << report.render();
-      return report.ok ? 0 : 4;
+      if (!report.ok) return 4;
+      return report.shards_quarantined != 0 ? 5 : 0;
     }
     usage("unknown verb " + cli.verb);
   } catch (const std::exception& e) {

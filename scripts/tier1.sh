@@ -4,9 +4,11 @@
 # ASan/UBSan build of the memory-sensitive regression surfaces
 # (fragment reassembly, energy-meter bounds, event-queue slot arena +
 # inline-callback closures, simulator loop, scenario runner,
-# heterogeneous-roster BAN composition, invariant monitor) plus a small
-# sanitized fuzz run, then a Release build of the kernel bench as a
-# smoke test so the bench targets can't bitrot silently.
+# heterogeneous-roster BAN composition, invariant monitor, and the
+# campaign watchdog/quarantine battery) plus a small sanitized fuzz run,
+# CLI-level kill+resume and poison-shard quarantine smokes, then a
+# Release build of the kernel bench as a smoke test so the bench targets
+# can't bitrot silently.
 #
 # usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -69,6 +71,39 @@ if ! diff -u "$campdir/whole.txt" "$campdir/killed.txt"; then
   exit 1
 fi
 echo "campaign kill+resume smoke: OK (reports identical)"
+
+echo "== tier 1: poison-shard quarantine smoke =="
+# The watchdog battery (hangs included) runs under ASan above via
+# test_campaign_orchestrator; this smoke drives the crash-flavoured
+# quarantine path end to end through the CLI and pins the exit codes:
+# 5 = complete except quarantined, for run, verify, and report alike.
+poison_rc=0
+"$camp" run "$campdir/poison" "${spec[@]}" --retry-budget 2 \
+  --backoff-ms 10 --worker-chaos shard=1:crash >/dev/null || poison_rc=$?
+if [ "$poison_rc" -ne 5 ]; then
+  echo "tier 1: poison run should exit 5 (complete except quarantined)," \
+       "got $poison_rc" >&2
+  exit 1
+fi
+verify_rc=0
+"$camp" verify "$campdir/poison" > "$campdir/poison_verify.txt" \
+  || verify_rc=$?
+if [ "$verify_rc" -ne 5 ]; then
+  echo "tier 1: verify of quarantined store should exit 5, got $verify_rc" >&2
+  cat "$campdir/poison_verify.txt" >&2
+  exit 1
+fi
+report_rc=0
+"$camp" report "$campdir/poison" > "$campdir/poison_report.txt" \
+  || report_rc=$?
+if [ "$report_rc" -ne 5 ]; then
+  echo "tier 1: report of quarantined store should exit 5, got $report_rc" >&2
+  exit 1
+fi
+grep -q "quarantined: shard 1" "$campdir/poison_report.txt"
+grep -q "COMPLETE EXCEPT QUARANTINED" "$campdir/poison_report.txt"
+grep -q "quarantined after 2 attempt(s) (crash)" "$campdir/poison_verify.txt"
+echo "poison-shard quarantine smoke: OK (exit 5 across run/verify/report)"
 
 echo "== tier 1: Release bench smoke =="
 cmake -B "$repo/build-bench" -S "$repo" -DCMAKE_BUILD_TYPE=Release

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "campaign/store.hpp"
@@ -72,6 +73,16 @@ std::string CampaignSpec::validate() const {
   if (fault_modes.empty()) return "campaign: need at least one fault mode";
   if (!measure.is_positive()) return "campaign: measure must be > 0";
   if (cdf_bins == 0) return "campaign: cdf_bins must be > 0";
+  if (retry_budget == 0) return "campaign: retry_budget must be > 0";
+  if (deadline_floor_ms == 0) {
+    return "campaign: deadline_floor_ms must be > 0";
+  }
+  if (deadline_ceiling_ms < deadline_floor_ms) {
+    return "campaign: deadline_ceiling_ms must be >= deadline_floor_ms";
+  }
+  if (!(deadline_factor >= 1.0)) {
+    return "campaign: deadline_factor must be >= 1";
+  }
   return "";
 }
 
@@ -169,6 +180,10 @@ void write_campaign(const std::filesystem::path& dir, const CampaignSpec& spec,
   out << "join_deadline_ms = " << spec.join_deadline.to_seconds() * 1e3
       << "\n";
   out << "cdf_bins = " << spec.cdf_bins << "\n";
+  out << "retry_budget = " << spec.retry_budget << "\n";
+  out << "deadline_floor_ms = " << spec.deadline_floor_ms << "\n";
+  out << "deadline_ceiling_ms = " << spec.deadline_ceiling_ms << "\n";
+  out << "deadline_factor = " << spec.deadline_factor << "\n";
   out << "base_config_crc = " << crc32(base_text) << "\n";
   write_file(dir / kManifestName, out.str());
 }
@@ -260,6 +275,36 @@ LoadedCampaign load_campaign(const std::filesystem::path& dir) {
   spec.settle = take_ms("settle_ms");
   spec.join_deadline = take_ms("join_deadline_ms");
   spec.cdf_bins = parse_u64("cdf_bins", take("cdf_bins"));
+  // Worker-health knobs were added after the first stores shipped; a
+  // manifest without them loads with the library defaults.
+  const auto take_optional = [&](const char* key) -> std::optional<std::string> {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return std::nullopt;
+    std::string value = it->second;
+    kv.erase(it);
+    return value;
+  };
+  if (const auto v = take_optional("retry_budget")) {
+    spec.retry_budget = parse_u64("retry_budget", *v);
+  }
+  if (const auto v = take_optional("deadline_floor_ms")) {
+    spec.deadline_floor_ms =
+        static_cast<std::uint32_t>(parse_u64("deadline_floor_ms", *v));
+  }
+  if (const auto v = take_optional("deadline_ceiling_ms")) {
+    spec.deadline_ceiling_ms =
+        static_cast<std::uint32_t>(parse_u64("deadline_ceiling_ms", *v));
+  }
+  if (const auto v = take_optional("deadline_factor")) {
+    try {
+      std::size_t pos = 0;
+      spec.deadline_factor = std::stod(*v, &pos);
+      if (pos != v->size()) throw std::invalid_argument(*v);
+    } catch (const std::exception&) {
+      throw StoreError("manifest: bad number for deadline_factor: '" + *v +
+                       "'");
+    }
+  }
   const std::uint64_t want_crc =
       parse_u64("base_config_crc", take("base_config_crc"));
 

@@ -62,6 +62,21 @@ struct CampaignSpec {
 
   std::size_t cdf_bins{64};
 
+  /// Worker-health policy (DESIGN.md §5i).  Part of the campaign
+  /// definition so a resume retries and times out shards exactly the way
+  /// the original run did.
+  /// Failed attempts (hang, crash, nonzero exit) a shard may consume
+  /// before it is quarantined and skipped by every later resume.
+  std::size_t retry_budget{3};
+  /// Per-shard wall-clock deadline = clamp(deadline_factor x trailing
+  /// per-variant runtime estimate, floor, ceiling); the ceiling alone
+  /// applies while a variant has no estimate yet.  The deadline bounds
+  /// the gap between worker heartbeats (per-patient), not just whole
+  /// shards, so long shards stay safe as long as they make progress.
+  std::uint32_t deadline_floor_ms{2000};
+  std::uint32_t deadline_ceiling_ms{60000};
+  double deadline_factor{4.0};
+
   [[nodiscard]] std::size_t variant_count() const {
     return protocols.size() * seeds.size() * fault_modes.size();
   }

@@ -34,17 +34,31 @@ CollectedResults collect_results(const std::filesystem::path& dir) {
   const StoreScan scan = scan_store(dir);
   for (const SegmentScan& segment : scan.segments) {
     for (const Record& record : segment.records) {
-      if (record.type != RecordType::kShardResult) continue;
-      try {
-        ShardResult result = decode_shard_result(record.payload);
-        const auto index = static_cast<std::size_t>(result.shard);
-        if (collected.by_shard.count(index) != 0) ++collected.duplicates;
-        collected.by_shard[index] = std::move(result);
-      } catch (const StoreError& e) {
-        collected.decode_errors.push_back(segment.path.filename().string() +
-                                          ": " + e.what());
+      if (record.type == RecordType::kShardResult) {
+        try {
+          ShardResult result = decode_shard_result(record.payload);
+          const auto index = static_cast<std::size_t>(result.shard);
+          if (collected.by_shard.count(index) != 0) ++collected.duplicates;
+          collected.by_shard[index] = std::move(result);
+        } catch (const StoreError& e) {
+          collected.decode_errors.push_back(segment.path.filename().string() +
+                                            ": " + e.what());
+        }
+      } else if (record.type == RecordType::kQuarantine) {
+        try {
+          const QuarantineRecord q = decode_quarantine(record.payload);
+          collected.quarantined[static_cast<std::size_t>(q.shard)] = q;
+        } catch (const StoreError& e) {
+          collected.decode_errors.push_back(segment.path.filename().string() +
+                                            ": " + e.what());
+        }
       }
     }
+  }
+  // A result for a quarantined shard wins — e.g. a resume with a raised
+  // retry budget that finally landed the data.
+  for (const auto& entry : collected.by_shard) {
+    collected.quarantined.erase(entry.first);
   }
   return collected;
 }
@@ -56,6 +70,11 @@ CampaignAggregates aggregate(const LoadedCampaign& campaign,
   const std::vector<VariantSpec> variant_list = variants(campaign.spec);
   const std::vector<ShardSpec> shards = plan_shards(campaign.spec);
   aggregates.shards_total = shards.size();
+  for (const auto& entry : results.quarantined) {
+    if (entry.first < aggregates.shards_total) {
+      aggregates.quarantined_shards.push_back(entry.first);
+    }
+  }
   aggregates.variants.resize(variant_list.size());
   for (std::size_t v = 0; v < variant_list.size(); ++v) {
     aggregates.variants[v].variant = variant_list[v];
@@ -105,7 +124,12 @@ std::string render_report(const CampaignAggregates& aggregates) {
       << aggregates.variants.size() << " variants, "
       << aggregates.shards_present << "/" << aggregates.shards_total
       << " shards"
-      << (aggregates.complete() ? "" : " [INCOMPLETE]") << "\n";
+      << (aggregates.complete()
+              ? ""
+              : (aggregates.complete_except_quarantined()
+                     ? " [COMPLETE EXCEPT QUARANTINED]"
+                     : " [INCOMPLETE]"))
+      << "\n";
   std::vector<double> scratch;
   for (const VariantAggregate& va : aggregates.variants) {
     const energy::CampaignColumns& c = va.columns;
@@ -134,6 +158,19 @@ std::string render_report(const CampaignAggregates& aggregates) {
       << "inf p5=" << fixed3(cdf.percentile(0.05))
       << " p50=" << fixed3(cdf.percentile(0.50))
       << " p95=" << fixed3(cdf.percentile(0.95)) << "\n";
+  if (!aggregates.quarantined_shards.empty()) {
+    // Explicit gap accounting: what the aggregate is missing, named by
+    // manifest geometry only (never attempts/reason), so the report for
+    // "quarantined organically after N failures" and "quarantined
+    // manually before the run" is byte-identical.
+    const std::vector<ShardSpec> shards = plan_shards(aggregates.spec);
+    for (const std::size_t index : aggregates.quarantined_shards) {
+      const ShardSpec& shard = shards[index];
+      out << "  quarantined: shard " << index << " = "
+          << aggregates.variants[shard.variant].variant.label() << " patients "
+          << shard.first << ".." << shard.first + shard.count - 1 << "\n";
+    }
+  }
   return out.str();
 }
 
@@ -169,6 +206,7 @@ VerifyReport verify_store(const std::filesystem::path& dir) {
   const StoreScan scan = scan_store(dir);
   report.segments = scan.segments.size();
   std::map<std::size_t, std::size_t> seen;  // shard -> record count
+  std::map<std::size_t, QuarantineRecord> qseen;
   for (const SegmentScan& segment : scan.segments) {
     report.records += segment.records.size();
     std::size_t shard_records_here = 0;
@@ -198,6 +236,15 @@ VerifyReport verify_store(const std::filesystem::path& dir) {
           report.errors.push_back(segment.path.filename().string() + ": " +
                                   e.what());
         }
+      } else if (record.type == RecordType::kQuarantine) {
+        ++report.quarantine_records;
+        try {
+          const QuarantineRecord q = decode_quarantine(record.payload);
+          qseen[static_cast<std::size_t>(q.shard)] = q;
+        } catch (const StoreError& e) {
+          report.errors.push_back(segment.path.filename().string() + ": " +
+                                  e.what());
+        }
       } else {
         report.errors.push_back(
             segment.path.filename().string() + ": unknown record type " +
@@ -218,22 +265,39 @@ VerifyReport verify_store(const std::filesystem::path& dir) {
     ++report.shards_present;
     if (count > 1) report.duplicates += count - 1;
   }
-  if (report.shards_present < report.shards_total) {
-    report.warnings.push_back(
-        std::to_string(report.shards_total - report.shards_present) +
-        " shard(s) incomplete (resume will re-run them)");
+  for (const auto& [shard, record] : qseen) {
+    if (shard >= report.shards_total) {
+      report.errors.push_back("quarantined shard " + std::to_string(shard) +
+                              " out of range for the manifest's plan");
+      continue;
+    }
+    // A later result for the shard supersedes the marker — only
+    // result-less quarantines count as accounted-for gaps.
+    if (seen.count(shard) != 0) continue;
+    ++report.shards_quarantined;
+    std::ostringstream line;
+    line << "shard " << shard << " quarantined after " << record.attempts
+         << " attempt(s) (" << to_string(record.reason) << ")";
+    report.quarantined.push_back(line.str());
   }
-  report.ok = report.errors.empty() &&
-              report.shards_present == report.shards_total;
+  const std::size_t accounted =
+      report.shards_present + report.shards_quarantined;
+  if (accounted < report.shards_total) {
+    report.warnings.push_back(std::to_string(report.shards_total - accounted) +
+                              " shard(s) incomplete (resume will re-run them)");
+  }
+  report.ok = report.errors.empty() && accounted == report.shards_total;
   return report;
 }
 
 std::string VerifyReport::render() const {
   std::ostringstream out;
   out << "store: " << segments << " segment(s), " << records << " record(s) ("
-      << shard_records << " shard, " << checkpoints << " checkpoint), "
-      << shards_present << "/" << shards_total << " shards present, "
-      << duplicates << " duplicate(s)\n";
+      << shard_records << " shard, " << checkpoints << " checkpoint, "
+      << quarantine_records << " quarantine), " << shards_present << "/"
+      << shards_total << " shards present, " << shards_quarantined
+      << " quarantined, " << duplicates << " duplicate(s)\n";
+  for (const std::string& q : quarantined) out << "quarantined: " << q << "\n";
   for (const std::string& w : warnings) out << "warning: " << w << "\n";
   for (const std::string& e : errors) out << "error: " << e << "\n";
   out << (ok ? "OK" : "NOT OK") << "\n";

@@ -32,6 +32,10 @@ namespace bansim::campaign {
 struct CollectedResults {
   /// Global shard index -> newest decodable result for it.
   std::map<std::size_t, ShardResult> by_shard;
+  /// Global shard index -> newest quarantine record, for shards with NO
+  /// result — a result for the same shard always wins (data beats a
+  /// historical failure marker, e.g. a raised retry budget on resume).
+  std::map<std::size_t, QuarantineRecord> quarantined;
   /// Records whose payload failed to decode despite a valid CRC (writer
   /// bugs; empty in healthy stores).
   std::vector<std::string> decode_errors;
@@ -60,8 +64,20 @@ struct CampaignAggregates {
   energy::MetricCdf lifetime_cdf;
   std::size_t shards_present{0};
   std::size_t shards_total{0};
+  /// Planned shards accounted for only by a quarantine record, ascending.
+  /// The report renders these as explicit gaps — index, variant label,
+  /// patient range — but never attempts/reason, so the rendered report
+  /// stays a pure function of WHICH shards are missing, not of the
+  /// failure history that made them missing.
+  std::vector<std::size_t> quarantined_shards;
   [[nodiscard]] bool complete() const {
     return shards_present == shards_total;
+  }
+  /// Every gap is a quarantined shard — the terminal "ran out of retry
+  /// budget" state, as opposed to an interrupted run a resume can finish.
+  [[nodiscard]] bool complete_except_quarantined() const {
+    return !quarantined_shards.empty() &&
+           shards_present + quarantined_shards.size() == shards_total;
   }
 };
 
@@ -83,18 +99,27 @@ struct CampaignAggregates {
 /// cross-check.
 struct VerifyReport {
   /// True when the manifest loads, every planned shard has a decodable
-  /// result, and checkpoints agree with their segments.  Torn tails in
-  /// old generations are expected crash debris and stay warnings.
+  /// result or a quarantine record, and checkpoints agree with their
+  /// segments.  Torn tails in old generations are expected crash debris
+  /// and stay warnings.  Note `ok` with shards_quarantined > 0 is the
+  /// "complete except quarantined" state (CLI exit 5, not 0).
   bool ok{false};
   std::size_t segments{0};
   std::size_t records{0};
   std::size_t shard_records{0};
   std::size_t checkpoints{0};
+  std::size_t quarantine_records{0};
   std::size_t duplicates{0};
   std::size_t shards_present{0};
+  /// Planned shards accounted for only by a quarantine record.
+  std::size_t shards_quarantined{0};
   std::size_t shards_total{0};
   std::vector<std::string> errors;    ///< clear `ok`
   std::vector<std::string> warnings;  ///< informational (torn tails)
+  /// One line per quarantined shard with the failure history (attempts,
+  /// reason) — provenance lives here, not in the report, so reports stay
+  /// byte-comparable across different failure histories.
+  std::vector<std::string> quarantined;
 
   [[nodiscard]] std::string render() const;
 };

@@ -14,6 +14,17 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   }
 }
 
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
 void put_f64(std::vector<std::uint8_t>& out, double v) {
   put_u64(out, std::bit_cast<std::uint64_t>(v));
 }
@@ -35,6 +46,24 @@ class PayloadReader {
     return v;
   }
   [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               bytes_[off_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    need(2);
+    const auto v = static_cast<std::uint16_t>(bytes_[off_] |
+                                              (bytes_[off_ + 1] << 8));
+    off_ += 2;
+    return v;
+  }
   [[nodiscard]] std::uint8_t u8() {
     need(1);
     return bytes_[off_++];
@@ -123,6 +152,44 @@ Checkpoint decode_checkpoint(const std::vector<std::uint8_t>& payload) {
   return checkpoint;
 }
 
+const char* to_string(QuarantineRecord::Reason reason) {
+  switch (reason) {
+    case QuarantineRecord::Reason::kManual:
+      return "manual";
+    case QuarantineRecord::Reason::kHang:
+      return "hang";
+    case QuarantineRecord::Reason::kCrash:
+      return "crash";
+    case QuarantineRecord::Reason::kExit:
+      return "exit";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_quarantine(const QuarantineRecord& record) {
+  std::vector<std::uint8_t> out;
+  out.reserve(14);
+  put_u64(out, record.shard);
+  put_u32(out, record.attempts);
+  put_u16(out, static_cast<std::uint16_t>(record.reason));
+  return out;
+}
+
+QuarantineRecord decode_quarantine(const std::vector<std::uint8_t>& payload) {
+  PayloadReader in(payload);
+  QuarantineRecord record;
+  record.shard = in.u64();
+  record.attempts = in.u32();
+  const std::uint16_t reason = in.u16();
+  if (reason > static_cast<std::uint16_t>(QuarantineRecord::Reason::kExit)) {
+    throw StoreError("quarantine payload has unknown reason " +
+                     std::to_string(reason));
+  }
+  record.reason = static_cast<QuarantineRecord::Reason>(reason);
+  in.expect_end();
+  return record;
+}
+
 ShardRunner::ShardRunner(CampaignSpec spec, core::BanConfig base)
     : spec_(std::move(spec)),
       base_(std::move(base)),
@@ -154,6 +221,7 @@ ShardResult ShardRunner::run(const ShardSpec& shard) {
   for (std::size_t i = 0; i < shard.count; ++i) {
     result.rows.push_back(
         runner.run(gen_it->second, window_, shard.first + i));
+    if (progress_) progress_(i + 1);
   }
   return result;
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -57,6 +58,33 @@ struct Checkpoint {
 [[nodiscard]] Checkpoint decode_checkpoint(
     const std::vector<std::uint8_t>& payload);
 
+/// kQuarantine payload: a shard the orchestrator gave up on after its
+/// retry budget.  Resume skips quarantined shards; report/verify surface
+/// them as explicit gaps.  The shard index leads the payload (like a
+/// shard record) so index-peeking code treats both types uniformly.
+struct QuarantineRecord {
+  std::uint64_t shard{0};
+  /// Failed attempts consumed before quarantine (== the retry budget for
+  /// organic quarantines; 0 for operator-seeded ones).
+  std::uint32_t attempts{0};
+  enum class Reason : std::uint16_t {
+    kManual = 0,  ///< pre-seeded by an operator, not by a failure
+    kHang = 1,    ///< watchdog SIGKILL after a missed deadline
+    kCrash = 2,   ///< worker died by signal while the shard was in flight
+    kExit = 3,    ///< worker exited nonzero while the shard was in flight
+  };
+  Reason reason{Reason::kManual};
+
+  [[nodiscard]] bool operator==(const QuarantineRecord&) const = default;
+};
+
+[[nodiscard]] const char* to_string(QuarantineRecord::Reason reason);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_quarantine(
+    const QuarantineRecord& record);
+[[nodiscard]] QuarantineRecord decode_quarantine(
+    const std::vector<std::uint8_t>& payload);
+
 /// Executes shards against one campaign definition, reusing warmed cells
 /// per variant.  Not thread-safe; one runner per worker (process or
 /// in-process loop).
@@ -67,6 +95,13 @@ class ShardRunner {
   /// Runs every patient of the shard and returns their rows in patient
   /// order.
   [[nodiscard]] ShardResult run(const ShardSpec& shard);
+
+  /// Called after each completed patient with the count of patients done
+  /// in the current shard — the worker's heartbeat hook.  The callback
+  /// must not observe or perturb simulation state (rows stay bit-exact).
+  void set_progress(std::function<void(std::size_t)> callback) {
+    progress_ = std::move(callback);
+  }
 
   /// Patient runs that reused (reset) a warmed cell instead of building.
   [[nodiscard]] std::size_t runs_reused() const;
@@ -81,6 +116,7 @@ class ShardRunner {
   /// here.
   std::map<std::size_t, core::PopulationGenerator> generators_;
   std::map<std::size_t, core::PatientRunner> runners_;
+  std::function<void(std::size_t)> progress_;
 };
 
 }  // namespace bansim::campaign

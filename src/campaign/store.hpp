@@ -50,6 +50,10 @@ inline constexpr std::uint32_t kStoreFormatVersion = 1;
 enum class RecordType : std::uint16_t {
   kShardResult = 1,
   kCheckpoint = 2,
+  /// A shard that exhausted its retry budget (repeated hang, crash, or
+  /// nonzero worker exit).  Written by the orchestrator, skipped by
+  /// subsequent resumes, surfaced by report/verify as gap accounting.
+  kQuarantine = 3,
 };
 
 /// One decoded record frame (payload still opaque bytes).

@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "campaign/manifest.hpp"
@@ -283,6 +285,130 @@ TEST_F(CampaignStoreTest, ManifestRoundTripAndTamperDetection) {
   std::ofstream(campaign_dir / "base_config.ini", std::ios::app)
       << "\n# tampered\n";
   EXPECT_THROW((void)campaign::load_campaign(campaign_dir),
+               campaign::StoreError);
+}
+
+TEST_F(CampaignStoreTest, QuarantineRecordRoundTripAndDecodeErrors) {
+  campaign::QuarantineRecord record;
+  record.shard = 42;
+  record.attempts = 3;
+  record.reason = campaign::QuarantineRecord::Reason::kHang;
+  const std::vector<std::uint8_t> payload =
+      campaign::encode_quarantine(record);
+  EXPECT_EQ(payload.size(), 14U);  // u64 shard + u32 attempts + u16 reason
+  EXPECT_TRUE(campaign::decode_quarantine(payload) == record);
+
+  // Truncation and trailing garbage are hard decode errors.
+  std::vector<std::uint8_t> truncated(payload.begin(), payload.end() - 1);
+  EXPECT_THROW((void)campaign::decode_quarantine(truncated),
+               campaign::StoreError);
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW((void)campaign::decode_quarantine(padded),
+               campaign::StoreError);
+
+  // An unknown reason value (a record from a future writer) must refuse
+  // to decode rather than alias onto a known reason.
+  std::vector<std::uint8_t> future = payload;
+  future[12] = 0x7F;
+  EXPECT_THROW((void)campaign::decode_quarantine(future),
+               campaign::StoreError);
+
+  EXPECT_STREQ(campaign::to_string(campaign::QuarantineRecord::Reason::kHang),
+               "hang");
+  EXPECT_STREQ(campaign::to_string(campaign::QuarantineRecord::Reason::kCrash),
+               "crash");
+}
+
+TEST_F(CampaignStoreTest, CollectResultsLetsShardDataBeatQuarantine) {
+  // A quarantine marker and a real result for the same shard (a resume
+  // with a raised retry budget finally landed the data): the result wins.
+  // A quarantine with no result stays a quarantine.
+  {
+    campaign::SegmentWriter writer(dir_, {1, 0});
+    campaign::QuarantineRecord q3;
+    q3.shard = 3;
+    q3.attempts = 2;
+    q3.reason = campaign::QuarantineRecord::Reason::kCrash;
+    writer.append(RecordType::kQuarantine, campaign::encode_quarantine(q3));
+    campaign::QuarantineRecord q5 = q3;
+    q5.shard = 5;
+    writer.append(RecordType::kQuarantine, campaign::encode_quarantine(q5));
+  }
+  {
+    campaign::SegmentWriter writer(dir_, {2, 0});
+    writer.append(RecordType::kShardResult,
+                  campaign::encode_shard_result(make_result(3)));
+  }
+  const campaign::CollectedResults collected = campaign::collect_results(dir_);
+  EXPECT_EQ(collected.by_shard.count(3), 1U);
+  EXPECT_EQ(collected.quarantined.count(3), 0U);
+  ASSERT_EQ(collected.quarantined.size(), 1U);
+  EXPECT_EQ(collected.quarantined.at(5).attempts, 2U);
+}
+
+TEST_F(CampaignStoreTest, ManifestWorkerHealthKnobsRoundTrip) {
+  campaign::CampaignSpec spec;
+  spec.patients = 4;
+  spec.shard_size = 2;
+  spec.retry_budget = 5;
+  spec.deadline_floor_ms = 750;
+  spec.deadline_ceiling_ms = 90000;
+  spec.deadline_factor = 2.5;
+  core::BanConfig base;
+  base.num_nodes = 2;
+  base.tdma = mac::TdmaConfig::static_plan(sim::Duration::milliseconds(30), 2);
+  const fs::path campaign_dir = dir_ / "campaign";
+  campaign::write_campaign(campaign_dir, spec, base);
+  const campaign::LoadedCampaign loaded = campaign::load_campaign(campaign_dir);
+  EXPECT_EQ(loaded.spec.retry_budget, 5U);
+  EXPECT_EQ(loaded.spec.deadline_floor_ms, 750U);
+  EXPECT_EQ(loaded.spec.deadline_ceiling_ms, 90000U);
+  EXPECT_EQ(loaded.spec.deadline_factor, 2.5);  // exact round-trip
+
+  // A pre-watchdog manifest (no worker-health keys at all) loads with the
+  // library defaults — old stores stay readable.
+  std::ifstream in(campaign_dir / "manifest.ini");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::istringstream lines(text);
+  std::string line;
+  std::string stripped;
+  while (std::getline(lines, line)) {
+    if (line.rfind("retry_budget", 0) == 0 ||
+        line.rfind("deadline_", 0) == 0) {
+      continue;
+    }
+    stripped += line + "\n";
+  }
+  std::ofstream(campaign_dir / "manifest.ini", std::ios::trunc) << stripped;
+  const campaign::LoadedCampaign legacy = campaign::load_campaign(campaign_dir);
+  EXPECT_EQ(legacy.spec.retry_budget, campaign::CampaignSpec{}.retry_budget);
+  EXPECT_EQ(legacy.spec.deadline_floor_ms,
+            campaign::CampaignSpec{}.deadline_floor_ms);
+  EXPECT_EQ(legacy.spec.deadline_ceiling_ms,
+            campaign::CampaignSpec{}.deadline_ceiling_ms);
+  EXPECT_EQ(legacy.spec.deadline_factor,
+            campaign::CampaignSpec{}.deadline_factor);
+}
+
+TEST_F(CampaignStoreTest, ManifestRejectsBadWorkerHealthKnobs) {
+  core::BanConfig base;
+  base.num_nodes = 2;
+  base.tdma = mac::TdmaConfig::static_plan(sim::Duration::milliseconds(30), 2);
+
+  campaign::CampaignSpec spec;
+  spec.retry_budget = 0;
+  EXPECT_THROW(campaign::write_campaign(dir_ / "a", spec, base),
+               campaign::StoreError);
+  spec = {};
+  spec.deadline_ceiling_ms = spec.deadline_floor_ms - 1;
+  EXPECT_THROW(campaign::write_campaign(dir_ / "b", spec, base),
+               campaign::StoreError);
+  spec = {};
+  spec.deadline_factor = 0.5;
+  EXPECT_THROW(campaign::write_campaign(dir_ / "c", spec, base),
                campaign::StoreError);
 }
 
